@@ -1,0 +1,80 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the substrate primitives: cache
+ * tag access, DRAM scheduling, branch prediction, chain generation and
+ * whole-core simulation throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "backend/core.hh"
+#include "common/rng.hh"
+#include "core/simulation.hh"
+#include "frontend/branch_predictor.hh"
+#include "memory/cache.hh"
+#include "memory/dram.hh"
+#include "workloads/suite.hh"
+
+namespace
+{
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    rab::Cache cache(rab::CacheConfig{"bench", 1024 * 1024, 8, 64, 18});
+    rab::Rng rng(7);
+    for (auto _ : state) {
+        const rab::Addr addr = rng.range(16u << 20);
+        benchmark::DoNotOptimize(cache.access(addr, false).hit);
+        if (!cache.probe(addr))
+            cache.insert(addr, false);
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_DramSchedule(benchmark::State &state)
+{
+    rab::Dram dram{rab::DramConfig{}};
+    rab::Rng rng(11);
+    rab::Cycle now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            dram.access(rng.range(1u << 30) & ~63ull, now, false));
+        now += 5;
+    }
+}
+BENCHMARK(BM_DramSchedule);
+
+void
+BM_BranchPredict(benchmark::State &state)
+{
+    rab::BranchPredictor bp{rab::BranchPredictorConfig{}};
+    rab::Rng rng(13);
+    for (auto _ : state) {
+        const rab::Pc pc = rng.range(512);
+        const auto pred = bp.predictBranch(pc);
+        bp.update(pc, rng.chance(0.6), pc + 7, pred.taken);
+    }
+}
+BENCHMARK(BM_BranchPredict);
+
+void
+BM_CoreSimulation(benchmark::State &state)
+{
+    // Whole-core throughput in simulated instructions per second.
+    for (auto _ : state) {
+        rab::SimConfig config =
+            rab::makeConfig(rab::RunaheadConfig::kHybrid, false);
+        config.warmupInstructions = 0;
+        config.instructions = 5000;
+        rab::Simulation sim(config, rab::buildSuiteWorkload("mcf"));
+        benchmark::DoNotOptimize(sim.run().cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * 5000);
+}
+BENCHMARK(BM_CoreSimulation);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Table 1: print the simulated system configuration.
+ */
+
+#include <cstdio>
+
+#include "core/sim_config.hh"
+
+int
+main()
+{
+    std::puts("=== Table 1: System Configuration ===");
+    const rab::SimConfig config =
+        rab::makeConfig(rab::RunaheadConfig::kHybrid, true);
+    std::fputs(config.table1String().c_str(), stdout);
+    return 0;
+}

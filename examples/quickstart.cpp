@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Quickstart: simulate one memory-intensive workload on the baseline
+ * system and on the runahead-buffer system, and compare.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart [workload] [instructions]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/simulation.hh"
+#include "workloads/suite.hh"
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "mcf";
+    const std::uint64_t instructions =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 50'000;
+
+    if (!rab::findWorkload(workload)) {
+        std::fprintf(stderr, "unknown workload '%s'; available:\n",
+                     workload.c_str());
+        for (const auto &spec : rab::spec06Suite())
+            std::fprintf(stderr, "  %s\n", spec.params.name.c_str());
+        return 1;
+    }
+
+    std::printf("workload: %s, %llu instructions\n\n", workload.c_str(),
+                (unsigned long long)instructions);
+
+    const rab::SimResult base = rab::simulateWorkload(
+        workload, rab::RunaheadConfig::kBaseline, false, instructions,
+        instructions / 5);
+    std::printf("baseline        : %s\n", base.toString().c_str());
+
+    const rab::SimResult ra = rab::simulateWorkload(
+        workload, rab::RunaheadConfig::kRunahead, false, instructions,
+        instructions / 5);
+    std::printf("runahead        : %s\n", ra.toString().c_str());
+
+    const rab::SimResult rab_cc = rab::simulateWorkload(
+        workload, rab::RunaheadConfig::kRunaheadBufferCC, false,
+        instructions, instructions / 5);
+    std::printf("runahead buffer : %s\n", rab_cc.toString().c_str());
+
+    std::printf("\nspeedup: runahead %+.1f%%, runahead buffer+cc "
+                "%+.1f%%\n",
+                100.0 * (ra.ipc / base.ipc - 1.0),
+                100.0 * (rab_cc.ipc / base.ipc - 1.0));
+    return 0;
+}

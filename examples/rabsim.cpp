@@ -1,0 +1,236 @@
+/**
+ * @file
+ * rabsim — the full-featured command-line simulator driver.
+ *
+ * Runs any suite workload (or all of them) under any runahead
+ * configuration, with Table 1 parameters overridable from the command
+ * line, and dumps results as a summary line, a full statistics table,
+ * or JSON.
+ *
+ *   rabsim --workload mcf --config hybrid --prefetch \
+ *          --instructions 200000 --warmup 50000 --stats
+ *   rabsim --list
+ *   rabsim --workload libq --config buffer-cc --json > libq.json
+ *   rabsim --workload mcf --rob 256 --buffer 64 --mem-queue 128
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/logging.hh"
+#include "core/simulation.hh"
+#include "trace/trace.hh"
+#include "workloads/suite.hh"
+
+using namespace rab;
+
+namespace
+{
+
+struct Options
+{
+    std::string workload = "mcf";
+    bool allWorkloads = false;
+    RunaheadConfig config = RunaheadConfig::kBaseline;
+    bool prefetch = false;
+    std::uint64_t instructions = 100'000;
+    std::uint64_t warmup = 25'000;
+    bool dumpStats = false;
+    bool dumpJson = false;
+    bool listWorkloads = false;
+    bool printConfig = false;
+    std::string tracePath;
+
+    // Table 1 overrides.
+    int robEntries = 0;
+    int rsEntries = 0;
+    int bufferEntries = 0;
+    int chainCacheEntries = 0;
+    int memQueueEntries = 0;
+    std::uint64_t llcBytes = 0;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::fputs(
+        "rabsim - runahead buffer simulator\n"
+        "\n"
+        "  --workload NAME     suite workload (default mcf)\n"
+        "  --all               run the whole suite\n"
+        "  --config NAME       baseline | runahead | runahead-enhanced |\n"
+        "                      buffer | buffer-cc | hybrid\n"
+        "  --prefetch          enable the Table 1 stream prefetcher\n"
+        "  --instructions N    measured instructions (default 100000)\n"
+        "  --warmup N          warmup instructions (default 25000)\n"
+        "  --stats             dump the full statistics table\n"
+        "  --json              dump statistics as JSON\n"
+        "  --trace FILE        capture a retirement trace (.rabt)\n"
+        "  --rob N | --rs N | --buffer N | --chain-cache N |\n"
+        "  --mem-queue N | --llc BYTES     Table 1 overrides\n"
+        "  --print-config      show the simulated system and exit\n"
+        "  --list              list suite workloads and exit\n",
+        code == 0 ? stdout : stderr);
+    std::exit(code);
+}
+
+RunaheadConfig
+parseConfig(const std::string &name)
+{
+    if (name == "baseline")
+        return RunaheadConfig::kBaseline;
+    if (name == "runahead")
+        return RunaheadConfig::kRunahead;
+    if (name == "runahead-enhanced")
+        return RunaheadConfig::kRunaheadEnhanced;
+    if (name == "buffer")
+        return RunaheadConfig::kRunaheadBuffer;
+    if (name == "buffer-cc")
+        return RunaheadConfig::kRunaheadBufferCC;
+    if (name == "hybrid")
+        return RunaheadConfig::kHybrid;
+    fatal("unknown --config '%s'", name.c_str());
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    const auto next = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(2);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--workload")
+            opts.workload = next(i);
+        else if (arg == "--all")
+            opts.allWorkloads = true;
+        else if (arg == "--config")
+            opts.config = parseConfig(next(i));
+        else if (arg == "--prefetch")
+            opts.prefetch = true;
+        else if (arg == "--instructions")
+            opts.instructions = std::strtoull(next(i), nullptr, 10);
+        else if (arg == "--warmup")
+            opts.warmup = std::strtoull(next(i), nullptr, 10);
+        else if (arg == "--stats")
+            opts.dumpStats = true;
+        else if (arg == "--json")
+            opts.dumpJson = true;
+        else if (arg == "--trace")
+            opts.tracePath = next(i);
+        else if (arg == "--rob")
+            opts.robEntries = std::atoi(next(i));
+        else if (arg == "--rs")
+            opts.rsEntries = std::atoi(next(i));
+        else if (arg == "--buffer")
+            opts.bufferEntries = std::atoi(next(i));
+        else if (arg == "--chain-cache")
+            opts.chainCacheEntries = std::atoi(next(i));
+        else if (arg == "--mem-queue")
+            opts.memQueueEntries = std::atoi(next(i));
+        else if (arg == "--llc")
+            opts.llcBytes = std::strtoull(next(i), nullptr, 10);
+        else if (arg == "--print-config")
+            opts.printConfig = true;
+        else if (arg == "--list")
+            opts.listWorkloads = true;
+        else if (arg == "--help" || arg == "-h")
+            usage(0);
+        else
+            usage(2);
+    }
+    return opts;
+}
+
+SimConfig
+makeSimConfig(const Options &opts)
+{
+    SimConfig config = makeConfig(opts.config, opts.prefetch);
+    config.instructions = opts.instructions;
+    config.warmupInstructions = opts.warmup;
+    if (opts.robEntries > 0)
+        config.core.robEntries = opts.robEntries;
+    if (opts.rsEntries > 0)
+        config.core.rsEntries = opts.rsEntries;
+    if (opts.bufferEntries > 0) {
+        config.core.runahead.bufferEntries = opts.bufferEntries;
+        config.core.runahead.chainGen.maxChainLength = opts.bufferEntries;
+    }
+    if (opts.chainCacheEntries > 0)
+        config.core.runahead.chainCacheEntries = opts.chainCacheEntries;
+    if (opts.memQueueEntries > 0)
+        config.mem.memQueueEntries = opts.memQueueEntries;
+    if (opts.llcBytes > 0)
+        config.mem.llc.sizeBytes = opts.llcBytes;
+    config.energy.robEntries = config.core.robEntries;
+    return config;
+}
+
+int
+runOne(const Options &opts, const std::string &workload)
+{
+    const SimConfig config = makeSimConfig(opts);
+    Simulation sim(config, buildSuiteWorkload(workload));
+
+    std::unique_ptr<TraceWriter> writer;
+    if (!opts.tracePath.empty()) {
+        writer = std::make_unique<TraceWriter>(opts.tracePath);
+        sim.core().setCommitHook(
+            [&](const DynUop &uop) { writer->record(uop); });
+    }
+
+    const SimResult result = sim.run();
+    std::printf("%s\n", result.toString().c_str());
+
+    if (writer) {
+        writer->close();
+        std::printf("trace: %llu records -> %s\n",
+                    (unsigned long long)writer->recordCount(),
+                    opts.tracePath.c_str());
+    }
+    if (opts.dumpStats) {
+        sim.core().stats().dump(std::cout);
+        sim.memory().stats().dump(std::cout);
+    }
+    if (opts.dumpJson) {
+        sim.core().stats().dumpJson(std::cout);
+        sim.memory().stats().dumpJson(std::cout);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    const Options opts = parseArgs(argc, argv);
+
+    if (opts.listWorkloads) {
+        for (const WorkloadSpec &spec : spec06Suite()) {
+            std::printf("%-12s %s\n", spec.params.name.c_str(),
+                        intensityName(spec.intensity));
+        }
+        return 0;
+    }
+    if (opts.printConfig) {
+        std::fputs(makeSimConfig(opts).table1String().c_str(), stdout);
+        return 0;
+    }
+
+    if (opts.allWorkloads) {
+        for (const WorkloadSpec &spec : spec06Suite())
+            runOne(opts, spec.params.name);
+        return 0;
+    }
+    if (!findWorkload(opts.workload))
+        fatal("unknown workload '%s' (try --list)", opts.workload.c_str());
+    return runOne(opts, opts.workload);
+}

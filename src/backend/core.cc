@@ -1,0 +1,666 @@
+#include "backend/core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "isa/functional.hh"
+
+namespace rab
+{
+
+Core::Core(const CoreConfig &config, const Program *program,
+           MemorySystem *mem)
+    : config_(config), program_(program), mem_(mem),
+      bp_(config.bp),
+      prf_(config.numPhysRegs),
+      rob_(config.robEntries),
+      rs_(config.rsEntries),
+      sq_(config.sqEntries),
+      ports_(config.issueWidth, config.memPorts),
+      runaheadCtrl_(config.runahead),
+      statGroup_("core")
+{
+    if (!program_ || program_->empty())
+        fatal("core: empty program");
+    if (!mem_)
+        fatal("core: no memory system");
+
+    if (program_->memoryImage())
+        funcMem_.setBackground(program_->memoryImage());
+
+    frontend_ = std::make_unique<Frontend>(config_.frontend, program_,
+                                           &bp_, mem_);
+
+    resetArchState();
+
+    statGroup_.addCounter("committed_uops", &committedUops,
+                          "architecturally retired uops");
+    statGroup_.addCounter("pseudo_retired_uops", &pseudoRetiredUops,
+                          "uops pseudo-retired during runahead");
+    statGroup_.addCounter("renamed_uops", &renamedUops, "uops renamed");
+    statGroup_.addCounter("issued_uops", &issuedUops, "uops issued");
+    statGroup_.addCounter("issued_mem_uops", &issuedMemUops,
+                          "memory uops issued");
+    statGroup_.addCounter("prf_reads", &prfReads, "PRF read events");
+    statGroup_.addCounter("prf_writes", &prfWrites, "PRF write events");
+    statGroup_.addCounter("rob_writes", &robWrites, "ROB dispatch writes");
+    statGroup_.addCounter("rob_reads", &robReads, "ROB retire reads");
+    statGroup_.addCounter("mem_stall_cycles", &memStallCycles,
+                          "zero-commit cycles blocked on an LLC miss");
+    statGroup_.addCounter("stall_load_other", &stallLoadOther,
+                          "zero-commit cycles on non-miss head load");
+    statGroup_.addCounter("stall_exec", &stallExec,
+                          "zero-commit cycles on non-load head");
+    statGroup_.addCounter("stall_empty_rob", &stallEmptyRob,
+                          "zero-commit cycles with an empty ROB");
+    statGroup_.addCounter("rob_full_cycles", &robFullCycles,
+                          "cycles with a full ROB");
+    statGroup_.addCounter("squashed_uops", &squashedUops,
+                          "uops squashed on mispredicts");
+    statGroup_.addCounter("fig2_miss_total", &fig2MissTotal,
+                          "normal-mode demand load LLC misses");
+    statGroup_.addCounter("fig2_miss_src_on_chip", &fig2MissSrcOnChip,
+                          "misses whose source data was on chip");
+    statGroup_.addCounter("loads_forwarded", &loadsForwarded,
+                          "loads forwarded from the store queue");
+    statGroup_.addCounter("runahead_cache_forwards",
+                          &runaheadCacheForwards,
+                          "loads forwarded from the runahead cache");
+    statGroup_.addCounter("rs_inserts", &rs_.inserts,
+                          "reservation station inserts");
+    statGroup_.addCounter("rs_wakeups", &rs_.wakeups,
+                          "reservation station wakeup checks");
+    statGroup_.addCounter("sq_forwards", &sq_.forwards,
+                          "store queue forwards");
+    statGroup_.addCounter("sq_searches", &sq_.searches,
+                          "store queue CAM searches");
+
+    bp_.regStats(&statGroup_);
+    frontend_->regStats(&statGroup_);
+    runaheadCtrl_.regStats(&statGroup_);
+    chainAnalysis_.regStats(&statGroup_);
+}
+
+void
+Core::resetArchState()
+{
+    for (ArchReg r = 0; r < kNumArchRegs; ++r) {
+        const std::uint64_t value = program_->initialReg(r);
+        const PhysReg pdst = prf_.alloc();
+        prf_.write(pdst, value, /*poisoned=*/false, /*off_chip=*/false);
+        rat_.setMap(r, pdst);
+        archValues_[r] = value;
+    }
+}
+
+std::uint64_t
+Core::archReg(ArchReg reg) const
+{
+    if (reg >= kNumArchRegs)
+        panic("Core::archReg: bad register %d", (int)reg);
+    return archValues_[reg];
+}
+
+double
+Core::ipc() const
+{
+    return cycle_ == 0 ? 0.0
+        : static_cast<double>(retired_) / static_cast<double>(cycle_);
+}
+
+void
+Core::tick()
+{
+    const Cycle now = cycle_;
+    doWriteback(now);
+    doCommit(now);
+    doRunaheadControl(now);
+    doIssue(now);
+    doRename(now);
+    frontend_->tick(now);
+    runaheadCtrl_.tickCycle();
+    ++cycle_;
+
+    if (cycle_ - lastCommitCycle_ > config_.deadlockCycles) {
+        const DynUop *head = rob_.empty() ? nullptr : &rob_.head();
+        panic("core deadlock at cycle %llu: no commit since %llu "
+              "(rob %d/%d, rs %d, head pc %llu completed %d mode %d)",
+              (unsigned long long)cycle_,
+              (unsigned long long)lastCommitCycle_, rob_.size(),
+              rob_.capacity(), rs_.size(),
+              head ? (unsigned long long)head->pc : 0ull,
+              head ? (int)head->completed : -1,
+              (int)runaheadCtrl_.mode());
+    }
+}
+
+void
+Core::run(std::uint64_t max_instructions, std::uint64_t max_cycles)
+{
+    const std::uint64_t target = retired_ + max_instructions;
+    const Cycle cycle_limit = cycle_ + max_cycles;
+    while (retired_ < target && cycle_ < cycle_limit)
+        tick();
+}
+
+// ---------------------------------------------------------------------
+// Writeback
+// ---------------------------------------------------------------------
+
+void
+Core::doWriteback(Cycle now)
+{
+    for (const WbEvent &ev : wbq_.popReady(now)) {
+        if (!rob_.validSlot(ev.robSlot, ev.seq))
+            continue; // Squashed or already pseudo-retired.
+        DynUop &uop = rob_.slot(ev.robSlot);
+        uop.executed = true;
+        uop.completed = true;
+
+        if (uop.sop.hasDest() && uop.pdst != kNoPhysReg) {
+            const bool off_chip = uop.isLoad()
+                ? (uop.llcMiss || uop.poisoned)
+                : (uop.srcFromOffChip || uop.poisoned);
+            prf_.write(uop.pdst, uop.result, uop.poisoned, off_chip);
+            ++prfWrites;
+        }
+
+        if (config_.collectChainAnalysis
+            && mode() == RunaheadMode::kTraditional) {
+            chainAnalysis_.recordExec(uop);
+            // Chains that lead to cache misses: both fresh misses and
+            // merges into fills a previous interval started (the chain
+            // still produced an off-chip access).
+            if (uop.isLoad() && uop.offChipWait && uop.isRunahead)
+                chainAnalysis_.recordMiss(uop);
+        }
+
+        if (uop.isControl())
+            resolveBranch(ev.robSlot, uop, now);
+    }
+}
+
+void
+Core::resolveBranch(int slot, DynUop &uop, Cycle now)
+{
+    if (uop.poisoned) {
+        // A poisoned branch cannot be verified: runahead follows the
+        // predicted path.
+        uop.actualTaken = uop.predTaken;
+        uop.nextPc = uop.predTarget;
+        return;
+    }
+    const bool mispredicted = uop.actualTaken != uop.predTaken
+        || (uop.actualTaken && uop.nextPc != uop.predTarget);
+    if (!mispredicted)
+        return;
+
+    ++bp_.mispredicts;
+    uop.mispredicted = true;
+    squashYoungerThan(slot, uop.seq);
+    bp_.setHistory((uop.historySnapshot << 1)
+                   | (uop.actualTaken ? 1 : 0));
+    frontend_->redirect(uop.nextPc, now + 1 + config_.redirectPenalty);
+    // Normalise so a replayed writeback does not re-trigger recovery.
+    uop.predTaken = uop.actualTaken;
+    uop.predTarget = uop.nextPc;
+}
+
+void
+Core::squashYoungerThan(int slot, SeqNum seq)
+{
+    while (!rob_.empty()) {
+        const int tail = rob_.tailSlot();
+        if (tail == slot)
+            break;
+        DynUop &t = rob_.slot(tail);
+        if (t.seq <= seq)
+            break;
+        if (t.sop.hasDest() && t.pdst != kNoPhysReg) {
+            rat_.setMap(t.sop.dest, t.prevPdst);
+            prf_.free(t.pdst);
+        }
+        rob_.popTail();
+        ++squashedUops;
+    }
+    rs_.squashAfter(seq);
+    sq_.squashAfter(seq);
+}
+
+// ---------------------------------------------------------------------
+// Commit / pseudo-retirement
+// ---------------------------------------------------------------------
+
+void
+Core::doCommit(Cycle now)
+{
+    const bool runahead = inRunahead();
+    int commits = 0;
+    for (int i = 0; i < config_.commitWidth && !rob_.empty(); ++i) {
+        DynUop &head = rob_.head();
+        if (!head.completed) {
+            if (runahead && head.isLoad() && head.memIssued
+                && head.offChipWait) {
+                // Runahead pseudo-retires miss loads with a poisoned
+                // destination instead of waiting for the data.
+                if (head.pdst != kNoPhysReg) {
+                    prf_.write(head.pdst, 0, /*poisoned=*/true,
+                               /*off_chip=*/true);
+                    ++prfWrites;
+                }
+                head.poisoned = true;
+                head.executed = true;
+                head.completed = true;
+            } else {
+                break;
+            }
+        }
+
+        if (!runahead && head.isStore()) {
+            const AccessResult res =
+                mem_->access(AccessType::kStore, head.effAddr, now,
+                             /*runahead=*/false, head.pc);
+            if (res.rejected)
+                break; // Memory queue full: retry next cycle.
+            funcMem_.write(head.effAddr, head.result);
+        }
+
+        if (head.sop.hasDest() && head.prevPdst != kNoPhysReg)
+            prf_.free(head.prevPdst);
+        if (head.isStore())
+            sq_.release(head.seq);
+        if (head.sop.op == Opcode::kBranch && !head.poisoned) {
+            bp_.update(head.pc, head.actualTaken, head.nextPc,
+                       head.historySnapshot);
+        }
+
+        if (!runahead) {
+            if (head.sop.hasDest())
+                archValues_[head.sop.dest] = head.result;
+            ++retired_;
+            ++committedUops;
+            if (commitHook_)
+                commitHook_(head);
+        } else {
+            ++pseudoRetiredUops;
+            ++pseudoRetiredInterval_;
+        }
+        ++robReads;
+        rob_.popHead();
+        ++commits;
+    }
+
+    if (commits > 0) {
+        lastCommitCycle_ = now;
+        stallCyclesSinceCommit_ = 0;
+    } else {
+        ++stallCyclesSinceCommit_;
+        if (rob_.empty()) {
+            ++stallEmptyRob;
+        } else if (!runahead) {
+            const DynUop &head = rob_.head();
+            if (!head.completed && head.isLoad() && head.memIssued
+                && head.offChipWait) {
+                ++memStallCycles;
+            } else if (!head.completed && head.isLoad()) {
+                ++stallLoadOther;
+            } else if (!head.completed) {
+                ++stallExec;
+            }
+        }
+    }
+    if (rob_.full())
+        ++robFullCycles;
+}
+
+// ---------------------------------------------------------------------
+// Runahead entry / exit
+// ---------------------------------------------------------------------
+
+void
+Core::doRunaheadControl(Cycle now)
+{
+    if (inRunahead()) {
+        if (runaheadCtrl_.shouldExit(now))
+            exitRunahead(now);
+        return;
+    }
+    if (!config_.runahead.anyRunahead() || rob_.empty())
+        return;
+
+    DynUop &head = rob_.head();
+    if (head.completed || !head.isLoad() || !head.memIssued
+        || !head.offChipWait) {
+        return;
+    }
+    // Not worth checkpointing if the data is about to arrive.
+    if (head.readyAt <= now + config_.minRunaheadDistance)
+        return;
+    const bool back_pressure = rob_.full() || rs_.full()
+        || (stallCyclesSinceCommit_ >= config_.stallEntryCycles
+            && !renameProgress_);
+    if (!back_pressure)
+        return;
+
+    const EntryDecision decision = runaheadCtrl_.decideEntry(
+        rob_, sq_, head, fetchedInstrNum_, retired_);
+    if (decision.enter)
+        enterRunahead(decision, now);
+}
+
+void
+Core::enterRunahead(const EntryDecision &decision, Cycle now)
+{
+    const DynUop &head = rob_.head();
+
+    checkpoint_.values = archValues_;
+    checkpoint_.branchHistory = head.historySnapshot;
+    checkpoint_.ras = bp_.rasSnapshot();
+    checkpoint_.resumePc = head.pc;
+    checkpoint_.valid = true;
+    retiredAtEntry_ = retired_;
+    pseudoRetiredInterval_ = 0;
+
+    runaheadCtrl_.enter(decision, now, head.readyAt, retired_);
+
+    // Poison every in-flight LLC miss (including the blocking head):
+    // runahead does not wait for off-chip data.
+    for (int i = 0; i < rob_.size(); ++i) {
+        DynUop &u = rob_.slot(rob_.logicalToSlot(i));
+        if (u.isLoad() && u.memIssued && !u.completed
+            && u.offChipWait) {
+            if (u.pdst != kNoPhysReg) {
+                prf_.write(u.pdst, 0, /*poisoned=*/true,
+                           /*off_chip=*/true);
+                ++prfWrites;
+            }
+            u.poisoned = true;
+            u.executed = true;
+            u.completed = true;
+        }
+    }
+
+    if (decision.mode == RunaheadMode::kBuffer) {
+        // The runahead buffer supplies rename; clock-gate the
+        // front-end for the whole interval.
+        frontend_->setGated(true);
+    } else if (config_.collectChainAnalysis) {
+        chainAnalysis_.beginInterval();
+    }
+}
+
+void
+Core::exitRunahead(Cycle now)
+{
+    const RunaheadMode exit_mode = mode();
+    if (exit_mode == RunaheadMode::kTraditional
+        && config_.collectChainAnalysis) {
+        chainAnalysis_.endInterval();
+    }
+
+    const std::uint64_t farthest = exit_mode == RunaheadMode::kTraditional
+        ? retiredAtEntry_ + pseudoRetiredInterval_
+        : retiredAtEntry_;
+    runaheadCtrl_.exit(now, farthest);
+
+    // Flush the whole pipeline and restore the checkpoint.
+    rob_.clear();
+    rs_.clear();
+    sq_.clear();
+    wbq_.clear();
+    prf_.resetAll();
+    for (ArchReg r = 0; r < kNumArchRegs; ++r) {
+        const PhysReg pdst = prf_.alloc();
+        prf_.write(pdst, checkpoint_.values[r], /*poisoned=*/false,
+                   /*off_chip=*/false);
+        rat_.setMap(r, pdst);
+        archValues_[r] = checkpoint_.values[r];
+    }
+    bp_.setHistory(checkpoint_.branchHistory);
+    bp_.rasRestore(checkpoint_.ras);
+    frontend_->setGated(false);
+    frontend_->redirect(checkpoint_.resumePc, now + config_.exitPenalty);
+    checkpoint_.valid = false;
+}
+
+// ---------------------------------------------------------------------
+// Issue / execute
+// ---------------------------------------------------------------------
+
+void
+Core::doIssue(Cycle now)
+{
+    ports_.newCycle();
+    const std::vector<int> selected =
+        rs_.selectReady(rob_, prf_, config_.issueWidth);
+    for (const int slot : selected) {
+        DynUop &uop = rob_.slot(slot);
+        const bool is_mem = uop.sop.isMem();
+        if (is_mem ? !ports_.takeMem() : !ports_.takeAlu()) {
+            rs_.reinsert(slot, uop.seq);
+            continue;
+        }
+
+        uop.v1 = uop.psrc1 != kNoPhysReg ? prf_.value(uop.psrc1) : 0;
+        uop.v2 = uop.psrc2 != kNoPhysReg ? prf_.value(uop.psrc2) : 0;
+        prfReads += uop.sop.numSrcs();
+        const bool poisoned =
+            (uop.psrc1 != kNoPhysReg && prf_.poisoned(uop.psrc1))
+            || (uop.psrc2 != kNoPhysReg && prf_.poisoned(uop.psrc2));
+        uop.srcFromOffChip =
+            (uop.psrc1 != kNoPhysReg && prf_.offChip(uop.psrc1))
+            || (uop.psrc2 != kNoPhysReg && prf_.offChip(uop.psrc2));
+        uop.poisoned = poisoned;
+        uop.issued = true;
+        ++issuedUops;
+        if (is_mem)
+            ++issuedMemUops;
+
+        if (uop.isLoad())
+            issueLoad(slot, uop, now);
+        else if (uop.isStore())
+            issueStore(slot, uop, now);
+        else
+            issueCompute(slot, uop, now);
+    }
+}
+
+void
+Core::issueCompute(int slot, DynUop &uop, Cycle now)
+{
+    const int latency = execLatency(uop.sop.op);
+    if (uop.sop.op == Opcode::kBranch) {
+        if (!uop.poisoned) {
+            uop.actualTaken = evalBranch(uop.sop, uop.v1, uop.v2);
+            uop.nextPc = uop.actualTaken ? uop.sop.target : uop.pc + 1;
+        }
+        // Poisoned branches resolve in resolveBranch as "predicted".
+    } else if (uop.sop.op == Opcode::kJump) {
+        uop.actualTaken = true;
+        uop.nextPc = uop.sop.target;
+    } else if (uop.sop.op != Opcode::kNop) {
+        uop.result = uop.poisoned ? 0 : evalAlu(uop.sop, uop.v1, uop.v2);
+    }
+    wbq_.schedule(now + latency, slot, uop.seq);
+}
+
+void
+Core::issueLoad(int slot, DynUop &uop, Cycle now)
+{
+    if (uop.poisoned) {
+        // Poisoned address: propagate poison without touching memory.
+        uop.result = 0;
+        wbq_.schedule(now + 1, slot, uop.seq);
+        return;
+    }
+
+    uop.effAddr = effectiveAddr(uop.sop, uop.v1);
+
+    const SqSearch search = sq_.searchForLoad(uop.seq, uop.effAddr);
+    if (search.kind == SqSearch::Kind::kUnknownAddr
+        || search.kind == SqSearch::Kind::kNotReady) {
+        rs_.reinsert(slot, uop.seq);
+        return;
+    }
+    if (search.kind == SqSearch::Kind::kForward) {
+        uop.result = search.data;
+        uop.poisoned = search.poisoned;
+        uop.forwarded = true;
+        uop.memIssued = true;
+        ++loadsForwarded;
+        wbq_.schedule(now + 1, slot, uop.seq);
+        return;
+    }
+
+    if (inRunahead()) {
+        std::uint64_t data = 0;
+        if (runaheadCtrl_.runaheadCache().read(uop.effAddr, data)) {
+            uop.result = data;
+            uop.memIssued = true;
+            ++runaheadCacheForwards;
+            wbq_.schedule(now + 1, slot, uop.seq);
+            return;
+        }
+    }
+
+    const AccessResult res =
+        mem_->access(AccessType::kLoad, uop.effAddr, now, inRunahead(),
+                     uop.pc);
+    if (res.rejected) {
+        rs_.reinsert(slot, uop.seq);
+        return;
+    }
+    uop.memIssued = true;
+    uop.missIssueInstrNum = fetchedInstrNum_;
+    uop.llcMiss = res.llcMiss;
+    uop.offChipWait = res.llcMiss || res.pendingMiss;
+    uop.readyAt = res.readyCycle;
+
+    if (inRunahead()) {
+        if (uop.offChipWait) {
+            // Runahead does not wait for off-chip data: the request
+            // itself is the prefetch (this is the generated MLP). A
+            // merge into an in-flight fill poisons too but creates no
+            // new parallelism.
+            if (res.llcMiss)
+                runaheadCtrl_.noteRunaheadMiss();
+            uop.poisoned = true;
+            uop.result = 0;
+            wbq_.schedule(now + mem_->config().l1d.latency, slot,
+                          uop.seq);
+        } else {
+            uop.result = funcMem_.read(uop.effAddr);
+            wbq_.schedule(res.readyCycle, slot, uop.seq);
+        }
+        return;
+    }
+
+    uop.result = funcMem_.read(uop.effAddr);
+    wbq_.schedule(res.readyCycle, slot, uop.seq);
+    if (res.llcMiss) {
+        ++fig2MissTotal;
+        if (!uop.srcFromOffChip)
+            ++fig2MissSrcOnChip;
+    }
+}
+
+void
+Core::issueStore(int slot, DynUop &uop, Cycle now)
+{
+    const bool addr_poisoned =
+        uop.psrc1 != kNoPhysReg && prf_.poisoned(uop.psrc1);
+    const bool data_poisoned =
+        uop.psrc2 != kNoPhysReg && prf_.poisoned(uop.psrc2);
+
+    if (addr_poisoned) {
+        sq_.setAddress(uop.seq, 0, /*poisoned=*/true);
+    } else {
+        uop.effAddr = effectiveAddr(uop.sop, uop.v1);
+        sq_.setAddress(uop.seq, uop.effAddr, /*poisoned=*/false);
+    }
+    sq_.setData(uop.seq, uop.v2, data_poisoned);
+    uop.result = uop.v2;
+    uop.poisoned = addr_poisoned || data_poisoned;
+
+    if (inRunahead() && !uop.poisoned) {
+        // Runahead stores must not become globally observable; they go
+        // to the runahead cache for forwarding only.
+        runaheadCtrl_.runaheadCache().write(uop.effAddr, uop.v2);
+    }
+    wbq_.schedule(now + 1, slot, uop.seq);
+}
+
+// ---------------------------------------------------------------------
+// Rename / dispatch
+// ---------------------------------------------------------------------
+
+void
+Core::doRename(Cycle now)
+{
+    renameProgress_ = false;
+    const bool buffer_mode = mode() == RunaheadMode::kBuffer;
+    if (buffer_mode && now < runaheadCtrl_.bufferIssueStart())
+        return; // Chain generation still in progress.
+
+    for (int i = 0; i < config_.renameWidth; ++i) {
+        if (buffer_mode) {
+            if (!runaheadCtrl_.buffer().hasOp())
+                break;
+        } else if (!frontend_->hasReady(now)) {
+            break;
+        }
+        if (rob_.full() || rs_.full() || !prf_.canAlloc())
+            break;
+
+        DynUop du;
+        if (buffer_mode) {
+            const ChainOp &cop = runaheadCtrl_.buffer().peek();
+            du.pc = cop.pc;
+            du.sop = cop.sop;
+        } else {
+            const FetchedUop &fu = frontend_->peek();
+            du.pc = fu.pc;
+            du.sop = fu.sop;
+            du.predTaken = fu.predTaken;
+            du.predTarget = fu.predTarget;
+            du.historySnapshot = fu.historySnapshot;
+        }
+        if (du.sop.isStore() && sq_.full())
+            break;
+
+        if (buffer_mode)
+            runaheadCtrl_.buffer().advance();
+        else
+            frontend_->pop();
+
+        du.seq = ++seqCounter_;
+        du.isRunahead = inRunahead();
+        du.fromRunaheadBuffer = buffer_mode;
+        if (!inRunahead())
+            du.instrNum = ++fetchedInstrNum_;
+        else
+            du.instrNum = fetchedInstrNum_;
+
+        du.psrc1 = du.sop.src1 != kNoArchReg ? rat_.map(du.sop.src1)
+                                             : kNoPhysReg;
+        du.psrc2 = du.sop.src2 != kNoArchReg ? rat_.map(du.sop.src2)
+                                             : kNoPhysReg;
+        if (du.sop.hasDest()) {
+            du.prevPdst = rat_.map(du.sop.dest);
+            du.pdst = prf_.alloc();
+            rat_.setMap(du.sop.dest, du.pdst);
+        }
+        ++renamedUops;
+
+        const SeqNum seq = du.seq;
+        const bool is_store = du.sop.isStore();
+        const int slot = rob_.push(std::move(du));
+        ++robWrites;
+        if (is_store)
+            sq_.allocate(seq, slot);
+        rs_.insert(slot, seq);
+        renameProgress_ = true;
+    }
+}
+
+} // namespace rab

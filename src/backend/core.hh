@@ -1,0 +1,201 @@
+/**
+ * @file
+ * The out-of-order core: a value-based, cycle-level model of the
+ * pipeline in Figure 6 — fetch, decode, rename, select/wakeup,
+ * register read, execute, commit — with the paper's runahead
+ * extensions: poison bits in the physical register file, architectural
+ * checkpointing, the runahead cache, and the runahead buffer feeding
+ * rename when the front-end is clock-gated.
+ *
+ * Each tick() advances one core cycle, processing (in order) writeback,
+ * commit / pseudo-retirement, runahead entry/exit, issue/execute,
+ * rename/dispatch and fetch.
+ */
+
+#ifndef RAB_BACKEND_CORE_HH
+#define RAB_BACKEND_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "backend/dyn_uop.hh"
+#include "backend/execute.hh"
+#include "backend/lsq.hh"
+#include "backend/rename.hh"
+#include "backend/reservation_station.hh"
+#include "backend/rob.hh"
+#include "frontend/branch_predictor.hh"
+#include "frontend/frontend.hh"
+#include "isa/program.hh"
+#include "memory/memory_system.hh"
+#include "runahead/chain_analysis.hh"
+#include "runahead/runahead_controller.hh"
+#include "stats/stats.hh"
+
+namespace rab
+{
+
+/** Core configuration (defaults reproduce Table 1). */
+struct CoreConfig
+{
+    int fetchWidth = 4;
+    int renameWidth = 4;
+    int issueWidth = 4;
+    int commitWidth = 4;
+    int robEntries = 192;
+    int rsEntries = 92;
+    int sqEntries = 48;
+    int numPhysRegs = 352;
+    int memPorts = 2;          ///< L1D ports.
+    int redirectPenalty = 2;   ///< Extra cycles on branch redirect.
+    int exitPenalty = 4;       ///< Pipeline restore on runahead exit.
+    int stallEntryCycles = 4;  ///< Back-pressure stall cycles before a
+                               ///< non-full ROB may trigger runahead.
+    int minRunaheadDistance = 20; ///< Skip entry when the blocking miss
+                                  ///< returns sooner than this (a short
+                                  ///< interval cannot repay the exit
+                                  ///< flush).
+    std::uint64_t deadlockCycles = 2'000'000;
+    bool collectChainAnalysis = false;
+
+    FrontendConfig frontend{};
+    BranchPredictorConfig bp{};
+    RunaheadPolicy runahead{};
+};
+
+/** The core. */
+class Core
+{
+  public:
+    Core(const CoreConfig &config, const Program *program,
+         MemorySystem *mem);
+
+    Core(const Core &) = delete;
+    Core &operator=(const Core &) = delete;
+
+    /** Advance one cycle. */
+    void tick();
+
+    /** Run until @p max_instructions retire or @p max_cycles elapse. */
+    void run(std::uint64_t max_instructions, std::uint64_t max_cycles);
+
+    Cycle cycle() const { return cycle_; }
+    std::uint64_t retired() const { return retired_; }
+    double ipc() const;
+
+    /** Hook invoked for every architecturally retired uop (testing /
+     *  tracing). */
+    using CommitHook = std::function<void(const DynUop &)>;
+    void setCommitHook(CommitHook hook) { commitHook_ = std::move(hook); }
+
+    /** @{ Component access (tests, figures, energy model). */
+    RunaheadController &runahead() { return runaheadCtrl_; }
+    const RunaheadController &runahead() const { return runaheadCtrl_; }
+    Frontend &frontend() { return *frontend_; }
+    BranchPredictor &branchPredictor() { return bp_; }
+    ChainAnalysis &chainAnalysis() { return chainAnalysis_; }
+    FunctionalMemory &memImage() { return funcMem_; }
+    MemorySystem &memory() { return *mem_; }
+    const CoreConfig &config() const { return config_; }
+    StatGroup &stats() { return statGroup_; }
+    /** @} */
+
+    /** Architectural value of @p reg (committed state). */
+    std::uint64_t archReg(ArchReg reg) const;
+
+    /** @{ Scheduler/LSQ event counts (energy model inputs). */
+    std::uint64_t rsInsertCount() const { return rs_.inserts.value(); }
+    std::uint64_t rsWakeupCount() const { return rs_.wakeups.value(); }
+    std::uint64_t sqSearchCount() const { return sq_.searches.value(); }
+    /** @} */
+
+    /** @{ Statistics (also energy events). */
+    Counter committedUops;     ///< Architecturally retired.
+    Counter pseudoRetiredUops; ///< Retired during runahead.
+    Counter renamedUops;
+    Counter issuedUops;
+    Counter issuedMemUops;
+    Counter prfReads;
+    Counter prfWrites;
+    Counter robWrites;
+    Counter robReads;
+    Counter memStallCycles;    ///< Zero-commit cycles blocked on an
+                               ///< outstanding LLC miss (Fig. 1).
+    Counter stallLoadOther;    ///< Zero-commit: head load, not an LLC
+                               ///< miss (L1/LLC latency, replay).
+    Counter stallExec;         ///< Zero-commit: head non-load pending.
+    Counter stallEmptyRob;     ///< Zero-commit: ROB empty (refill).
+    Counter robFullCycles;
+    Counter squashedUops;
+    Counter fig2MissTotal;     ///< Normal-mode demand load LLC misses.
+    Counter fig2MissSrcOnChip; ///< ... whose source data was on-chip.
+    Counter loadsForwarded;
+    Counter runaheadCacheForwards;
+    /** @} */
+
+  private:
+    /** @{ Pipeline stages, called by tick() in this order. */
+    void doWriteback(Cycle now);
+    void doCommit(Cycle now);
+    void doRunaheadControl(Cycle now);
+    void doIssue(Cycle now);
+    void doRename(Cycle now);
+    /** @} */
+
+    /** @{ Issue helpers. */
+    void issueCompute(int slot, DynUop &uop, Cycle now);
+    void issueLoad(int slot, DynUop &uop, Cycle now);
+    void issueStore(int slot, DynUop &uop, Cycle now);
+    /** @} */
+
+    void resolveBranch(int slot, DynUop &uop, Cycle now);
+    void squashYoungerThan(int slot, SeqNum seq);
+
+    void enterRunahead(const EntryDecision &decision, Cycle now);
+    void exitRunahead(Cycle now);
+    void resetArchState();
+
+    bool inRunahead() const { return runaheadCtrl_.inRunahead(); }
+    RunaheadMode mode() const { return runaheadCtrl_.mode(); }
+
+    CoreConfig config_;
+    const Program *program_;
+    MemorySystem *mem_;
+
+    FunctionalMemory funcMem_;
+    BranchPredictor bp_;
+    std::unique_ptr<Frontend> frontend_;
+
+    PhysRegFile prf_;
+    Rat rat_;
+    std::array<std::uint64_t, kNumArchRegs> archValues_{};
+
+    Rob rob_;
+    ReservationStation rs_;
+    StoreQueue sq_;
+    WritebackQueue wbq_;
+    IssuePorts ports_;
+
+    RunaheadController runaheadCtrl_;
+    ChainAnalysis chainAnalysis_;
+    ArchCheckpoint checkpoint_;
+
+    Cycle cycle_ = 0;
+    SeqNum seqCounter_ = 0;
+    std::uint64_t retired_ = 0;
+    std::uint64_t fetchedInstrNum_ = 0; ///< Normal-mode renamed uops.
+    std::uint64_t retiredAtEntry_ = 0;
+    std::uint64_t pseudoRetiredInterval_ = 0;
+    Cycle lastCommitCycle_ = 0;
+    int stallCyclesSinceCommit_ = 0;
+    bool renameProgress_ = false;
+
+    CommitHook commitHook_;
+    StatGroup statGroup_;
+};
+
+} // namespace rab
+
+#endif // RAB_BACKEND_CORE_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Dynamic (in-flight) micro-op state carried through the pipeline.
+ */
+
+#ifndef RAB_BACKEND_DYN_UOP_HH
+#define RAB_BACKEND_DYN_UOP_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/uop.hh"
+
+namespace rab
+{
+
+/** One dynamic instance of a uop, as stored in the ROB. */
+struct DynUop
+{
+    /** Fetch-order sequence number (unique, monotonic). */
+    SeqNum seq = kNoSeqNum;
+
+    /** Program counter of the static uop. */
+    Pc pc = 0;
+
+    /** Copy of the decoded static uop (the paper adds 4 B per ROB entry
+     *  to keep decoded uops until retirement; we keep the whole uop). */
+    Uop sop;
+
+    /** Dynamic count of instructions fetched before this one in normal
+     *  mode; used by the runahead enhancement policies. */
+    std::uint64_t instrNum = 0;
+
+    /** @{ Rename state. */
+    PhysReg pdst = kNoPhysReg;
+    PhysReg psrc1 = kNoPhysReg;
+    PhysReg psrc2 = kNoPhysReg;
+    PhysReg prevPdst = kNoPhysReg; ///< For undo-walk recovery.
+    /** @} */
+
+    /** @{ Branch state. */
+    bool predTaken = false;
+    Pc predTarget = 0;
+    std::uint64_t historySnapshot = 0; ///< BHR before this branch.
+    bool actualTaken = false;
+    Pc nextPc = 0;      ///< Resolved next PC.
+    bool mispredicted = false;
+    /** @} */
+
+    /** @{ Memory state. */
+    Addr effAddr = kNoAddr;
+    bool memIssued = false;   ///< Memory request sent (or forwarded).
+    std::uint64_t missIssueInstrNum = 0; ///< Fetched-instruction count
+                                         ///< when the access issued.
+    bool llcMiss = false;     ///< The demand access missed the LLC.
+    bool offChipWait = false; ///< Waiting off-chip-long: a new LLC
+                              ///< miss OR a merge into one in flight.
+    int sqIndex = -1;         ///< Store queue slot for stores.
+    bool forwarded = false;   ///< Load got its value from the SQ.
+    /** @} */
+
+    /** @{ Status. */
+    bool inRs = false;        ///< Currently occupies an RS entry.
+    bool issued = false;      ///< Selected for execution.
+    bool executed = false;    ///< Result (or address) computed.
+    bool completed = false;   ///< Eligible for (pseudo-)retirement.
+    bool poisoned = false;    ///< Runahead poison bit.
+    Cycle readyAt = 0;        ///< Cycle the result becomes available.
+    /** @} */
+
+    /** @{ Runahead provenance. */
+    bool isRunahead = false;        ///< Fetched during runahead mode.
+    bool fromRunaheadBuffer = false;///< Issued by the runahead buffer.
+    /** @} */
+
+    /** Value-level state (for the value-based timing model). */
+    std::uint64_t v1 = 0;
+    std::uint64_t v2 = 0;
+    std::uint64_t result = 0;
+
+    /** Fig. 2 instrumentation: some transitive source of this value was
+     *  produced by an off-chip (LLC-miss) load within the window. */
+    bool srcFromOffChip = false;
+
+    bool isLoad() const { return sop.isLoad(); }
+    bool isStore() const { return sop.isStore(); }
+    bool isControl() const { return sop.isControl(); }
+};
+
+} // namespace rab
+
+#endif // RAB_BACKEND_DYN_UOP_HH

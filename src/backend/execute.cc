@@ -1,0 +1,40 @@
+#include "backend/execute.hh"
+
+#include <limits>
+
+namespace rab
+{
+
+void
+WritebackQueue::schedule(Cycle when, int rob_slot, SeqNum seq)
+{
+    heap_.push(WbEvent{when, rob_slot, seq});
+}
+
+std::vector<WbEvent>
+WritebackQueue::popReady(Cycle now)
+{
+    std::vector<WbEvent> ready;
+    while (!heap_.empty() && heap_.top().when <= now) {
+        ready.push_back(heap_.top());
+        heap_.pop();
+    }
+    return ready;
+}
+
+Cycle
+WritebackQueue::nextEventCycle() const
+{
+    if (heap_.empty())
+        return std::numeric_limits<Cycle>::max();
+    return heap_.top().when;
+}
+
+void
+WritebackQueue::clear()
+{
+    while (!heap_.empty())
+        heap_.pop();
+}
+
+} // namespace rab

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Execution-side helpers: the writeback event queue that carries
+ * completion events (ALU latencies, cache hits, DRAM fills) back to the
+ * pipeline, and the per-cycle issue port tracker.
+ */
+
+#ifndef RAB_BACKEND_EXECUTE_HH
+#define RAB_BACKEND_EXECUTE_HH
+
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace rab
+{
+
+/** A pending completion. */
+struct WbEvent
+{
+    Cycle when = 0;
+    int robSlot = -1;
+    SeqNum seq = kNoSeqNum;
+
+    bool operator>(const WbEvent &other) const { return when > other.when; }
+};
+
+/**
+ * Min-heap of scheduled writebacks. Events for squashed uops are
+ * filtered by the consumer via Rob::validSlot (slot, seq) checks.
+ */
+class WritebackQueue
+{
+  public:
+    void schedule(Cycle when, int rob_slot, SeqNum seq);
+
+    /** Pop every event with when <= now. */
+    std::vector<WbEvent> popReady(Cycle now);
+
+    /** Cycle of the next pending event, or kNoSeqNum when empty. */
+    Cycle nextEventCycle() const;
+
+    bool empty() const { return heap_.empty(); }
+    void clear();
+
+  private:
+    std::priority_queue<WbEvent, std::vector<WbEvent>, std::greater<>>
+        heap_;
+};
+
+/** Issue-port budget for one cycle: total width plus D-cache ports. */
+class IssuePorts
+{
+  public:
+    IssuePorts(int width, int mem_ports)
+        : width_(width), memPorts_(mem_ports)
+    {
+    }
+
+    void newCycle()
+    {
+        usedWidth_ = 0;
+        usedMem_ = 0;
+    }
+
+    bool takeAlu()
+    {
+        if (usedWidth_ >= width_)
+            return false;
+        ++usedWidth_;
+        return true;
+    }
+
+    bool takeMem()
+    {
+        if (usedWidth_ >= width_ || usedMem_ >= memPorts_)
+            return false;
+        ++usedWidth_;
+        ++usedMem_;
+        return true;
+    }
+
+    int remainingWidth() const { return width_ - usedWidth_; }
+
+  private:
+    int width_;
+    int memPorts_;
+    int usedWidth_ = 0;
+    int usedMem_ = 0;
+};
+
+} // namespace rab
+
+#endif // RAB_BACKEND_EXECUTE_HH

@@ -1,0 +1,141 @@
+#include "backend/rename.hh"
+
+#include "common/logging.hh"
+
+namespace rab
+{
+
+PhysRegFile::PhysRegFile(int num_regs)
+{
+    if (num_regs <= kNumArchRegs)
+        fatal("PhysRegFile: need more than %d registers", kNumArchRegs);
+    regs_.assign(num_regs, Reg{});
+    freeList_.reserve(num_regs);
+    for (int i = num_regs - 1; i >= 0; --i)
+        freeList_.push_back(static_cast<PhysReg>(i));
+}
+
+void
+PhysRegFile::check(PhysReg reg) const
+{
+    if (reg >= regs_.size())
+        panic("PhysRegFile: bad register %d", (int)reg);
+}
+
+PhysReg
+PhysRegFile::alloc()
+{
+    if (freeList_.empty())
+        panic("PhysRegFile: free list empty");
+    const PhysReg reg = freeList_.back();
+    freeList_.pop_back();
+    Reg &r = regs_[reg];
+    r.allocated = true;
+    r.ready = false;
+    r.poisoned = false;
+    r.offChip = false;
+    return reg;
+}
+
+void
+PhysRegFile::free(PhysReg reg)
+{
+    check(reg);
+    if (!regs_[reg].allocated)
+        panic("PhysRegFile: double free of register %d", (int)reg);
+    regs_[reg].allocated = false;
+    freeList_.push_back(reg);
+}
+
+std::uint64_t
+PhysRegFile::value(PhysReg reg) const
+{
+    check(reg);
+    return regs_[reg].value;
+}
+
+bool
+PhysRegFile::ready(PhysReg reg) const
+{
+    check(reg);
+    return regs_[reg].ready;
+}
+
+bool
+PhysRegFile::poisoned(PhysReg reg) const
+{
+    check(reg);
+    return regs_[reg].poisoned;
+}
+
+bool
+PhysRegFile::offChip(PhysReg reg) const
+{
+    check(reg);
+    return regs_[reg].offChip;
+}
+
+void
+PhysRegFile::write(PhysReg reg, std::uint64_t value, bool poisoned,
+                   bool off_chip)
+{
+    check(reg);
+    Reg &r = regs_[reg];
+    r.value = value;
+    r.ready = true;
+    r.poisoned = poisoned;
+    r.offChip = off_chip;
+}
+
+void
+PhysRegFile::markPending(PhysReg reg)
+{
+    check(reg);
+    regs_[reg].ready = false;
+}
+
+void
+PhysRegFile::setPoisoned(PhysReg reg, bool poisoned)
+{
+    check(reg);
+    regs_[reg].poisoned = poisoned;
+}
+
+void
+PhysRegFile::resetAll()
+{
+    freeList_.clear();
+    for (int i = static_cast<int>(regs_.size()) - 1; i >= 0; --i) {
+        regs_[i] = Reg{};
+        freeList_.push_back(static_cast<PhysReg>(i));
+    }
+}
+
+Rat::Rat()
+{
+    map_.fill(kNoPhysReg);
+}
+
+PhysReg
+Rat::map(ArchReg reg) const
+{
+    if (reg >= kNumArchRegs)
+        panic("Rat: bad arch register %d", (int)reg);
+    return map_[reg];
+}
+
+void
+Rat::setMap(ArchReg reg, PhysReg phys)
+{
+    if (reg >= kNumArchRegs)
+        panic("Rat: bad arch register %d", (int)reg);
+    map_[reg] = phys;
+}
+
+void
+Rat::restore(const std::array<PhysReg, kNumArchRegs> &snapshot)
+{
+    map_ = snapshot;
+}
+
+} // namespace rab

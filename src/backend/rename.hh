@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Register rename machinery: physical register file (with poison bits,
+ * as traditional runahead requires), free list, and register alias
+ * table with checkpoint support.
+ */
+
+#ifndef RAB_BACKEND_RENAME_HH
+#define RAB_BACKEND_RENAME_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/program.hh"
+#include "stats/stats.hh"
+
+namespace rab
+{
+
+/** Physical register file with ready/poison/provenance bits. */
+class PhysRegFile
+{
+  public:
+    explicit PhysRegFile(int num_regs);
+
+    int size() const { return static_cast<int>(regs_.size()); }
+    int freeCount() const { return static_cast<int>(freeList_.size()); }
+
+    /** Allocate a register; panics when the free list is empty. */
+    PhysReg alloc();
+    bool canAlloc() const { return !freeList_.empty(); }
+
+    /** Return a register to the free list. */
+    void free(PhysReg reg);
+
+    /** @{ Value / status access. */
+    std::uint64_t value(PhysReg reg) const;
+    bool ready(PhysReg reg) const;
+    bool poisoned(PhysReg reg) const;
+    bool offChip(PhysReg reg) const;
+
+    /** Write a computed value and mark the register ready. */
+    void write(PhysReg reg, std::uint64_t value, bool poisoned,
+               bool off_chip);
+
+    /** Mark not-ready (at rename of the producing uop). */
+    void markPending(PhysReg reg);
+
+    /** Directly set the poison bit (runahead entry poisons the
+     *  blocking load's destination). */
+    void setPoisoned(PhysReg reg, bool poisoned);
+    /** @} */
+
+    /** Free every register (used on full-pipeline flushes such as
+     *  runahead exit; the core re-allocates the architectural set). */
+    void resetAll();
+
+  private:
+    struct Reg
+    {
+        std::uint64_t value = 0;
+        bool ready = true;
+        bool poisoned = false;
+        bool offChip = false;
+        bool allocated = false;
+    };
+
+    void check(PhysReg reg) const;
+
+    std::vector<Reg> regs_;
+    std::vector<PhysReg> freeList_;
+};
+
+/** Architectural-register → physical-register map with checkpoints. */
+class Rat
+{
+  public:
+    Rat();
+
+    PhysReg map(ArchReg reg) const;
+    void setMap(ArchReg reg, PhysReg phys);
+
+    /** Full table snapshot (cheap: kNumArchRegs entries). */
+    std::array<PhysReg, kNumArchRegs> snapshot() const { return map_; }
+    void restore(const std::array<PhysReg, kNumArchRegs> &snapshot);
+
+  private:
+    std::array<PhysReg, kNumArchRegs> map_;
+};
+
+/**
+ * Architectural checkpoint taken at runahead entry: per-arch-reg value,
+ * poison state discarded (registers are clean at a commit boundary).
+ */
+struct ArchCheckpoint
+{
+    std::array<std::uint64_t, kNumArchRegs> values{};
+    std::uint64_t branchHistory = 0;
+    std::vector<Pc> ras;
+    Pc resumePc = 0;
+    bool valid = false;
+};
+
+} // namespace rab
+
+#endif // RAB_BACKEND_RENAME_HH

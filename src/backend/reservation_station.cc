@@ -1,0 +1,86 @@
+#include "backend/reservation_station.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace rab
+{
+
+ReservationStation::ReservationStation(int capacity)
+    : capacity_(capacity)
+{
+    if (capacity <= 0)
+        fatal("ReservationStation: bad capacity %d", capacity);
+    entries_.assign(capacity, Entry{});
+}
+
+void
+ReservationStation::insert(int rob_slot, SeqNum seq)
+{
+    if (full())
+        panic("ReservationStation: insert when full");
+    for (Entry &e : entries_) {
+        if (!e.valid) {
+            e.valid = true;
+            e.robSlot = rob_slot;
+            e.seq = seq;
+            ++size_;
+            ++inserts;
+            return;
+        }
+    }
+    panic("ReservationStation: inconsistent size");
+}
+
+std::vector<int>
+ReservationStation::selectReady(const Rob &rob, const PhysRegFile &prf,
+                                int width)
+{
+    // Gather ready entries, oldest first.
+    std::vector<Entry *> ready;
+    for (Entry &e : entries_) {
+        if (!e.valid)
+            continue;
+        const DynUop &uop = rob.slot(e.robSlot);
+        const bool s1_ok =
+            uop.psrc1 == kNoPhysReg || prf.ready(uop.psrc1);
+        const bool s2_ok =
+            uop.psrc2 == kNoPhysReg || prf.ready(uop.psrc2);
+        ++wakeups;
+        if (s1_ok && s2_ok)
+            ready.push_back(&e);
+    }
+    std::sort(ready.begin(), ready.end(),
+              [](const Entry *a, const Entry *b) { return a->seq < b->seq; });
+
+    std::vector<int> selected;
+    for (Entry *e : ready) {
+        if (static_cast<int>(selected.size()) >= width)
+            break;
+        selected.push_back(e->robSlot);
+        e->valid = false;
+        --size_;
+    }
+    return selected;
+}
+
+void
+ReservationStation::squashAfter(SeqNum seq)
+{
+    for (Entry &e : entries_) {
+        if (e.valid && e.seq > seq) {
+            e.valid = false;
+            --size_;
+        }
+    }
+}
+
+void
+ReservationStation::clear()
+{
+    entries_.assign(capacity_, Entry{});
+    size_ = 0;
+}
+
+} // namespace rab

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reservation station: a 92-entry (Table 1) unified scheduler window.
+ *
+ * Entries reference ROB slots. Wakeup is evaluated against the physical
+ * register file's ready bits; select picks the oldest ready entries up
+ * to the issue width each cycle.
+ */
+
+#ifndef RAB_BACKEND_RESERVATION_STATION_HH
+#define RAB_BACKEND_RESERVATION_STATION_HH
+
+#include <vector>
+
+#include "backend/rename.hh"
+#include "backend/rob.hh"
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace rab
+{
+
+/** The unified reservation station. */
+class ReservationStation
+{
+  public:
+    explicit ReservationStation(int capacity);
+
+    int capacity() const { return capacity_; }
+    int size() const { return size_; }
+    bool full() const { return size_ == capacity_; }
+
+    /** Insert the uop in @p rob_slot. */
+    void insert(int rob_slot, SeqNum seq);
+
+    /**
+     * Select up to @p width oldest entries whose sources are ready in
+     * @p prf (poisoned sources count as ready — poison propagates at
+     * execute). Selected entries are removed. Returns ROB slots.
+     */
+    std::vector<int> selectReady(const Rob &rob, const PhysRegFile &prf,
+                                 int width);
+
+    /** Remove every entry younger than @p seq (squash). */
+    void squashAfter(SeqNum seq);
+
+    /** Remove all entries. */
+    void clear();
+
+    /** Re-insert a uop whose memory access was rejected (retry). */
+    void reinsert(int rob_slot, SeqNum seq) { insert(rob_slot, seq); }
+
+    /** @{ Statistics. */
+    Counter inserts;
+    Counter wakeups; ///< Source-ready checks that fired (energy events).
+    /** @} */
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        int robSlot = -1;
+        SeqNum seq = kNoSeqNum;
+    };
+
+    int capacity_;
+    int size_ = 0;
+    std::vector<Entry> entries_;
+};
+
+} // namespace rab
+
+#endif // RAB_BACKEND_RESERVATION_STATION_HH

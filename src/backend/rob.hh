@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Reorder buffer: a fixed-capacity circular buffer of DynUops.
+ *
+ * Slots are *physical* indices that stay stable while an entry is live,
+ * so the RS, store queue and writeback queue can reference entries
+ * safely across head pops. The runahead buffer's dependence-chain
+ * generator searches the ROB with PC and destination-register CAMs;
+ * those searches are linear scans here (findYoungestByPc /
+ * findProducer), with their cycle costs modelled by the caller.
+ */
+
+#ifndef RAB_BACKEND_ROB_HH
+#define RAB_BACKEND_ROB_HH
+
+#include <vector>
+
+#include "backend/dyn_uop.hh"
+#include "common/types.hh"
+
+namespace rab
+{
+
+/** The reorder buffer. */
+class Rob
+{
+  public:
+    explicit Rob(int capacity);
+
+    int capacity() const { return capacity_; }
+    int size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ == capacity_; }
+
+    /** Append at the tail; returns the physical slot. */
+    int push(DynUop &&uop);
+
+    /** Oldest entry. */
+    DynUop &head();
+    const DynUop &head() const;
+    int headSlot() const { return head_; }
+
+    /** Retire the oldest entry. */
+    void popHead();
+
+    /** Youngest entry's physical slot (-1 when empty). */
+    int tailSlot() const;
+
+    /** Remove the youngest entry (squash). */
+    void popTail();
+
+    /** Access by physical slot. */
+    DynUop &slot(int phys_slot);
+    const DynUop &slot(int phys_slot) const;
+
+    /** True if @p phys_slot currently holds a live entry with @p seq. */
+    bool validSlot(int phys_slot, SeqNum seq) const;
+
+    /** Logical index (0 = oldest) → physical slot. */
+    int logicalToSlot(int logical) const;
+
+    /**
+     * PC CAM: find the *oldest* live entry with @p pc that is younger
+     * than @p after_seq. Returns -1 when absent. Used by chain
+     * generation ("add oldest matching op to DC").
+     */
+    int findOldestByPc(Pc pc, SeqNum after_seq) const;
+
+    /**
+     * Destination-register CAM: youngest entry older than @p before_seq
+     * whose architectural destination is @p reg. Returns -1.
+     */
+    int findProducer(ArchReg reg, SeqNum before_seq) const;
+
+    void clear();
+
+  private:
+    bool liveSlot(int phys_slot) const;
+
+    int capacity_;
+    int head_ = 0;
+    int size_ = 0;
+    std::vector<DynUop> entries_;
+    std::vector<bool> live_;
+};
+
+} // namespace rab
+
+#endif // RAB_BACKEND_ROB_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Minimal gem5-style logging: panic() for simulator bugs, fatal() for
+ * user configuration errors, warn()/inform() for status messages.
+ */
+
+#ifndef RAB_COMMON_LOGGING_HH
+#define RAB_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace rab
+{
+
+/** Abort the simulation: something happened that indicates a bug. */
+[[noreturn]] void panic(const char *fmt, ...);
+
+/** Exit with an error: the user supplied an invalid configuration. */
+[[noreturn]] void fatal(const char *fmt, ...);
+
+/** Print a warning to stderr; simulation continues. */
+void warn(const char *fmt, ...);
+
+/** Print an informational message to stderr; simulation continues. */
+void inform(const char *fmt, ...);
+
+/** Toggle inform() output (benchmarks silence it). */
+void setVerbose(bool verbose);
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...);
+
+} // namespace rab
+
+#endif // RAB_COMMON_LOGGING_HH

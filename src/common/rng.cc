@@ -1,0 +1,49 @@
+#include "common/rng.hh"
+
+#include "common/logging.hh"
+
+namespace rab
+{
+
+Rng::Rng(std::uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+Rng::seed(std::uint64_t seed_value)
+{
+    state_ = seed_value ? seed_value : 0x9e3779b97f4a7c15ull;
+}
+
+std::uint64_t
+Rng::next()
+{
+    // xorshift64* (Vigna). Full 2^64-1 period over non-zero states.
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dull;
+}
+
+std::uint64_t
+Rng::range(std::uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::range called with zero bound");
+    return next() % bound;
+}
+
+double
+Rng::uniform()
+{
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+} // namespace rab

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Deterministic xorshift64* random number generator.
+ *
+ * All simulator randomness (workload data layouts, branch outcomes,
+ * hash-walk patterns) flows through this generator so that identical
+ * configurations produce bit-identical simulations.
+ */
+
+#ifndef RAB_COMMON_RNG_HH
+#define RAB_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace rab
+{
+
+/** Seedable xorshift64* PRNG. Cheap, deterministic, decent quality. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). bound must be non-zero. */
+    std::uint64_t range(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool chance(double p);
+
+    /** Reseed the generator. A zero seed is remapped to a constant. */
+    void seed(std::uint64_t seed);
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace rab
+
+#endif // RAB_COMMON_RNG_HH

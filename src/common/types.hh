@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef RAB_COMMON_TYPES_HH
+#define RAB_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace rab
+{
+
+/** Simulated core clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Byte address in the simulated 64-bit address space. */
+using Addr = std::uint64_t;
+
+/** Program counter. PCs index uops in a workload program. */
+using Pc = std::uint64_t;
+
+/** Architectural register identifier. */
+using ArchReg = std::uint16_t;
+
+/** Physical register identifier. */
+using PhysReg = std::uint16_t;
+
+/** Sequence number assigned to each dynamic uop in fetch order. */
+using SeqNum = std::uint64_t;
+
+/** Sentinel for "no register". */
+inline constexpr ArchReg kNoArchReg = std::numeric_limits<ArchReg>::max();
+inline constexpr PhysReg kNoPhysReg = std::numeric_limits<PhysReg>::max();
+
+/** Sentinel for "no sequence number / invalid". */
+inline constexpr SeqNum kNoSeqNum = std::numeric_limits<SeqNum>::max();
+
+/** Sentinel invalid address. */
+inline constexpr Addr kNoAddr = std::numeric_limits<Addr>::max();
+
+} // namespace rab
+
+#endif // RAB_COMMON_TYPES_HH

@@ -1,0 +1,154 @@
+#include "core/experiment.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace rab
+{
+
+namespace
+{
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(value, &end, 10);
+    if (end == value) {
+        warn("ignoring unparsable %s='%s'", name, value);
+        return fallback;
+    }
+    return parsed;
+}
+
+} // namespace
+
+BenchOptions
+BenchOptions::fromEnv(std::uint64_t default_instructions,
+                      std::uint64_t default_warmup)
+{
+    BenchOptions options;
+    options.instructions = envU64("RAB_INSTRUCTIONS",
+                                  default_instructions);
+    options.warmup = envU64("RAB_WARMUP", default_warmup);
+    if (const char *list = std::getenv("RAB_WORKLOADS")) {
+        std::stringstream ss(list);
+        std::string item;
+        while (std::getline(ss, item, ',')) {
+            if (!item.empty())
+                options.workloadFilter.push_back(item);
+        }
+    }
+    return options;
+}
+
+std::vector<WorkloadSpec>
+selectWorkloads(const std::vector<WorkloadSpec> &base,
+                const std::vector<std::string> &filter)
+{
+    if (filter.empty())
+        return base;
+    std::vector<WorkloadSpec> selected;
+    for (const WorkloadSpec &spec : base) {
+        if (std::find(filter.begin(), filter.end(), spec.params.name)
+                != filter.end()) {
+            selected.push_back(spec);
+        }
+    }
+    return selected;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (const double v : values)
+        log_sum += std::log(std::max(v, 1e-12));
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+geomeanSpeedup(const std::vector<double> &speedups)
+{
+    if (speedups.empty())
+        return 0.0;
+    std::vector<double> ratios;
+    ratios.reserve(speedups.size());
+    for (const double s : speedups)
+        ratios.push_back(1.0 + s);
+    return geomean(ratios) - 1.0;
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        panic("TextTable: row has %zu cells, expected %zu", cells.size(),
+              headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::toString() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+        widths[i] = headers_[i].size();
+    for (const auto &row : rows_) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+
+    std::ostringstream os;
+    const auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << row[i];
+            if (i + 1 < row.size()) {
+                os << std::string(widths[i] - row[i].size() + 2, ' ');
+            }
+        }
+        os << "\n";
+    };
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (const std::size_t w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(toString().c_str(), stdout);
+}
+
+SimResult
+runCell(const WorkloadSpec &spec, RunaheadConfig config, bool prefetch,
+        const BenchOptions &options)
+{
+    SimConfig sim_config = makeConfig(config, prefetch);
+    sim_config.instructions = options.instructions;
+    sim_config.warmupInstructions = options.warmup;
+    Simulation sim(sim_config, buildWorkload(spec.params));
+    return sim.run();
+}
+
+} // namespace rab

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Experiment harness helpers shared by the bench binaries: environment
+ * driven run sizing (RAB_INSTRUCTIONS / RAB_WARMUP / RAB_WORKLOADS),
+ * workload selection, geometric means, and aligned text tables that
+ * print each figure's rows.
+ */
+
+#ifndef RAB_CORE_EXPERIMENT_HH
+#define RAB_CORE_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hh"
+#include "workloads/suite.hh"
+
+namespace rab
+{
+
+/** Run sizing, overridable from the environment. */
+struct BenchOptions
+{
+    std::uint64_t instructions = 60'000;
+    std::uint64_t warmup = 15'000;
+    std::vector<std::string> workloadFilter; ///< Empty: keep all.
+
+    /**
+     * Read RAB_INSTRUCTIONS, RAB_WARMUP and RAB_WORKLOADS (comma list)
+     * from the environment, falling back to the given defaults.
+     */
+    static BenchOptions fromEnv(std::uint64_t default_instructions = 60'000,
+                                std::uint64_t default_warmup = 15'000);
+};
+
+/** Apply the name filter (empty filter keeps everything). */
+std::vector<WorkloadSpec>
+selectWorkloads(const std::vector<WorkloadSpec> &base,
+                const std::vector<std::string> &filter);
+
+/** Geometric mean of (1 + x) ratios, returned as a ratio - 1.
+ *  Matches the paper's "GMean" of percentage speedups. */
+double geomeanSpeedup(const std::vector<double> &speedups);
+
+/** Plain geometric mean of positive values. */
+double geomean(const std::vector<double> &values);
+
+/** Aligned monospace table printer. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    std::string toString() const;
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Run one (workload, config, prefetch) cell with bench sizing. */
+SimResult runCell(const WorkloadSpec &spec, RunaheadConfig config,
+                  bool prefetch, const BenchOptions &options);
+
+} // namespace rab
+
+#endif // RAB_CORE_EXPERIMENT_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Top-level simulation configuration: the Table 1 system plus the named
+ * runahead configurations the paper evaluates.
+ */
+
+#ifndef RAB_CORE_SIM_CONFIG_HH
+#define RAB_CORE_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "backend/core.hh"
+#include "energy/energy_model.hh"
+#include "memory/memory_system.hh"
+
+namespace rab
+{
+
+/** The runahead systems evaluated in Section 6. */
+enum class RunaheadConfig
+{
+    kBaseline,         ///< No runahead.
+    kRunahead,         ///< Traditional runahead (performance-optimised).
+    kRunaheadEnhanced, ///< Traditional + Section 4.6 enhancements.
+    kRunaheadBuffer,   ///< Runahead buffer only.
+    kRunaheadBufferCC, ///< Runahead buffer + chain cache.
+    kHybrid,           ///< Fig. 8 hybrid policy.
+};
+
+const char *runaheadConfigName(RunaheadConfig config);
+
+/** Complete simulation configuration. */
+struct SimConfig
+{
+    CoreConfig core{};
+    MemSysConfig mem{};
+    EnergyCoefficients energy{};
+
+    RunaheadConfig runahead = RunaheadConfig::kBaseline;
+    bool prefetch = false; ///< Enable the Table 1 stream prefetcher.
+
+    std::uint64_t warmupInstructions = 20'000;
+    std::uint64_t instructions = 100'000;
+    std::uint64_t maxCycles = 400'000'000;
+
+    /** Propagate the runahead/prefetch selections into the component
+     *  configs. Call before constructing a Simulation. */
+    void finalize();
+
+    /** Human-readable Table 1-style configuration summary. */
+    std::string table1String() const;
+};
+
+/** The paper's Table 1 system with a given runahead config. */
+SimConfig makeConfig(RunaheadConfig runahead, bool prefetch);
+
+} // namespace rab
+
+#endif // RAB_CORE_SIM_CONFIG_HH

@@ -1,0 +1,105 @@
+#include "core/simulation.hh"
+
+#include "common/logging.hh"
+#include "workloads/suite.hh"
+
+namespace rab
+{
+
+std::string
+SimResult::toString() const
+{
+    return strprintf(
+        "%s/%s%s: %llu instrs, %llu cycles, IPC %.3f, MPKI %.2f, "
+        "stall %.1f%%, RA intervals %llu, MLP/interval %.2f, "
+        "energy %.6f J",
+        workload.c_str(), runaheadConfigName(config),
+        prefetch ? "+PF" : "", (unsigned long long)instructions,
+        (unsigned long long)cycles, ipc, mpki, memStallFraction * 100.0,
+        (unsigned long long)runaheadIntervals, missesPerInterval,
+        energy.totalJ);
+}
+
+Simulation::Simulation(const SimConfig &config, Program program)
+    : config_(config), program_(std::move(program))
+{
+    mem_ = std::make_unique<MemorySystem>(config_.mem);
+    core_ = std::make_unique<Core>(config_.core, &program_, mem_.get());
+}
+
+SimResult
+Simulation::run()
+{
+    // Warmup: fills caches, trains the branch predictor and the
+    // prefetcher; then reset every counter so the measured region is
+    // clean.
+    if (config_.warmupInstructions > 0) {
+        core_->run(config_.warmupInstructions, config_.maxCycles);
+        core_->stats().resetCounters();
+        mem_->stats().resetCounters();
+    }
+
+    const Cycle start_cycle = core_->cycle();
+    core_->run(config_.instructions, config_.maxCycles);
+    const Cycle cycles = core_->cycle() - start_cycle;
+
+    SimResult r;
+    r.workload = program_.name();
+    r.config = config_.runahead;
+    r.prefetch = config_.prefetch;
+    r.instructions = core_->committedUops.value();
+    r.cycles = cycles;
+    r.ipc = cycles == 0 ? 0.0
+        : static_cast<double>(r.instructions)
+            / static_cast<double>(cycles);
+    r.mpki = r.instructions == 0 ? 0.0
+        : 1000.0 * static_cast<double>(mem_->llcDemandMisses.value())
+            / static_cast<double>(r.instructions);
+    r.memStallFraction = cycles == 0 ? 0.0
+        : static_cast<double>(core_->memStallCycles.value())
+            / static_cast<double>(cycles);
+    r.fig2OnChipFraction = core_->fig2MissTotal.value() == 0 ? 0.0
+        : static_cast<double>(core_->fig2MissSrcOnChip.value())
+            / static_cast<double>(core_->fig2MissTotal.value());
+
+    const ChainAnalysis &ca = core_->chainAnalysis();
+    r.necessaryFraction = ca.necessaryFraction();
+    r.repeatedFraction = ca.repeatedFraction();
+    r.avgChainLength = ca.averageChainLength();
+
+    RunaheadController &ra = core_->runahead();
+    r.missesPerInterval = ra.missesPerInterval();
+    r.bufferCycleFraction = cycles == 0 ? 0.0
+        : static_cast<double>(ra.cyclesBuffer.value())
+            / static_cast<double>(cycles);
+    const std::uint64_t cc_lookups =
+        ra.chainCache().hits.value() + ra.chainCache().misses.value();
+    r.chainCacheHitRate = cc_lookups == 0 ? 0.0
+        : static_cast<double>(ra.chainCache().hits.value())
+            / static_cast<double>(cc_lookups);
+    r.chainCacheExactRate = ra.chainCacheCheckedHits.value() == 0 ? 0.0
+        : static_cast<double>(ra.chainCacheExactHits.value())
+            / static_cast<double>(ra.chainCacheCheckedHits.value());
+    r.hybridBufferFraction = ra.bufferCycleFraction();
+    r.runaheadIntervals = ra.intervals.value();
+    r.dramRequests = mem_->dramRequests();
+
+    const EnergyModel energy_model(config_.energy);
+    r.energy = energy_model.compute(*core_, cycles);
+    return r;
+}
+
+SimResult
+simulateWorkload(const std::string &workload_name,
+                 RunaheadConfig runahead, bool prefetch,
+                 std::uint64_t instructions,
+                 std::uint64_t warmup_instructions)
+{
+    SimConfig config = makeConfig(runahead, prefetch);
+    config.instructions = instructions;
+    config.warmupInstructions = warmup_instructions;
+    Simulation sim(config, buildSuiteWorkload(workload_name));
+    return sim.run();
+}
+
+} // namespace rab

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Simulation: owns one program + memory system + core, runs warmup and
+ * a measured region, and extracts the metrics every figure in the
+ * paper's evaluation needs.
+ *
+ * This is the library's primary entry point:
+ * @code
+ *   SimConfig config = makeConfig(RunaheadConfig::kHybrid, true);
+ *   Simulation sim(config, buildSuiteWorkload("mcf"));
+ *   SimResult result = sim.run();
+ * @endcode
+ */
+
+#ifndef RAB_CORE_SIMULATION_HH
+#define RAB_CORE_SIMULATION_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "backend/core.hh"
+#include "core/sim_config.hh"
+#include "energy/energy_model.hh"
+#include "isa/program.hh"
+#include "memory/memory_system.hh"
+
+namespace rab
+{
+
+/** Everything a finished simulation reports. */
+struct SimResult
+{
+    std::string workload;
+    RunaheadConfig config = RunaheadConfig::kBaseline;
+    bool prefetch = false;
+
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    double ipc = 0;
+
+    double mpki = 0;              ///< Demand LLC misses / kilo-uop.
+    double memStallFraction = 0;  ///< Fig. 1.
+    double fig2OnChipFraction = 0;///< Fig. 2.
+
+    double necessaryFraction = 0; ///< Fig. 3.
+    double repeatedFraction = 0;  ///< Fig. 4.
+    double avgChainLength = 0;    ///< Fig. 5.
+
+    double missesPerInterval = 0; ///< Fig. 10.
+    double bufferCycleFraction = 0; ///< Fig. 11 (of total cycles).
+    double chainCacheHitRate = 0; ///< Fig. 12.
+    double chainCacheExactRate = 0; ///< Fig. 13.
+    double hybridBufferFraction = 0; ///< Fig. 14 (of runahead cycles).
+
+    std::uint64_t dramRequests = 0; ///< Fig. 16.
+    std::uint64_t runaheadIntervals = 0;
+
+    EnergyBreakdown energy; ///< Figs. 17/18.
+
+    std::string toString() const;
+};
+
+/** One simulation run. */
+class Simulation
+{
+  public:
+    /** @p config must be finalize()d. */
+    Simulation(const SimConfig &config, Program program);
+
+    /** Run warmup + measured region and collect the result. */
+    SimResult run();
+
+    Core &core() { return *core_; }
+    MemorySystem &memory() { return *mem_; }
+    const Program &program() const { return program_; }
+
+  private:
+    SimConfig config_;
+    Program program_;
+    std::unique_ptr<MemorySystem> mem_;
+    std::unique_ptr<Core> core_;
+};
+
+/** Convenience: build + finalize + run in one call. */
+SimResult simulateWorkload(const std::string &workload_name,
+                           RunaheadConfig runahead, bool prefetch,
+                           std::uint64_t instructions,
+                           std::uint64_t warmup_instructions);
+
+} // namespace rab
+
+#endif // RAB_CORE_SIMULATION_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Hybrid branch predictor: bimodal + gshare with a chooser table, a
+ * branch target buffer, and a return address stack (Table 1's "Hybrid
+ * Branch Predictor"). Our ISA has direct branches only, so the BTB's
+ * role is detecting "never seen" branches (predicted not-taken) and the
+ * RAS exists for checkpoint-interface completeness.
+ */
+
+#ifndef RAB_FRONTEND_BRANCH_PREDICTOR_HH
+#define RAB_FRONTEND_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace rab
+{
+
+/** Predictor configuration. */
+struct BranchPredictorConfig
+{
+    int historyBits = 12;
+    int bimodalEntries = 4096;  ///< Power of two.
+    int gshareEntries = 4096;   ///< Power of two.
+    int chooserEntries = 4096;  ///< Power of two.
+    int btbEntries = 1024;      ///< Power of two, direct-mapped.
+    int rasEntries = 16;
+};
+
+/** Direction + target prediction. */
+struct BranchPrediction
+{
+    bool taken = false;
+    Pc target = 0;
+    bool btbHit = false;
+};
+
+/** The hybrid predictor. */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BranchPredictorConfig &config);
+
+    /**
+     * Predict a conditional branch at @p pc and speculatively update
+     * the global history with the prediction.
+     */
+    BranchPrediction predictBranch(Pc pc);
+
+    /** Look up the BTB for an unconditional jump. */
+    BranchPrediction predictJump(Pc pc);
+
+    /**
+     * Train tables with the resolved outcome and install the target in
+     * the BTB when taken.
+     *
+     * @param history the global history value the prediction was made
+     *        with (DynUop::historySnapshot).
+     */
+    void update(Pc pc, bool taken, Pc target, std::uint64_t history);
+
+    /** Current speculative global history register. */
+    std::uint64_t history() const { return history_; }
+
+    /** Restore the history register (squash / runahead exit). */
+    void setHistory(std::uint64_t history);
+
+    /** @{ Return address stack (checkpointed by runahead). */
+    void rasPush(Pc ret);
+    Pc rasPop();
+    std::vector<Pc> rasSnapshot() const { return ras_; }
+    void rasRestore(const std::vector<Pc> &snapshot) { ras_ = snapshot; }
+    /** @} */
+
+    /** @{ Statistics. */
+    Counter lookups;
+    Counter mispredicts;
+    /** @} */
+
+    void regStats(StatGroup *parent);
+
+  private:
+    int bimodalIndex(Pc pc) const;
+    int gshareIndex(Pc pc, std::uint64_t history) const;
+    int chooserIndex(Pc pc) const;
+    int btbIndex(Pc pc) const;
+
+    static bool counterTaken(std::uint8_t ctr) { return ctr >= 2; }
+    static void counterTrain(std::uint8_t &ctr, bool taken);
+
+    BranchPredictorConfig config_;
+    std::uint64_t historyMask_;
+    std::uint64_t history_ = 0;
+    std::vector<std::uint8_t> bimodal_;  ///< 2-bit saturating counters.
+    std::vector<std::uint8_t> gshare_;
+    std::vector<std::uint8_t> chooser_;  ///< 2+ favours gshare.
+    struct BtbEntry { bool valid = false; Pc pc = 0; Pc target = 0; };
+    std::vector<BtbEntry> btb_;
+    std::vector<Pc> ras_;
+    StatGroup statGroup_;
+};
+
+} // namespace rab
+
+#endif // RAB_FRONTEND_BRANCH_PREDICTOR_HH

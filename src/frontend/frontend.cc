@@ -1,0 +1,140 @@
+#include "frontend/frontend.hh"
+
+#include "common/logging.hh"
+
+namespace rab
+{
+
+Frontend::Frontend(const FrontendConfig &config, const Program *program,
+                   BranchPredictor *bp, MemorySystem *mem)
+    : config_(config), program_(program), bp_(bp), mem_(mem),
+      statGroup_("frontend")
+{
+    if (!program_ || program_->empty())
+        fatal("frontend: empty program");
+}
+
+void
+Frontend::tick(Cycle now)
+{
+    if (gated_) {
+        ++gatedCycles;
+        return;
+    }
+    if (now < stalledUntil_) {
+        ++idleCycles;
+        ++icacheStallCycles;
+        return;
+    }
+
+    int fetched = 0;
+    for (int slot = 0; slot < config_.fetchWidth; ++slot) {
+        if (queue_.size()
+                >= static_cast<std::size_t>(config_.fetchQueueEntries)) {
+            break;
+        }
+
+        // Model the I-cache access for the line holding this uop. A
+        // miss stalls fetch until the line arrives.
+        const Addr inst_addr = config_.instBase
+            + (fetchPc_ % program_->size()) * config_.uopBytes;
+        if (slot == 0 || (inst_addr % mem_->config().l1i.lineBytes) == 0) {
+            const AccessResult res =
+                mem_->access(AccessType::kInstFetch, inst_addr, now);
+            if (res.rejected) {
+                stalledUntil_ = now + 1;
+                break;
+            }
+            if (res.l1Miss) {
+                stalledUntil_ = res.readyCycle;
+                break;
+            }
+        }
+
+        FetchedUop fu;
+        fu.pc = fetchPc_ % program_->size();
+        fu.sop = program_->fetch(fetchPc_);
+        fu.historySnapshot = bp_->history();
+        fu.readyCycle = now + 1 + config_.decodeDepth;
+
+        Pc next_pc = fu.pc + 1;
+        bool taken = false;
+        if (fu.sop.op == Opcode::kBranch) {
+            const BranchPrediction pred = bp_->predictBranch(fu.pc);
+            fu.predTaken = pred.taken;
+            fu.predTarget = pred.taken ? pred.target : fu.pc + 1;
+            taken = pred.taken;
+            next_pc = fu.predTarget;
+        } else if (fu.sop.op == Opcode::kJump) {
+            // Direct jumps resolve in decode: target comes from the uop.
+            fu.predTaken = true;
+            fu.predTarget = fu.sop.target;
+            taken = true;
+            next_pc = fu.sop.target;
+        }
+
+        queue_.push_back(fu);
+        ++fetchedUops;
+        ++fetched;
+        fetchPc_ = next_pc % program_->size();
+
+        if (taken)
+            break; // At most one taken control transfer per fetch cycle.
+    }
+
+    if (fetched > 0)
+        ++activeCycles;
+    else
+        ++idleCycles;
+}
+
+bool
+Frontend::hasReady(Cycle now) const
+{
+    return !queue_.empty() && queue_.front().readyCycle <= now;
+}
+
+const FetchedUop &
+Frontend::peek() const
+{
+    if (queue_.empty())
+        panic("frontend: peek at empty queue");
+    return queue_.front();
+}
+
+FetchedUop
+Frontend::pop()
+{
+    if (queue_.empty())
+        panic("frontend: pop from empty queue");
+    FetchedUop fu = queue_.front();
+    queue_.pop_front();
+    return fu;
+}
+
+void
+Frontend::redirect(Pc pc, Cycle when)
+{
+    queue_.clear();
+    fetchPc_ = pc % program_->size();
+    stalledUntil_ = when;
+}
+
+void
+Frontend::regStats(StatGroup *parent)
+{
+    statGroup_.addCounter("fetched_uops", &fetchedUops,
+                          "uops fetched and decoded");
+    statGroup_.addCounter("active_cycles", &activeCycles,
+                          "cycles with fetch activity");
+    statGroup_.addCounter("gated_cycles", &gatedCycles,
+                          "cycles explicitly clock-gated");
+    statGroup_.addCounter("idle_cycles", &idleCycles,
+                          "cycles with no fetch work");
+    statGroup_.addCounter("icache_stall_cycles", &icacheStallCycles,
+                          "cycles stalled on the I-cache");
+    if (parent)
+        parent->addChild(&statGroup_);
+}
+
+} // namespace rab

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Front-end: fetch through the L1 I-cache following the branch
+ * predictor, plus a fixed-depth decode pipe feeding rename.
+ *
+ * The front-end is the structure the runahead buffer clock-gates: in
+ * buffer mode the core calls setGated(true) and the front-end performs
+ * no work and burns no dynamic energy, which is the paper's central
+ * energy mechanism.
+ */
+
+#ifndef RAB_FRONTEND_FRONTEND_HH
+#define RAB_FRONTEND_FRONTEND_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "common/types.hh"
+#include "frontend/branch_predictor.hh"
+#include "isa/program.hh"
+#include "memory/memory_system.hh"
+#include "stats/stats.hh"
+
+namespace rab
+{
+
+/** Front-end configuration. */
+struct FrontendConfig
+{
+    int fetchWidth = 4;
+    int decodeDepth = 2;        ///< Cycles between fetch and rename.
+    int fetchQueueEntries = 32; ///< Decoded-uop queue capacity.
+    int uopBytes = 8;           ///< Table 1: micro-op size 8 bytes.
+    Addr instBase = 0x4000000;  ///< Base byte address of code.
+};
+
+/** A fetched, decoded uop waiting for rename. */
+struct FetchedUop
+{
+    Pc pc = 0;
+    Uop sop;
+    bool predTaken = false;
+    Pc predTarget = 0;
+    std::uint64_t historySnapshot = 0;
+    Cycle readyCycle = 0; ///< Cycle it emerges from the decode pipe.
+};
+
+/** The fetch + decode front-end. */
+class Frontend
+{
+  public:
+    Frontend(const FrontendConfig &config, const Program *program,
+             BranchPredictor *bp, MemorySystem *mem);
+
+    /** Fetch up to fetchWidth uops this cycle. */
+    void tick(Cycle now);
+
+    /** True if a decoded uop is available to rename at @p now. */
+    bool hasReady(Cycle now) const;
+
+    /** Inspect the oldest decoded uop (must be hasReady()). */
+    const FetchedUop &peek() const;
+
+    /** Pop the oldest decoded uop (must be hasReady()). */
+    FetchedUop pop();
+
+    /** Squash everything fetched and restart at @p pc from @p when. */
+    void redirect(Pc pc, Cycle when);
+
+    /** Clock-gate (runahead buffer mode) or ungate the front-end. */
+    void setGated(bool gated) { gated_ = gated; }
+    bool gated() const { return gated_; }
+
+    Pc fetchPc() const { return fetchPc_; }
+
+    /** @{ Statistics / energy events. */
+    Counter fetchedUops;     ///< Uops fetched+decoded (dynamic energy).
+    Counter activeCycles;    ///< Cycles with fetch activity.
+    Counter gatedCycles;     ///< Cycles explicitly clock-gated.
+    Counter idleCycles;      ///< Cycles with no fetch work (queue full,
+                             ///< I-cache stall, redirect bubble).
+    Counter icacheStallCycles;
+    /** @} */
+
+    void regStats(StatGroup *parent);
+
+  private:
+    FrontendConfig config_;
+    const Program *program_;
+    BranchPredictor *bp_;
+    MemorySystem *mem_;
+
+    Pc fetchPc_ = 0;
+    bool gated_ = false;
+    Cycle stalledUntil_ = 0; ///< I-cache miss or redirect bubble.
+    std::deque<FetchedUop> queue_;
+    StatGroup statGroup_;
+};
+
+} // namespace rab
+
+#endif // RAB_FRONTEND_FRONTEND_HH

@@ -1,0 +1,78 @@
+#include "isa/functional.hh"
+
+#include "common/logging.hh"
+
+namespace rab
+{
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+FunctionalMemory::FunctionalMemory()
+    : background_([](Addr addr) { return mix64(addr); })
+{
+}
+
+std::uint64_t
+FunctionalMemory::read(Addr addr) const
+{
+    const Addr a = align(addr);
+    const auto it = mem_.find(a);
+    if (it != mem_.end())
+        return it->second;
+    return background_(a);
+}
+
+void
+FunctionalMemory::write(Addr addr, std::uint64_t value)
+{
+    mem_[align(addr)] = value;
+}
+
+void
+FunctionalMemory::setBackground(BackgroundFn fn)
+{
+    background_ = std::move(fn);
+}
+
+std::uint64_t
+evalAlu(const Uop &uop, std::uint64_t s1, std::uint64_t s2)
+{
+    const auto imm = static_cast<std::uint64_t>(uop.imm);
+    switch (uop.func) {
+      case AluFunc::kAdd: return s1 + s2 + imm;
+      case AluFunc::kSub: return s1 - s2 + imm;
+      case AluFunc::kAnd: return s1 & (s2 | imm);
+      case AluFunc::kOr:  return (s1 | s2) + imm;
+      case AluFunc::kXor: return s1 ^ s2 ^ imm;
+      case AluFunc::kShl: return s1 << (imm & 63);
+      case AluFunc::kShr: return s1 >> (imm & 63);
+      case AluFunc::kMix: return mix64(s1 ^ (s2 * 0x9e3779b97f4a7c15ull)
+                                       ^ imm);
+      case AluFunc::kMov: return s1 + imm;
+      case AluFunc::kLi:  return imm;
+    }
+    panic("evalAlu: bad func %d", static_cast<int>(uop.func));
+}
+
+bool
+evalBranch(const Uop &uop, std::uint64_t s1, std::uint64_t s2)
+{
+    switch (uop.cond) {
+      case BranchCond::kAlways: return true;
+      case BranchCond::kEqZ: return s1 == 0;
+      case BranchCond::kNeZ: return s1 != 0;
+      case BranchCond::kLtS:
+        return static_cast<std::int64_t>(s1) < static_cast<std::int64_t>(s2);
+      case BranchCond::kGeU: return s1 >= s2;
+    }
+    panic("evalBranch: bad cond %d", static_cast<int>(uop.cond));
+}
+
+} // namespace rab

@@ -1,0 +1,278 @@
+#include "isa/program.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace rab
+{
+
+const Uop &
+Program::fetch(Pc pc) const
+{
+    if (code_.empty())
+        panic("Program::fetch on empty program '%s'", name_.c_str());
+    return code_[pc % code_.size()];
+}
+
+std::uint64_t
+Program::initialReg(ArchReg reg) const
+{
+    const auto it = initialRegs_.find(reg);
+    return it == initialRegs_.end() ? 0 : it->second;
+}
+
+void
+Program::setInitialReg(ArchReg reg, std::uint64_t value)
+{
+    initialRegs_[reg] = value;
+}
+
+void
+Program::validate() const
+{
+    for (Pc pc = 0; pc < code_.size(); ++pc) {
+        const Uop &uop = code_[pc];
+        if (uop.isControl() && uop.target >= code_.size()) {
+            panic("program '%s': uop %llu targets out-of-range pc %llu",
+                  name_.c_str(), (unsigned long long)pc,
+                  (unsigned long long)uop.target);
+        }
+        const auto check_reg = [&](ArchReg r) {
+            if (r != kNoArchReg && r >= kNumArchRegs) {
+                panic("program '%s': uop %llu uses bad register %d",
+                      name_.c_str(), (unsigned long long)pc, (int)r);
+            }
+        };
+        check_reg(uop.dest);
+        check_reg(uop.src1);
+        check_reg(uop.src2);
+    }
+}
+
+std::string
+Program::disassemble() const
+{
+    std::ostringstream os;
+    for (Pc pc = 0; pc < code_.size(); ++pc)
+        os << pc << ":\t" << code_[pc].toString() << "\n";
+    return os.str();
+}
+
+ProgramBuilder::ProgramBuilder(std::string name)
+    : name_(std::move(name))
+{
+}
+
+ProgramBuilder::Label
+ProgramBuilder::label()
+{
+    labelPcs_.push_back(here());
+    return Label{static_cast<int>(labelPcs_.size()) - 1};
+}
+
+ProgramBuilder::Label
+ProgramBuilder::futureLabel()
+{
+    labelPcs_.push_back(static_cast<Pc>(kNoAddr));
+    return Label{static_cast<int>(labelPcs_.size()) - 1};
+}
+
+void
+ProgramBuilder::bind(Label label)
+{
+    labelPcs_.at(label.id) = here();
+}
+
+Pc
+ProgramBuilder::emit(Uop uop)
+{
+    code_.push_back(uop);
+    return code_.size() - 1;
+}
+
+Pc
+ProgramBuilder::nop()
+{
+    return emit(Uop{});
+}
+
+Pc
+ProgramBuilder::li(ArchReg dest, std::int64_t imm)
+{
+    Uop u;
+    u.op = Opcode::kIntAlu;
+    u.func = AluFunc::kLi;
+    u.dest = dest;
+    u.imm = imm;
+    return emit(u);
+}
+
+Pc
+ProgramBuilder::mov(ArchReg dest, ArchReg src, std::int64_t imm)
+{
+    Uop u;
+    u.op = Opcode::kIntAlu;
+    u.func = AluFunc::kMov;
+    u.dest = dest;
+    u.src1 = src;
+    u.imm = imm;
+    return emit(u);
+}
+
+Pc
+ProgramBuilder::alu(AluFunc func, ArchReg dest, ArchReg src1, ArchReg src2,
+                    std::int64_t imm)
+{
+    Uop u;
+    u.op = Opcode::kIntAlu;
+    u.func = func;
+    u.dest = dest;
+    u.src1 = src1;
+    u.src2 = src2;
+    u.imm = imm;
+    return emit(u);
+}
+
+Pc
+ProgramBuilder::add(ArchReg dest, ArchReg src1, ArchReg src2,
+                    std::int64_t imm)
+{
+    return alu(AluFunc::kAdd, dest, src1, src2, imm);
+}
+
+Pc
+ProgramBuilder::addi(ArchReg dest, ArchReg src, std::int64_t imm)
+{
+    Uop u;
+    u.op = Opcode::kIntAlu;
+    u.func = AluFunc::kMov;
+    u.dest = dest;
+    u.src1 = src;
+    u.imm = imm;
+    return emit(u);
+}
+
+Pc
+ProgramBuilder::mix(ArchReg dest, ArchReg src1, ArchReg src2,
+                    std::int64_t imm)
+{
+    return alu(AluFunc::kMix, dest, src1, src2, imm);
+}
+
+Pc
+ProgramBuilder::mul(ArchReg dest, ArchReg src1, ArchReg src2)
+{
+    Uop u;
+    u.op = Opcode::kIntMul;
+    u.func = AluFunc::kMix;
+    u.dest = dest;
+    u.src1 = src1;
+    u.src2 = src2;
+    return emit(u);
+}
+
+Pc
+ProgramBuilder::fpAlu(ArchReg dest, ArchReg src1, ArchReg src2)
+{
+    Uop u;
+    u.op = Opcode::kFpAlu;
+    u.func = AluFunc::kMix;
+    u.dest = dest;
+    u.src1 = src1;
+    u.src2 = src2;
+    return emit(u);
+}
+
+Pc
+ProgramBuilder::fpMul(ArchReg dest, ArchReg src1, ArchReg src2)
+{
+    Uop u;
+    u.op = Opcode::kFpMul;
+    u.func = AluFunc::kMix;
+    u.dest = dest;
+    u.src1 = src1;
+    u.src2 = src2;
+    return emit(u);
+}
+
+Pc
+ProgramBuilder::load(ArchReg dest, ArchReg base, std::int64_t offset)
+{
+    Uop u;
+    u.op = Opcode::kLoad;
+    u.dest = dest;
+    u.src1 = base;
+    u.imm = offset;
+    return emit(u);
+}
+
+Pc
+ProgramBuilder::store(ArchReg base, ArchReg data, std::int64_t offset)
+{
+    Uop u;
+    u.op = Opcode::kStore;
+    u.src1 = base;
+    u.src2 = data;
+    u.imm = offset;
+    return emit(u);
+}
+
+Pc
+ProgramBuilder::branch(BranchCond cond, ArchReg src1, ArchReg src2,
+                       Label target)
+{
+    Uop u;
+    u.op = Opcode::kBranch;
+    u.cond = cond;
+    u.src1 = src1;
+    u.src2 = src2;
+    const Pc pc = emit(u);
+    fixups_.emplace_back(pc, target.id);
+    return pc;
+}
+
+Pc
+ProgramBuilder::jump(Label target)
+{
+    Uop u;
+    u.op = Opcode::kJump;
+    u.cond = BranchCond::kAlways;
+    const Pc pc = emit(u);
+    fixups_.emplace_back(pc, target.id);
+    return pc;
+}
+
+void
+ProgramBuilder::initReg(ArchReg reg, std::uint64_t value)
+{
+    initialRegs_[reg] = value;
+}
+
+void
+ProgramBuilder::memoryImage(FunctionalMemory::BackgroundFn fn)
+{
+    memoryImage_ = std::move(fn);
+}
+
+Program
+ProgramBuilder::build()
+{
+    Program prog(name_);
+    for (const auto &[pc, label_id] : fixups_) {
+        const Pc target = labelPcs_.at(label_id);
+        if (target == static_cast<Pc>(kNoAddr))
+            fatal("program '%s': unbound label %d", name_.c_str(), label_id);
+        code_[pc].target = target;
+    }
+    for (const Uop &u : code_)
+        prog.append(u);
+    for (const auto &[reg, value] : initialRegs_)
+        prog.setInitialReg(reg, value);
+    if (memoryImage_)
+        prog.setMemoryImage(memoryImage_);
+    prog.validate();
+    return prog;
+}
+
+} // namespace rab

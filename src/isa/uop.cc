@@ -1,0 +1,85 @@
+#include "isa/uop.hh"
+
+#include "common/logging.hh"
+
+namespace rab
+{
+
+int
+Uop::numSrcs() const
+{
+    int n = 0;
+    if (src1 != kNoArchReg)
+        ++n;
+    if (src2 != kNoArchReg)
+        ++n;
+    return n;
+}
+
+int
+execLatency(Opcode op)
+{
+    switch (op) {
+      case Opcode::kNop:
+      case Opcode::kIntAlu:
+      case Opcode::kBranch:
+      case Opcode::kJump:
+        return 1;
+      case Opcode::kIntMul:
+        return 3;
+      case Opcode::kIntDiv:
+        return 18;
+      case Opcode::kFpAlu:
+        return 4;
+      case Opcode::kFpMul:
+        return 6;
+      case Opcode::kFpDiv:
+        return 24;
+      case Opcode::kLoad:
+      case Opcode::kStore:
+        return 1; // Address generation; memory latency is added on top.
+    }
+    panic("execLatency: bad opcode %d", static_cast<int>(op));
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::kNop: return "nop";
+      case Opcode::kIntAlu: return "alu";
+      case Opcode::kIntMul: return "mul";
+      case Opcode::kIntDiv: return "div";
+      case Opcode::kFpAlu: return "fadd";
+      case Opcode::kFpMul: return "fmul";
+      case Opcode::kFpDiv: return "fdiv";
+      case Opcode::kLoad: return "load";
+      case Opcode::kStore: return "store";
+      case Opcode::kBranch: return "br";
+      case Opcode::kJump: return "jmp";
+    }
+    return "?";
+}
+
+std::string
+Uop::toString() const
+{
+    switch (op) {
+      case Opcode::kLoad:
+        return strprintf("load r%d <- [r%d + %lld]", (int)dest, (int)src1,
+                         (long long)imm);
+      case Opcode::kStore:
+        return strprintf("store [r%d + %lld] <- r%d", (int)src1,
+                         (long long)imm, (int)src2);
+      case Opcode::kBranch:
+        return strprintf("br(c%d r%d,r%d) -> %llu", (int)cond, (int)src1,
+                         (int)src2, (unsigned long long)target);
+      case Opcode::kJump:
+        return strprintf("jmp -> %llu", (unsigned long long)target);
+      default:
+        return strprintf("%s r%d <- r%d, r%d, %lld", opcodeName(op),
+                         (int)dest, (int)src1, (int)src2, (long long)imm);
+    }
+}
+
+} // namespace rab

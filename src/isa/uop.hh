@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Static micro-operation (uop) definition.
+ *
+ * The simulator executes programs expressed directly as decoded uops for
+ * a small RISC-flavoured register machine: up to two source registers,
+ * one destination register, a sign-extended immediate, and a branch
+ * target. Memory uops compute the effective address as r[src1] + imm.
+ * This mirrors the post-decode representation the paper's runahead
+ * buffer stores (decoded x86 uops), without modelling x86 decode itself.
+ */
+
+#ifndef RAB_ISA_UOP_HH
+#define RAB_ISA_UOP_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace rab
+{
+
+/** Functional class of a uop; determines execution latency and port. */
+enum class Opcode : std::uint8_t
+{
+    kNop,    ///< No operation (still occupies pipeline slots).
+    kIntAlu, ///< Single-cycle integer ALU op (see AluFunc).
+    kIntMul, ///< Integer multiply.
+    kIntDiv, ///< Integer divide.
+    kFpAlu,  ///< FP add/sub class latency.
+    kFpMul,  ///< FP multiply class latency.
+    kFpDiv,  ///< FP divide class latency.
+    kLoad,   ///< dest = mem[r[src1] + imm]
+    kStore,  ///< mem[r[src1] + imm] = r[src2]
+    kBranch, ///< Conditional branch on r[src1] (vs r[src2] for kLtS).
+    kJump,   ///< Unconditional direct jump.
+};
+
+/** Arithmetic function for ALU-class uops. */
+enum class AluFunc : std::uint8_t
+{
+    kAdd, ///< dest = src1 + src2 + imm
+    kSub, ///< dest = src1 - src2 + imm
+    kAnd, ///< dest = src1 & (src2 | imm); with no src2 this is
+          ///< mask-with-immediate.
+    kOr,  ///< dest = (src1 | src2) + imm
+    kXor, ///< dest = src1 ^ src2 ^ imm
+    kShl, ///< dest = src1 << (imm & 63)
+    kShr, ///< dest = src1 >> (imm & 63)
+    kMix, ///< dest = hash(src1, src2, imm); data-diffusing op
+    kMov, ///< dest = src1 + imm
+    kLi,  ///< dest = imm
+};
+
+/** Branch condition, evaluated on register values. */
+enum class BranchCond : std::uint8_t
+{
+    kAlways, ///< Taken unconditionally.
+    kEqZ,    ///< Taken if r[src1] == 0.
+    kNeZ,    ///< Taken if r[src1] != 0.
+    kLtS,    ///< Taken if (signed)r[src1] < (signed)r[src2].
+    kGeU,    ///< Taken if r[src1] >= r[src2] (unsigned).
+};
+
+/** One static micro-operation in a program. */
+struct Uop
+{
+    Opcode op = Opcode::kNop;
+    AluFunc func = AluFunc::kAdd;
+    BranchCond cond = BranchCond::kAlways;
+
+    ArchReg dest = kNoArchReg;
+    ArchReg src1 = kNoArchReg;
+    ArchReg src2 = kNoArchReg;
+
+    std::int64_t imm = 0;
+
+    /** Taken-path target for kBranch/kJump (fall-through is pc + 1). */
+    Pc target = 0;
+
+    bool isLoad() const { return op == Opcode::kLoad; }
+    bool isStore() const { return op == Opcode::kStore; }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool isControl() const
+    {
+        return op == Opcode::kBranch || op == Opcode::kJump;
+    }
+    bool hasDest() const { return dest != kNoArchReg; }
+
+    /** Number of source registers actually read. */
+    int numSrcs() const;
+
+    /** Human-readable disassembly, e.g. "load r3 <- [r1 + 16]". */
+    std::string toString() const;
+};
+
+/** Execution latency in cycles for each opcode class. */
+int execLatency(Opcode op);
+
+/** Name string for an opcode. */
+const char *opcodeName(Opcode op);
+
+} // namespace rab
+
+#endif // RAB_ISA_UOP_HH

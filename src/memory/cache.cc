@@ -1,0 +1,183 @@
+#include "memory/cache.hh"
+
+#include <bit>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace rab
+{
+
+namespace
+{
+
+int
+log2Exact(std::uint64_t v, const char *what)
+{
+    if (v == 0 || (v & (v - 1)) != 0)
+        fatal("cache: %s (%llu) must be a power of two", what,
+              (unsigned long long)v);
+    return std::countr_zero(v);
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config), statGroup_(config.name)
+{
+    if (config_.associativity <= 0)
+        fatal("cache %s: bad associativity %d", config_.name.c_str(),
+              config_.associativity);
+    lineShift_ = log2Exact(config_.lineBytes, "line size");
+    const std::uint64_t lines = config_.sizeBytes / config_.lineBytes;
+    if (lines % config_.associativity != 0)
+        fatal("cache %s: size not divisible into %d ways",
+              config_.name.c_str(), config_.associativity);
+    numSets_ = static_cast<int>(lines / config_.associativity);
+    log2Exact(numSets_, "set count");
+    lines_.assign(lines, Line{});
+}
+
+std::size_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr >> lineShift_) & (numSets_ - 1);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> lineShift_;
+}
+
+CacheLookup
+Cache::access(Addr addr, bool is_write)
+{
+    const std::size_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines_[set * config_.associativity];
+    for (int way = 0; way < config_.associativity; ++way) {
+        Line &line = base[way];
+        if (line.valid && line.tag == tag) {
+            CacheLookup result;
+            result.hit = true;
+            result.wasPrefetched = line.prefetched;
+            line.prefetched = false;
+            line.lruStamp = ++lruCounter_;
+            if (is_write)
+                line.dirty = true;
+            ++hits;
+            return result;
+        }
+    }
+    ++misses;
+    return CacheLookup{};
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const std::size_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const Line *base = &lines_[set * config_.associativity];
+    for (int way = 0; way < config_.associativity; ++way) {
+        if (base[way].valid && base[way].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+Eviction
+Cache::insert(Addr addr, bool is_write, bool is_prefetch)
+{
+    const std::size_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines_[set * config_.associativity];
+
+    // Re-insertion of a resident line just updates state.
+    for (int way = 0; way < config_.associativity; ++way) {
+        Line &line = base[way];
+        if (line.valid && line.tag == tag) {
+            line.lruStamp = ++lruCounter_;
+            if (is_write)
+                line.dirty = true;
+            if (!is_prefetch)
+                line.prefetched = false;
+            return Eviction{};
+        }
+    }
+
+    // Pick an invalid way, else the LRU way.
+    int victim = 0;
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    for (int way = 0; way < config_.associativity; ++way) {
+        if (!base[way].valid) {
+            victim = way;
+            oldest = 0;
+            break;
+        }
+        if (base[way].lruStamp < oldest) {
+            oldest = base[way].lruStamp;
+            victim = way;
+        }
+    }
+
+    Eviction ev;
+    Line &line = base[victim];
+    if (line.valid) {
+        ev.valid = true;
+        ev.dirty = line.dirty;
+        ev.lineAddr = line.tag << lineShift_;
+        ev.prefetchUnused = line.prefetched;
+    }
+    line.valid = true;
+    line.dirty = is_write;
+    line.prefetched = is_prefetch;
+    line.tag = tag;
+    line.lruStamp = ++lruCounter_;
+    return ev;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    const std::size_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines_[set * config_.associativity];
+    for (int way = 0; way < config_.associativity; ++way) {
+        Line &line = base[way];
+        if (line.valid && line.tag == tag) {
+            line.valid = false;
+            return line.dirty;
+        }
+    }
+    return false;
+}
+
+std::uint64_t
+Cache::occupancy() const
+{
+    std::uint64_t count = 0;
+    for (const Line &line : lines_) {
+        if (line.valid)
+            ++count;
+    }
+    return count;
+}
+
+void
+Cache::flush()
+{
+    lines_.assign(lines_.size(), Line{});
+}
+
+void
+Cache::regStats(StatGroup *parent)
+{
+    statGroup_.addCounter("hits", &hits, "demand hits");
+    statGroup_.addCounter("misses", &misses, "demand misses");
+    if (parent)
+        parent->addChild(&statGroup_);
+}
+
+} // namespace rab

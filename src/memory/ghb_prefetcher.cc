@@ -1,0 +1,103 @@
+#include "memory/ghb_prefetcher.hh"
+
+#include "common/logging.hh"
+
+namespace rab
+{
+
+GhbPrefetcher::GhbPrefetcher(const GhbPrefetcherConfig &config,
+                             int line_bytes)
+    : config_(config), lineBytes_(line_bytes), statGroup_("ghb")
+{
+    if (config_.indexEntries <= 0
+        || (config_.indexEntries & (config_.indexEntries - 1)) != 0) {
+        fatal("ghb: index entries must be a power of two");
+    }
+    if (config_.historyEntries <= 0)
+        fatal("ghb: bad history size");
+    ghb_.assign(config_.historyEntries, GhbEntry{});
+    index_.assign(config_.indexEntries, IndexEntry{});
+}
+
+bool
+GhbPrefetcher::live(int idx, std::uint64_t gen) const
+{
+    return idx >= 0 && idx < static_cast<int>(ghb_.size())
+        && ghb_[idx].gen == gen && gen != 0;
+}
+
+void
+GhbPrefetcher::observe(Pc pc, Addr line_addr, std::vector<Addr> &out)
+{
+    const Addr line = line_addr / lineBytes_;
+    IndexEntry &ie = index_[pc & (config_.indexEntries - 1)];
+
+    // Recover this PC's recent history through the link chain.
+    Addr history[8];
+    std::uint64_t gens[8];
+    int depth = 0;
+    if (ie.valid && ie.pc == pc) {
+        int idx = ie.head;
+        std::uint64_t gen = ie.gen;
+        while (depth < config_.maxWalk && depth < 8 && live(idx, gen)) {
+            history[depth] = ghb_[idx].line;
+            gens[depth] = gen;
+            ++depth;
+            gen = ghb_[idx].gen == 0 ? 0 : ghb_[idx].gen;
+            const int prev = ghb_[idx].prev;
+            // The previous entry's stamp is the generation it was
+            // written with; recover it directly from the entry.
+            if (prev < 0)
+                break;
+            gen = ghb_[prev].gen;
+            idx = prev;
+        }
+    }
+    (void)gens;
+
+    // Insert the new access at the GHB head.
+    const int slot = nextSlot_;
+    nextSlot_ = (nextSlot_ + 1) % config_.historyEntries;
+    ghb_[slot] = GhbEntry{line, pc,
+                          (ie.valid && ie.pc == pc) ? ie.head : -1,
+                          nextGen_};
+    ie.valid = true;
+    ie.pc = pc;
+    ie.head = slot;
+    ie.gen = nextGen_;
+    ++nextGen_;
+
+    // Delta correlation over the two most recent gaps.
+    if (depth < 2)
+        return;
+    const std::int64_t d1 = static_cast<std::int64_t>(line)
+        - static_cast<std::int64_t>(history[0]);
+    const std::int64_t d2 = static_cast<std::int64_t>(history[0])
+        - static_cast<std::int64_t>(history[1]);
+    if (d1 == 0 || d1 != d2)
+        return;
+    ++correlations;
+    for (int i = 1; i <= config_.degree; ++i) {
+        const std::int64_t target =
+            static_cast<std::int64_t>(line) + d1 * i;
+        if (target < 0)
+            break;
+        out.push_back(static_cast<Addr>(target) * lineBytes_);
+        ++issued;
+    }
+}
+
+void
+GhbPrefetcher::regStats(StatGroup *parent)
+{
+    statGroup_.addCounter("issued", &issued, "prefetches issued");
+    statGroup_.addCounter("useful", &useful, "prefetched lines used");
+    statGroup_.addCounter("unused", &unused,
+                          "prefetched lines evicted unused");
+    statGroup_.addCounter("correlations", &correlations,
+                          "delta correlations found");
+    if (parent)
+        parent->addChild(&statGroup_);
+}
+
+} // namespace rab

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Global History Buffer prefetcher, PC/DC flavour (Nesbit & Smith,
+ * HPCA-10 — related work [26] in the paper).
+ *
+ * An index table keyed by load PC points at the most recent entry for
+ * that PC in a circular global history buffer of miss addresses; each
+ * GHB entry links to the previous entry with the same PC. On a miss,
+ * the per-PC history is recovered by walking the links and the last
+ * two address deltas are correlated: when they agree, the pattern is
+ * extrapolated @c degree addresses ahead. Compared with a
+ * reference-prediction table, the GHB stores history in one shared
+ * buffer (so hot loads get deep history) and ages naturally.
+ */
+
+#ifndef RAB_MEMORY_GHB_PREFETCHER_HH
+#define RAB_MEMORY_GHB_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace rab
+{
+
+/** GHB configuration. */
+struct GhbPrefetcherConfig
+{
+    int historyEntries = 256; ///< Circular buffer depth.
+    int indexEntries = 256;   ///< Power of two, direct-mapped by PC.
+    int degree = 2;           ///< Prefetches per correlated trigger.
+    int maxWalk = 4;          ///< Link-walk depth per trigger.
+};
+
+/** The GHB PC/DC prefetcher. */
+class GhbPrefetcher
+{
+  public:
+    explicit GhbPrefetcher(const GhbPrefetcherConfig &config,
+                           int line_bytes);
+
+    /** Observe a demand access; append prefetch candidates to @p out. */
+    void observe(Pc pc, Addr line_addr, std::vector<Addr> &out);
+
+    void notifyUseful() { ++useful; }
+    void notifyUnused() { ++unused; }
+
+    const GhbPrefetcherConfig &config() const { return config_; }
+
+    /** @{ Statistics. */
+    Counter issued;
+    Counter useful;
+    Counter unused;
+    Counter correlations;
+    /** @} */
+
+    void regStats(StatGroup *parent);
+
+  private:
+    struct GhbEntry
+    {
+        Addr line = 0;
+        Pc pc = 0;
+        int prev = -1;          ///< Previous entry for the same PC.
+        std::uint64_t gen = 0;  ///< Wraparound generation stamp.
+    };
+
+    struct IndexEntry
+    {
+        bool valid = false;
+        Pc pc = 0;
+        int head = -1;
+        std::uint64_t gen = 0;
+    };
+
+    /** True if @p idx still holds the entry stamped @p gen. */
+    bool live(int idx, std::uint64_t gen) const;
+
+    GhbPrefetcherConfig config_;
+    int lineBytes_;
+    std::vector<GhbEntry> ghb_;
+    std::vector<IndexEntry> index_;
+    std::uint64_t nextGen_ = 1;
+    int nextSlot_ = 0;
+    StatGroup statGroup_;
+};
+
+} // namespace rab
+
+#endif // RAB_MEMORY_GHB_PREFETCHER_HH

@@ -1,0 +1,305 @@
+#include "memory/memory_system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace rab
+{
+
+MemorySystem::MemorySystem(const MemSysConfig &config)
+    : config_(config),
+      l1i_(config.l1i), l1d_(config.l1d), llc_(config.llc),
+      dram_(config.dram),
+      prefetcher_(config.prefetcher, config.llc.lineBytes),
+      stridePf_(config.stridePrefetcher, config.llc.lineBytes),
+      ghbPf_(config.ghbPrefetcher, config.llc.lineBytes),
+      statGroup_("mem")
+{
+    statGroup_.addCounter("demand_loads", &demandLoads, "demand loads");
+    statGroup_.addCounter("demand_stores", &demandStores, "demand stores");
+    statGroup_.addCounter("llc_demand_misses", &llcDemandMisses,
+                          "demand LLC misses");
+    statGroup_.addCounter("llc_load_misses", &llcLoadMisses,
+                          "demand load LLC misses");
+    statGroup_.addCounter("queue_rejects", &queueRejects,
+                          "memory queue full rejections");
+    statGroup_.addCounter("prefetches_issued", &prefetchesIssued,
+                          "prefetches sent to DRAM");
+    statGroup_.addCounter("mshr_merges", &mshrMerges,
+                          "accesses merged into in-flight fills");
+    l1i_.regStats(&statGroup_);
+    l1d_.regStats(&statGroup_);
+    llc_.regStats(&statGroup_);
+    dram_.regStats(&statGroup_);
+    prefetcher_.regStats(&statGroup_);
+    stridePf_.regStats(&statGroup_);
+    ghbPf_.regStats(&statGroup_);
+}
+
+void
+MemorySystem::trainPrefetcher(AccessType type, Pc pc, Addr line_addr,
+                              bool was_miss)
+{
+    if (!config_.prefetcher.enabled)
+        return;
+    if (type != AccessType::kLoad && type != AccessType::kStore)
+        return; // Train on data traffic only.
+    if (config_.prefetcherKind == PrefetcherKind::kStream)
+        prefetcher_.observe(line_addr, was_miss, prefetchCandidates_);
+    else if (config_.prefetcherKind == PrefetcherKind::kStride)
+        stridePf_.observe(pc, line_addr, prefetchCandidates_);
+    else
+        ghbPf_.observe(pc, line_addr, prefetchCandidates_);
+}
+
+void
+MemorySystem::notifyPrefetchUseful()
+{
+    if (config_.prefetcherKind == PrefetcherKind::kStream)
+        prefetcher_.notifyUseful();
+    else if (config_.prefetcherKind == PrefetcherKind::kStride)
+        stridePf_.notifyUseful();
+    else
+        ghbPf_.notifyUseful();
+}
+
+void
+MemorySystem::notifyPrefetchUnused()
+{
+    if (config_.prefetcherKind == PrefetcherKind::kStream)
+        prefetcher_.notifyUnused();
+    else if (config_.prefetcherKind == PrefetcherKind::kStride)
+        stridePf_.notifyUnused();
+    else
+        ghbPf_.notifyUnused();
+}
+
+void
+MemorySystem::pruneOutstanding(Cycle now)
+{
+    while (!outstanding_.empty() && outstanding_.top() <= now)
+        outstanding_.pop();
+}
+
+void
+MemorySystem::prunePending(PendingMap &pending, Cycle now)
+{
+    // Lazy cleanup: bound the map size without per-cycle sweeps.
+    if (pending.size() < 4096)
+        return;
+    for (auto it = pending.begin(); it != pending.end();) {
+        if (it->second <= now)
+            it = pending.erase(it);
+        else
+            ++it;
+    }
+}
+
+std::size_t
+MemorySystem::outstandingMisses(Cycle now)
+{
+    pruneOutstanding(now);
+    return outstanding_.size();
+}
+
+bool
+MemorySystem::dataOnChip(Addr addr, Cycle now) const
+{
+    const Addr line = llc_.lineAddr(addr);
+    const auto it = llcPending_.find(line);
+    if (it != llcPending_.end() && it->second > now)
+        return false;
+    return l1d_.probe(addr) || llc_.probe(addr);
+}
+
+bool
+MemorySystem::missInFlight(Addr addr, Cycle now) const
+{
+    const Addr line = llc_.lineAddr(addr);
+    const auto it = llcPending_.find(line);
+    return it != llcPending_.end() && it->second > now;
+}
+
+Cycle
+MemorySystem::accessLlc(AccessType type, Addr line_addr, Cycle llc_time,
+                        Cycle now, AccessResult &result, bool &rejected,
+                        bool runahead, Pc pc)
+{
+    rejected = false;
+
+    // Merge with an in-flight LLC fill if one exists.
+    const auto pending_it = llcPending_.find(line_addr);
+    if (pending_it != llcPending_.end() && pending_it->second > now) {
+        ++mshrMerges;
+        trainPrefetcher(type, pc, line_addr, /*was_miss=*/false);
+        return std::max(pending_it->second, llc_time);
+    }
+
+    const CacheLookup lookup =
+        llc_.access(line_addr, type == AccessType::kStore);
+    if (lookup.hit) {
+        if (lookup.wasPrefetched) {
+            result.prefetchHit = true;
+            notifyPrefetchUseful();
+        }
+        trainPrefetcher(type, pc, line_addr, /*was_miss=*/false);
+        return llc_time + config_.llc.latency;
+    }
+
+    // LLC miss: needs a memory queue slot. Runahead misses may not
+    // take the last runaheadQueueReserve slots (demand priority).
+    pruneOutstanding(now);
+    std::size_t limit = static_cast<std::size_t>(config_.memQueueEntries);
+    if (runahead && config_.runaheadQueueReserve > 0) {
+        limit -= static_cast<std::size_t>(
+            std::min(config_.runaheadQueueReserve,
+                     config_.memQueueEntries));
+    }
+    if (outstanding_.size() >= limit) {
+        ++queueRejects;
+        rejected = true;
+        return 0;
+    }
+
+    if (type != AccessType::kPrefetch) {
+        ++llcDemandMisses;
+        if (type == AccessType::kLoad)
+            ++llcLoadMisses;
+        trainPrefetcher(type, pc, line_addr, /*was_miss=*/true);
+    }
+
+    const DramResult dram_result =
+        dram_.access(line_addr, llc_time + config_.llc.latency,
+                     /*is_write=*/false);
+    const Cycle ready = dram_result.readyCycle;
+    llcPending_[line_addr] = ready;
+    outstanding_.push(ready);
+    prunePending(llcPending_, now);
+
+    const Eviction ev = llc_.insert(line_addr,
+                                    type == AccessType::kStore,
+                                    type == AccessType::kPrefetch);
+    if (ev.valid) {
+        if (ev.prefetchUnused)
+            notifyPrefetchUnused();
+        // Inclusive hierarchy: back-invalidate the L1 copies.
+        const bool l1_dirty = l1d_.invalidate(ev.lineAddr);
+        l1i_.invalidate(ev.lineAddr);
+        if (ev.dirty || l1_dirty)
+            dram_.access(ev.lineAddr, now, /*is_write=*/true);
+    }
+    return ready;
+}
+
+AccessResult
+MemorySystem::access(AccessType type, Addr addr, Cycle now,
+                     bool runahead, Pc pc)
+{
+    AccessResult result;
+    Cache &l1 = type == AccessType::kInstFetch ? l1i_ : l1d_;
+    PendingMap &l1_pending =
+        type == AccessType::kInstFetch ? l1iPending_ : l1dPending_;
+    const Addr line_addr = l1.lineAddr(addr);
+
+    if (type == AccessType::kLoad)
+        ++demandLoads;
+    else if (type == AccessType::kStore)
+        ++demandStores;
+
+    if (type == AccessType::kPrefetch) {
+        panic("MemorySystem::access: prefetches are issued internally");
+    }
+
+    // L1 lookup.
+    const CacheLookup l1_lookup =
+        l1.access(addr, type == AccessType::kStore);
+    if (l1_lookup.hit) {
+        // The tags may hit while the fill is still in flight; that is an
+        // MSHR merge, not a completed hit.
+        const auto it = l1_pending.find(line_addr);
+        if (it != l1_pending.end() && it->second > now) {
+            ++mshrMerges;
+            result.l1Miss = true;
+            result.readyCycle = it->second;
+            result.pendingMiss = missInFlight(addr, now);
+        } else {
+            result.readyCycle = now + l1.config().latency;
+        }
+        issuePrefetches(now);
+        return result;
+    }
+
+    result.l1Miss = true;
+
+    // L1 miss: go to the LLC after the L1 lookup latency.
+    const Cycle llc_time = now + l1.config().latency;
+    bool rejected = false;
+    const Cycle pre_misses = llcDemandMisses.value();
+    const Cycle ready =
+        accessLlc(type, llc_.lineAddr(addr), llc_time, now, result,
+                  rejected, runahead, pc);
+    if (rejected) {
+        result.rejected = true;
+        return result;
+    }
+    result.llcMiss = llcDemandMisses.value() != pre_misses;
+    result.pendingMiss = !result.llcMiss && missInFlight(addr, now);
+
+    // Fill L1 (write-allocate). Track availability for merges.
+    const Eviction ev = l1.insert(addr, type == AccessType::kStore);
+    if (ev.valid && ev.dirty) {
+        // Write the victim back into the (inclusive) LLC.
+        llc_.access(ev.lineAddr, /*is_write=*/true);
+    }
+    l1_pending[line_addr] = ready;
+    prunePending(l1_pending, now);
+    result.readyCycle = ready;
+
+    issuePrefetches(now);
+    return result;
+}
+
+void
+MemorySystem::issuePrefetches(Cycle now)
+{
+    if (prefetchCandidates_.empty())
+        return;
+    std::vector<Addr> candidates;
+    candidates.swap(prefetchCandidates_);
+    for (const Addr line_addr : candidates) {
+        if (llc_.probe(line_addr))
+            continue;
+        const auto it = llcPending_.find(line_addr);
+        if (it != llcPending_.end() && it->second > now)
+            continue;
+        pruneOutstanding(now);
+        if (outstanding_.size()
+                >= static_cast<std::size_t>(config_.memQueueEntries)) {
+            break; // Queue full: drop remaining prefetches.
+        }
+        const DramResult dram_result =
+            dram_.access(line_addr, now, /*is_write=*/false);
+        llcPending_[line_addr] = dram_result.readyCycle;
+        outstanding_.push(dram_result.readyCycle);
+        ++prefetchesIssued;
+        const Eviction ev = llc_.insert(line_addr, /*is_write=*/false,
+                                        /*is_prefetch=*/true);
+        if (ev.valid) {
+            if (ev.prefetchUnused)
+                notifyPrefetchUnused();
+            const bool l1_dirty = l1d_.invalidate(ev.lineAddr);
+            l1i_.invalidate(ev.lineAddr);
+            if (ev.dirty || l1_dirty)
+                dram_.access(ev.lineAddr, now, /*is_write=*/true);
+        }
+    }
+}
+
+std::uint64_t
+MemorySystem::dramRequests() const
+{
+    return dram_.reads.value() + dram_.writes.value();
+}
+
+} // namespace rab

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The full cache hierarchy: split 32 KB L1I/L1D, a unified, inclusive
+ * 1 MB LLC, a 64-entry memory queue in front of the DDR3 model, and the
+ * stream prefetcher training on LLC demand traffic (Table 1).
+ *
+ * Timing model: tags are updated immediately on a miss, but the line's
+ * availability is tracked in per-level pending (MSHR) maps; accesses to
+ * an in-flight line merge with the outstanding fill instead of issuing a
+ * duplicate memory request. The memory queue bounds the number of LLC
+ * misses in flight — requests beyond it are rejected and retried by the
+ * core, which is what bounds achievable MLP.
+ */
+
+#ifndef RAB_MEMORY_MEMORY_SYSTEM_HH
+#define RAB_MEMORY_MEMORY_SYSTEM_HH
+
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "memory/cache.hh"
+#include "memory/dram.hh"
+#include "memory/req.hh"
+#include "memory/stream_prefetcher.hh"
+#include "memory/stride_prefetcher.hh"
+#include "memory/ghb_prefetcher.hh"
+#include "stats/stats.hh"
+
+namespace rab
+{
+
+/** Which hardware prefetcher trains on LLC demand traffic. */
+enum class PrefetcherKind
+{
+    kStream, ///< Table 1's POWER4-style stream prefetcher.
+    kStride, ///< PC-indexed stride prefetcher (related-work baseline).
+    kGhb,    ///< Global-history-buffer PC/DC prefetcher [26].
+};
+
+/** Hierarchy configuration (defaults reproduce the paper's Table 1). */
+struct MemSysConfig
+{
+    CacheConfig l1i{"l1i", 32 * 1024, 8, 64, 3};
+    CacheConfig l1d{"l1d", 32 * 1024, 8, 64, 3};
+    CacheConfig llc{"llc", 1024 * 1024, 8, 64, 18};
+    DramConfig dram{};
+    PrefetcherConfig prefetcher{};
+    PrefetcherKind prefetcherKind = PrefetcherKind::kStream;
+    StridePrefetcherConfig stridePrefetcher{};
+    GhbPrefetcherConfig ghbPrefetcher{};
+    int memQueueEntries = 64; ///< Max LLC misses in flight.
+    int runaheadQueueReserve = 24; ///< Memory-queue slots reserved for
+                                   ///< demand (non-runahead) misses, so
+                                   ///< speculative runahead traffic
+                                   ///< cannot starve the demand stream.
+};
+
+/** The composed cache/DRAM hierarchy. */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const MemSysConfig &config);
+
+    MemorySystem(const MemorySystem &) = delete;
+    MemorySystem &operator=(const MemorySystem &) = delete;
+
+    /**
+     * Perform a demand access.
+     *
+     * @param type kInstFetch, kLoad or kStore.
+     * @param addr byte address.
+     * @param now  current core cycle.
+     */
+    AccessResult access(AccessType type, Addr addr, Cycle now,
+                        bool runahead = false, Pc pc = 0);
+
+    /** Number of LLC misses currently in flight. */
+    std::size_t outstandingMisses(Cycle now);
+
+    /** True if the line holding @p addr is present in L1D or LLC tags
+     *  and its fill (if any) has completed by @p now. */
+    bool dataOnChip(Addr addr, Cycle now) const;
+
+    /** True if an LLC miss for this line is currently in flight. */
+    bool missInFlight(Addr addr, Cycle now) const;
+
+    int lineBytes() const { return config_.llc.lineBytes; }
+    const MemSysConfig &config() const { return config_; }
+
+    Cache &l1i() { return l1i_; }
+    Cache &l1d() { return l1d_; }
+    Cache &llc() { return llc_; }
+    Dram &dram() { return dram_; }
+    StreamPrefetcher &prefetcher() { return prefetcher_; }
+    StridePrefetcher &stridePrefetcher() { return stridePf_; }
+    GhbPrefetcher &ghbPrefetcher() { return ghbPf_; }
+
+    /** Total DRAM requests (reads + writebacks); Figure 16's metric. */
+    std::uint64_t dramRequests() const;
+
+    /** @{ Statistics. */
+    Counter demandLoads;
+    Counter demandStores;
+    Counter llcDemandMisses;  ///< Demand (non-prefetch) LLC misses.
+    Counter llcLoadMisses;    ///< Demand load LLC misses only.
+    Counter queueRejects;     ///< Accesses rejected: memory queue full.
+    Counter prefetchesIssued; ///< Prefetches sent to DRAM.
+    Counter mshrMerges;       ///< Accesses merged into in-flight fills.
+    /** @} */
+
+    StatGroup &stats() { return statGroup_; }
+
+  private:
+    /** Per-level in-flight fill tracking. */
+    using PendingMap = std::unordered_map<Addr, Cycle>;
+
+    /** Handle an access that missed L1 at the LLC and below.
+     *  Returns the cycle the line reaches L1 / the requester. */
+    Cycle accessLlc(AccessType type, Addr line_addr, Cycle llc_time,
+                    Cycle now, AccessResult &result, bool &rejected,
+                    bool runahead, Pc pc);
+
+    /** Train the configured prefetcher on a demand access. */
+    void trainPrefetcher(AccessType type, Pc pc, Addr line_addr,
+                         bool was_miss);
+    void notifyPrefetchUseful();
+    void notifyPrefetchUnused();
+
+    /** Issue prefetch candidates produced by the stream prefetcher. */
+    void issuePrefetches(Cycle now);
+
+    void pruneOutstanding(Cycle now);
+    static void prunePending(PendingMap &pending, Cycle now);
+
+    MemSysConfig config_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache llc_;
+    Dram dram_;
+    StreamPrefetcher prefetcher_;
+    StridePrefetcher stridePf_;
+    GhbPrefetcher ghbPf_;
+
+    PendingMap l1iPending_;
+    PendingMap l1dPending_;
+    PendingMap llcPending_;
+
+    /** Ready cycles of in-flight LLC misses (memory queue occupancy). */
+    std::priority_queue<Cycle, std::vector<Cycle>, std::greater<Cycle>>
+        outstanding_;
+
+    std::vector<Addr> prefetchCandidates_;
+
+    StatGroup statGroup_;
+};
+
+} // namespace rab
+
+#endif // RAB_MEMORY_MEMORY_SYSTEM_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Memory access request/response types shared across the hierarchy.
+ */
+
+#ifndef RAB_MEMORY_REQ_HH
+#define RAB_MEMORY_REQ_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace rab
+{
+
+/** Who generated a memory access; drives stats and prefetcher training. */
+enum class AccessType : std::uint8_t
+{
+    kInstFetch, ///< Demand instruction fetch.
+    kLoad,      ///< Demand data load.
+    kStore,     ///< Demand data store (write-allocate).
+    kPrefetch,  ///< Hardware prefetch (into LLC only).
+    kWriteback, ///< Dirty line eviction to DRAM.
+};
+
+/** Result of a hierarchical access. */
+struct AccessResult
+{
+    /** Cycle the critical word is available to the requester. */
+    Cycle readyCycle = 0;
+
+    /** True if the request could not be accepted (queues full). */
+    bool rejected = false;
+
+    /** True if the access missed the last level cache (a *new* miss;
+     *  merges into in-flight fills set pendingMiss instead). */
+    bool llcMiss = false;
+
+    /** True if the access waits on an LLC miss already in flight
+     *  (MSHR merge). The requester stalls off-chip-long, but no new
+     *  DRAM request was generated. */
+    bool pendingMiss = false;
+
+    /** True if the access missed the first-level cache. */
+    bool l1Miss = false;
+
+    /** True if it hit a line that a prefetch brought in. */
+    bool prefetchHit = false;
+};
+
+} // namespace rab
+
+#endif // RAB_MEMORY_REQ_HH

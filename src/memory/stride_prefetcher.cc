@@ -1,0 +1,89 @@
+#include "memory/stride_prefetcher.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace rab
+{
+
+StridePrefetcher::StridePrefetcher(const StridePrefetcherConfig &config,
+                                   int line_bytes)
+    : config_(config), lineBytes_(line_bytes),
+      statGroup_("stride_prefetcher")
+{
+    if (config_.entries <= 0
+        || (config_.entries & (config_.entries - 1)) != 0) {
+        fatal("stride prefetcher: entries must be a power of two");
+    }
+    table_.assign(config_.entries, Entry{});
+}
+
+void
+StridePrefetcher::observe(Pc pc, Addr line_addr, std::vector<Addr> &out)
+{
+    const Addr line = line_addr / lineBytes_;
+    Entry &e = table_[pc & (config_.entries - 1)];
+
+    if (!e.valid || e.pc != pc) {
+        e = Entry{};
+        e.valid = true;
+        e.pc = pc;
+        e.lastLine = line;
+        return;
+    }
+
+    const std::int64_t delta = static_cast<std::int64_t>(line)
+        - static_cast<std::int64_t>(e.lastLine);
+    e.lastLine = line;
+    if (delta == 0)
+        return; // Same line: nothing to learn.
+
+    if (delta == e.stride) {
+        if (e.confidence < 3)
+            ++e.confidence;
+        if (e.confidence == config_.confirmThreshold)
+            ++confirmations;
+        // The demand pointer advanced one stride: the covered lead
+        // shrinks by one.
+        e.prefetched = std::max<std::int64_t>(0, e.prefetched - 1);
+    } else {
+        if (e.confidence > 0) {
+            --e.confidence;
+        } else {
+            e.stride = delta;
+        }
+        e.prefetched = 0;
+        return;
+    }
+
+    if (e.confidence < config_.confirmThreshold)
+        return;
+
+    for (int i = 0; i < config_.degree
+                    && e.prefetched < config_.distance;
+         ++i) {
+        ++e.prefetched;
+        const std::int64_t target = static_cast<std::int64_t>(line)
+            + e.stride * (e.prefetched);
+        if (target < 0)
+            break;
+        out.push_back(static_cast<Addr>(target) * lineBytes_);
+        ++issued;
+    }
+}
+
+void
+StridePrefetcher::regStats(StatGroup *parent)
+{
+    statGroup_.addCounter("issued", &issued, "prefetches issued");
+    statGroup_.addCounter("useful", &useful, "prefetched lines used");
+    statGroup_.addCounter("unused", &unused,
+                          "prefetched lines evicted unused");
+    statGroup_.addCounter("confirmations", &confirmations,
+                          "strides confirmed");
+    if (parent)
+        parent->addChild(&statGroup_);
+}
+
+} // namespace rab

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * PC-indexed stride prefetcher (reference-prediction-table style, after
+ * Chen & Baer / Fu et al. — the classic alternative baseline the paper
+ * cites in related work [11, 14, 27]).
+ *
+ * Each static load gets a table entry tracking its last line and line
+ * stride with a 2-bit confidence counter; once confident, @c degree
+ * prefetches are issued along the stride. Unlike the POWER4-style
+ * stream prefetcher it can follow large and negative strides, at the
+ * cost of needing the load PC at training time.
+ */
+
+#ifndef RAB_MEMORY_STRIDE_PREFETCHER_HH
+#define RAB_MEMORY_STRIDE_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace rab
+{
+
+/** Stride prefetcher configuration. */
+struct StridePrefetcherConfig
+{
+    int entries = 256;   ///< Power of two, direct-mapped by PC.
+    int degree = 2;      ///< Prefetches per confident trigger.
+    int distance = 8;    ///< Max strides ahead of the demand access.
+    int confirmThreshold = 2; ///< Matches before prefetching starts.
+};
+
+/** The stride prefetcher. */
+class StridePrefetcher
+{
+  public:
+    explicit StridePrefetcher(const StridePrefetcherConfig &config,
+                              int line_bytes);
+
+    /**
+     * Observe a demand access from the load at @p pc and append
+     * line-aligned prefetch candidates to @p out.
+     */
+    void observe(Pc pc, Addr line_addr, std::vector<Addr> &out);
+
+    /** A demand access hit a line this prefetcher brought in. */
+    void notifyUseful() { ++useful; }
+
+    /** A prefetched line was evicted before use. */
+    void notifyUnused() { ++unused; }
+
+    const StridePrefetcherConfig &config() const { return config_; }
+
+    /** @{ Statistics. */
+    Counter issued;
+    Counter useful;
+    Counter unused;
+    Counter confirmations;
+    /** @} */
+
+    void regStats(StatGroup *parent);
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Pc pc = 0;
+        Addr lastLine = 0;
+        std::int64_t stride = 0; ///< In lines; may be negative.
+        int confidence = 0;
+        std::int64_t prefetched = 0; ///< Strides already covered ahead.
+    };
+
+    StridePrefetcherConfig config_;
+    int lineBytes_;
+    std::vector<Entry> table_;
+    StatGroup statGroup_;
+};
+
+} // namespace rab
+
+#endif // RAB_MEMORY_STRIDE_PREFETCHER_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Dependence-chain types shared by the chain generator, chain cache and
+ * runahead buffer.
+ */
+
+#ifndef RAB_RUNAHEAD_CHAIN_HH
+#define RAB_RUNAHEAD_CHAIN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/uop.hh"
+
+namespace rab
+{
+
+/** One decoded uop in a dependence chain (architectural register
+ *  form — renaming happens when the buffer issues it). */
+struct ChainOp
+{
+    Pc pc = 0;
+    Uop sop;
+};
+
+/** A filtered dependence chain in program order. */
+using DependenceChain = std::vector<ChainOp>;
+
+/** Order-sensitive signature of a chain (for exact-match stats). */
+std::uint64_t chainSignature(const DependenceChain &chain);
+
+/** Structural equality (pc + opcode fields of every op, in order). */
+bool chainsEqual(const DependenceChain &a, const DependenceChain &b);
+
+} // namespace rab
+
+#endif // RAB_RUNAHEAD_CHAIN_HH

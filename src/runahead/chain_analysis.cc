@@ -1,0 +1,160 @@
+#include "runahead/chain_analysis.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "isa/functional.hh"
+
+namespace rab
+{
+
+ChainAnalysis::ChainAnalysis(int window, int max_chain)
+    : window_(window), maxChain_(max_chain), statGroup_("chain_analysis")
+{
+}
+
+void
+ChainAnalysis::beginInterval()
+{
+    inInterval_ = true;
+    history_.clear();
+    intervalSignatures_.clear();
+    intervalNecessary_.clear();
+    intervalExecuted_ = 0;
+}
+
+void
+ChainAnalysis::recordExec(const DynUop &uop)
+{
+    if (!inInterval_)
+        return;
+    ++intervalExecuted_;
+    history_.emplace(uop.seq, Rec{uop.pc, uop.sop.dest, uop.sop.src1,
+                                  uop.sop.src2});
+    if (static_cast<int>(history_.size()) > window_)
+        history_.erase(history_.begin());
+}
+
+void
+ChainAnalysis::recordMiss(const DynUop &uop)
+{
+    if (!inInterval_)
+        return;
+
+    // Reconstruct the backward dependence slice of the missing load
+    // over the recorded window.
+    std::unordered_set<int> needed; // architectural registers
+    if (uop.sop.src1 != kNoArchReg)
+        needed.insert(uop.sop.src1);
+    if (uop.sop.src2 != kNoArchReg)
+        needed.insert(uop.sop.src2);
+
+    // The chain is the *static* slice: each static uop (PC) counts
+    // once. Without the dedup, every loop-carried induction would drag
+    // the slice back through all prior iterations and no two chains
+    // would ever compare equal.
+    std::vector<Pc> slice_pcs{uop.pc};
+    intervalNecessary_.insert(uop.seq);
+
+    const auto in_slice = [&](Pc pc) {
+        for (const Pc p : slice_pcs) {
+            if (p == pc)
+                return true;
+        }
+        return false;
+    };
+
+    // Walk strictly backwards in program (sequence) order.
+    auto it = history_.lower_bound(uop.seq);
+    while (it != history_.begin() && !needed.empty()
+           && static_cast<int>(slice_pcs.size()) < maxChain_) {
+        --it;
+        const Rec &rec = it->second;
+        if (rec.dest == kNoArchReg || !needed.count(rec.dest))
+            continue;
+        needed.erase(rec.dest);
+        intervalNecessary_.insert(it->first);
+        if (in_slice(rec.pc))
+            continue; // an older instance of a static op already seen
+        if (rec.src1 != kNoArchReg)
+            needed.insert(rec.src1);
+        if (rec.src2 != kNoArchReg)
+            needed.insert(rec.src2);
+        slice_pcs.push_back(rec.pc);
+    }
+
+    // Structural signature: the sorted distinct-PC set of the slice.
+    std::sort(slice_pcs.begin(), slice_pcs.end());
+    std::uint64_t sig = 0x452821e638d01377ull;
+    for (const Pc pc : slice_pcs)
+        sig = mix64(sig ^ pc);
+
+    ++chainsTotal;
+    if (!intervalSignatures_.insert(sig).second)
+        ++chainsRepeated;
+
+    chainLengthSum += slice_pcs.size();
+    ++chainsMeasured;
+}
+
+void
+ChainAnalysis::endInterval()
+{
+    if (!inInterval_)
+        return;
+    opsExecuted += intervalExecuted_;
+    opsNecessary += intervalNecessary_.size();
+    inInterval_ = false;
+    history_.clear();
+    intervalSignatures_.clear();
+    intervalNecessary_.clear();
+    intervalExecuted_ = 0;
+}
+
+double
+ChainAnalysis::necessaryFraction() const
+{
+    if (opsExecuted.value() == 0)
+        return 0.0;
+    return static_cast<double>(opsNecessary.value())
+        / static_cast<double>(opsExecuted.value());
+}
+
+double
+ChainAnalysis::repeatedFraction() const
+{
+    if (chainsTotal.value() == 0)
+        return 0.0;
+    return static_cast<double>(chainsRepeated.value())
+        / static_cast<double>(chainsTotal.value());
+}
+
+double
+ChainAnalysis::averageChainLength() const
+{
+    if (chainsMeasured.value() == 0)
+        return 0.0;
+    return static_cast<double>(chainLengthSum.value())
+        / static_cast<double>(chainsMeasured.value());
+}
+
+void
+ChainAnalysis::regStats(StatGroup *parent)
+{
+    statGroup_.addCounter("ops_executed", &opsExecuted,
+                          "runahead ops executed (traditional mode)");
+    statGroup_.addCounter("ops_necessary", &opsNecessary,
+                          "runahead ops on a miss dependence chain");
+    statGroup_.addCounter("chains_total", &chainsTotal,
+                          "miss dependence chains observed");
+    statGroup_.addCounter("chains_repeated", &chainsRepeated,
+                          "chains repeated within an interval");
+    statGroup_.addCounter("chain_length_sum", &chainLengthSum,
+                          "sum of chain lengths (uops)");
+    statGroup_.addCounter("chains_measured", &chainsMeasured,
+                          "chains with a measured length");
+    if (parent)
+        parent->addChild(&statGroup_);
+}
+
+} // namespace rab

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Instrumentation behind the paper's motivation figures.
+ *
+ * During *traditional* runahead intervals, every executed runahead op
+ * is recorded. When a runahead load misses the LLC, its backward
+ * dependence slice is reconstructed over the recorded window, giving:
+ *   - Figure 3: fraction of runahead-executed ops that belong to some
+ *     miss dependence chain ("necessary" ops),
+ *   - Figure 4: whether each miss's chain is unique or a repeat within
+ *     the current runahead interval (by structural signature),
+ *   - Figure 5: average dependence chain length in uops.
+ */
+
+#ifndef RAB_RUNAHEAD_CHAIN_ANALYSIS_HH
+#define RAB_RUNAHEAD_CHAIN_ANALYSIS_HH
+
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+
+#include "backend/dyn_uop.hh"
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace rab
+{
+
+/** The runahead chain analyser. */
+class ChainAnalysis
+{
+  public:
+    /**
+     * @param window     executed-op history depth.
+     * @param max_chain  backward-slice length cap.
+     */
+    explicit ChainAnalysis(int window = 4096, int max_chain = 64);
+
+    /** A runahead interval begins. */
+    void beginInterval();
+
+    /** A runahead op executed (traditional mode). */
+    void recordExec(const DynUop &uop);
+
+    /** A runahead load generated an LLC miss. Call after recordExec. */
+    void recordMiss(const DynUop &uop);
+
+    /** The runahead interval ended. */
+    void endInterval();
+
+    /** @{ Figure 3. */
+    Counter opsExecuted;
+    Counter opsNecessary;
+    /** @} */
+
+    /** @{ Figure 4. */
+    Counter chainsTotal;
+    Counter chainsRepeated;
+    /** @} */
+
+    /** @{ Figure 5. */
+    Counter chainLengthSum;
+    Counter chainsMeasured;
+    /** @} */
+
+    double necessaryFraction() const;
+    double repeatedFraction() const;
+    double averageChainLength() const;
+
+    void regStats(StatGroup *parent);
+
+  private:
+    struct Rec
+    {
+        Pc pc;
+        ArchReg dest;
+        ArchReg src1;
+        ArchReg src2;
+    };
+
+    int window_;
+    int maxChain_;
+    bool inInterval_ = false;
+    /** Executed-op history keyed (and therefore ordered) by sequence
+     *  number: writeback order is not program order, and the backward
+     *  slice walk needs the latter. */
+    std::map<SeqNum, Rec> history_;
+    std::unordered_set<std::uint64_t> intervalSignatures_;
+    std::unordered_set<SeqNum> intervalNecessary_;
+    std::uint64_t intervalExecuted_ = 0;
+    StatGroup statGroup_;
+};
+
+} // namespace rab
+
+#endif // RAB_RUNAHEAD_CHAIN_ANALYSIS_HH

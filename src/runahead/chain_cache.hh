@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Dependence chain cache (Section 4.4): a deliberately tiny,
+ * fully-associative cache of generated chains indexed by the PC of the
+ * ROB-blocking load. One chain per PC (no path associativity); LRU
+ * replacement lets stale chains age out quickly.
+ */
+
+#ifndef RAB_RUNAHEAD_CHAIN_CACHE_HH
+#define RAB_RUNAHEAD_CHAIN_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "runahead/chain.hh"
+#include "stats/stats.hh"
+
+namespace rab
+{
+
+/** The chain cache. Table 1: two 32-uop entries. */
+class ChainCache
+{
+  public:
+    explicit ChainCache(int entries);
+
+    /** Look up the chain for @p pc; returns nullptr on miss. */
+    const DependenceChain *lookup(Pc pc);
+
+    /** Insert (or replace) the chain for @p pc. */
+    void insert(Pc pc, const DependenceChain &chain);
+
+    void clear();
+    int entries() const { return static_cast<int>(slots_.size()); }
+
+    /** @{ Statistics. */
+    Counter hits;
+    Counter misses;
+    Counter inserts;
+    /** @} */
+
+    void regStats(StatGroup *parent);
+
+  private:
+    struct Slot
+    {
+        bool valid = false;
+        Pc pc = 0;
+        DependenceChain chain;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::vector<Slot> slots_;
+    std::uint64_t lruCounter_ = 0;
+    StatGroup statGroup_;
+};
+
+} // namespace rab
+
+#endif // RAB_RUNAHEAD_CHAIN_CACHE_HH

@@ -1,0 +1,179 @@
+#include "runahead/chain_generator.hh"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "common/logging.hh"
+#include "isa/functional.hh"
+
+namespace rab
+{
+
+std::uint64_t
+chainSignature(const DependenceChain &chain)
+{
+    std::uint64_t sig = 0x243f6a8885a308d3ull;
+    for (const ChainOp &op : chain) {
+        sig = mix64(sig ^ op.pc);
+        sig = mix64(sig ^ static_cast<std::uint64_t>(op.sop.op));
+    }
+    return sig;
+}
+
+bool
+chainsEqual(const DependenceChain &a, const DependenceChain &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].pc != b[i].pc
+            || a[i].sop.op != b[i].sop.op
+            || a[i].sop.dest != b[i].sop.dest
+            || a[i].sop.src1 != b[i].sop.src1
+            || a[i].sop.src2 != b[i].sop.src2
+            || a[i].sop.imm != b[i].sop.imm) {
+            return false;
+        }
+    }
+    return true;
+}
+
+ChainGenerator::ChainGenerator(const ChainGeneratorConfig &config)
+    : config_(config), statGroup_("chain_gen")
+{
+}
+
+ChainResult
+ChainGenerator::generate(const Rob &rob, const StoreQueue &sq,
+                         Pc blocking_pc, SeqNum blocking_seq)
+{
+    ++attempts;
+    ChainResult result;
+
+    // Cycle 0: priority PC CAM over the ROB for a younger dynamic
+    // instance of the blocking load.
+    result.pcCamSearches = 1;
+    result.generationCycles = 1;
+    const int match_slot = rob.findOldestByPc(blocking_pc, blocking_seq);
+    if (match_slot < 0) {
+        ++noPcMatch;
+        return result;
+    }
+    result.pcFound = true;
+
+    // Source register search list: (register, consumer seq) pairs. The
+    // consumer seq bounds the priority CAM so we find the *youngest
+    // producer older than the consumer*.
+    std::deque<std::pair<ArchReg, SeqNum>> srsl;
+    std::set<int> included;
+
+    const auto enqueue_sources = [&](const DynUop &uop) {
+        const auto push = [&](ArchReg reg) {
+            if (reg == kNoArchReg)
+                return;
+            if (static_cast<int>(srsl.size())
+                    >= config_.srslEntries) {
+                return; // SRSL full: chain becomes less exact.
+            }
+            srsl.emplace_back(reg, uop.seq);
+        };
+        push(uop.sop.src1);
+        push(uop.sop.src2);
+    };
+
+    const auto include = [&](int slot) -> bool {
+        if (included.count(slot))
+            return true;
+        if (static_cast<int>(included.size())
+                >= config_.maxChainLength) {
+            result.overflow = true;
+            return false;
+        }
+        included.insert(slot);
+        return true;
+    };
+
+    const DynUop &seed = rob.slot(match_slot);
+    include(match_slot);
+    enqueue_sources(seed);
+
+    // Walk producers, up to regSearchesPerCycle CAM searches per cycle,
+    // until the SRSL drains or the chain is full.
+    while (!srsl.empty() && !result.overflow) {
+        ++result.generationCycles;
+        for (int port = 0;
+             port < config_.regSearchesPerCycle && !srsl.empty();
+             ++port) {
+            // Depth-first: walking the youngest enqueued register first
+            // keeps the SRSL shallow on serial chains, so the deep
+            // producers (loop inductions) are found before the list
+            // capacity drops anything.
+            const auto [reg, consumer_seq] = srsl.back();
+            srsl.pop_back();
+            ++result.regCamSearches;
+            const int producer_slot = rob.findProducer(reg, consumer_seq);
+            if (producer_slot < 0)
+                continue;
+            if (included.count(producer_slot))
+                continue;
+            const DynUop &producer = rob.slot(producer_slot);
+            if (producer.isControl())
+                continue; // Branch-predicted stream: no control uops.
+            if (!include(producer_slot))
+                break;
+            enqueue_sources(producer);
+
+            // Register spills/fills: a load may consume data from an
+            // in-flight store; include that store and its sources.
+            if (producer.isLoad() && producer.effAddr != kNoAddr) {
+                ++result.sqSearches;
+                const int store_slot =
+                    sq.findStoreRobSlot(producer.seq, producer.effAddr);
+                if (store_slot >= 0 && !included.count(store_slot)) {
+                    if (!include(store_slot))
+                        break;
+                    enqueue_sources(rob.slot(store_slot));
+                }
+            }
+        }
+    }
+
+    // Read the chain out of the ROB in program order at the back-end's
+    // superscalar width.
+    std::vector<int> slots(included.begin(), included.end());
+    std::sort(slots.begin(), slots.end(), [&](int a, int b) {
+        return rob.slot(a).seq < rob.slot(b).seq;
+    });
+    for (const int slot : slots) {
+        const DynUop &uop = rob.slot(slot);
+        result.chain.push_back(ChainOp{uop.pc, uop.sop});
+    }
+    result.robReads = static_cast<int>(result.chain.size());
+    result.generationCycles += (result.robReads + config_.readoutWidth - 1)
+        / config_.readoutWidth;
+
+    if (result.overflow)
+        ++overflows;
+    ++generatedChains;
+    generatedOps += result.chain.size();
+    return result;
+}
+
+void
+ChainGenerator::regStats(StatGroup *parent)
+{
+    statGroup_.addCounter("attempts", &attempts, "generation attempts");
+    statGroup_.addCounter("no_pc_match", &noPcMatch,
+                          "attempts with no matching PC in ROB");
+    statGroup_.addCounter("overflows", &overflows,
+                          "chains that hit the length cap");
+    statGroup_.addCounter("generated_chains", &generatedChains,
+                          "chains generated");
+    statGroup_.addCounter("generated_ops", &generatedOps,
+                          "total uops across generated chains");
+    if (parent)
+        parent->addChild(&statGroup_);
+}
+
+} // namespace rab

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Dependence-chain generation (the paper's Algorithm 1).
+ *
+ * When a load blocks the head of the ROB, the generator searches the
+ * ROB for a younger dynamic instance of the same PC (a priority PC
+ * CAM), then backward-walks producers of its source registers with a
+ * destination-register CAM, pulling store-queue producers in for loads,
+ * until the source register search list (SRSL) drains or the chain hits
+ * the 32-uop cap. Control uops are never included (the ROB holds a
+ * branch-predicted stream). The walk is modelled cycle-accurately: up
+ * to two destination-register searches per cycle (Section 5), plus one
+ * cycle for the PC CAM and ROB read-out at the superscalar width.
+ */
+
+#ifndef RAB_RUNAHEAD_CHAIN_GENERATOR_HH
+#define RAB_RUNAHEAD_CHAIN_GENERATOR_HH
+
+#include <cstdint>
+
+#include "backend/lsq.hh"
+#include "backend/rob.hh"
+#include "runahead/chain.hh"
+#include "stats/stats.hh"
+
+namespace rab
+{
+
+/** Chain generator configuration. */
+struct ChainGeneratorConfig
+{
+    int maxChainLength = 32;     ///< Runahead buffer capacity in uops.
+    int regSearchesPerCycle = 2; ///< Dest-register CAM ports.
+    int readoutWidth = 4;        ///< ROB read-out uops per cycle.
+    int srslEntries = 16;        ///< Source register search list size.
+};
+
+/** Result of one generation attempt. */
+struct ChainResult
+{
+    bool pcFound = false;   ///< A younger instance of the PC existed.
+    bool overflow = false;  ///< SRSL was not drained at the length cap
+                            ///< (hybrid policy falls back to
+                            ///< traditional runahead).
+    DependenceChain chain;  ///< Program-ordered filtered chain.
+
+    /** @{ Modelled cost. */
+    int generationCycles = 0;
+    int pcCamSearches = 0;
+    int regCamSearches = 0;
+    int sqSearches = 0;
+    int robReads = 0;
+    /** @} */
+};
+
+/** The generator. Stateless apart from statistics. */
+class ChainGenerator
+{
+  public:
+    explicit ChainGenerator(const ChainGeneratorConfig &config);
+
+    /**
+     * Run Algorithm 1.
+     *
+     * @param rob          the reorder buffer to filter from.
+     * @param sq           the store queue (register spill/fill search).
+     * @param blocking_pc  PC of the load blocking the ROB head.
+     * @param blocking_seq its sequence number.
+     */
+    ChainResult generate(const Rob &rob, const StoreQueue &sq,
+                         Pc blocking_pc, SeqNum blocking_seq);
+
+    const ChainGeneratorConfig &config() const { return config_; }
+
+    /** @{ Statistics. */
+    Counter attempts;
+    Counter noPcMatch;
+    Counter overflows;
+    Counter generatedChains;
+    Counter generatedOps;
+    /** @} */
+
+    void regStats(StatGroup *parent);
+
+  private:
+    ChainGeneratorConfig config_;
+    StatGroup statGroup_;
+};
+
+} // namespace rab
+
+#endif // RAB_RUNAHEAD_CHAIN_GENERATOR_HH

@@ -1,0 +1,307 @@
+#include "runahead/runahead_controller.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace rab
+{
+
+RunaheadPolicy
+policyNone()
+{
+    return RunaheadPolicy{};
+}
+
+RunaheadPolicy
+policyTraditional()
+{
+    RunaheadPolicy p;
+    p.traditionalEnabled = true;
+    return p;
+}
+
+RunaheadPolicy
+policyTraditionalEnhanced()
+{
+    RunaheadPolicy p;
+    p.traditionalEnabled = true;
+    p.enhancements = true;
+    return p;
+}
+
+RunaheadPolicy
+policyBuffer()
+{
+    RunaheadPolicy p;
+    p.bufferEnabled = true;
+    return p;
+}
+
+RunaheadPolicy
+policyBufferChainCache()
+{
+    RunaheadPolicy p;
+    p.bufferEnabled = true;
+    p.chainCacheEnabled = true;
+    return p;
+}
+
+RunaheadPolicy
+policyHybrid()
+{
+    RunaheadPolicy p;
+    p.traditionalEnabled = true;
+    p.bufferEnabled = true;
+    p.chainCacheEnabled = true;
+    p.hybrid = true;
+    p.enhancements = true; // Section 4.6: used by the Hybrid policy.
+    return p;
+}
+
+RunaheadController::RunaheadController(const RunaheadPolicy &policy)
+    : policy_(policy),
+      runaheadCache_(policy.runaheadCache),
+      chainGen_(policy.chainGen),
+      chainCache_(policy.chainCacheEntries),
+      buffer_(policy.bufferEntries),
+      statGroup_("runahead")
+{
+}
+
+EntryDecision
+RunaheadController::decideEntry(const Rob &rob, const StoreQueue &sq,
+                                const DynUop &head,
+                                std::uint64_t fetched_instrs,
+                                std::uint64_t retired_instrs)
+{
+    EntryDecision decision;
+    if (!policy_.anyRunahead() || inRunahead())
+        return decision;
+
+    if (policy_.enhancements) {
+        // Enhancement 1: if the blocking miss was issued to memory long
+        // ago, most of its latency has elapsed and the interval would
+        // be too short to be useful.
+        if (fetched_instrs - head.missIssueInstrNum
+                >= policy_.distanceThreshold) {
+            ++suppressedShort;
+            return decision;
+        }
+        // Enhancement 2: do not re-enter runahead over instructions a
+        // previous interval already covered (overlap elimination).
+        if (retired_instrs <= farthestInstr_) {
+            ++suppressedOverlap;
+            return decision;
+        }
+    }
+
+    if (!policy_.bufferEnabled) {
+        decision.enter = true;
+        decision.mode = RunaheadMode::kTraditional;
+        return decision;
+    }
+
+    if (policy_.hybrid) {
+        // Fig. 8: matching PC in ROB? -> chain cache? -> short enough?
+        const int match = rob.findOldestByPc(head.pc, head.seq);
+        ++pcCamSearches;
+        if (match < 0) {
+            decision.enter = true;
+            decision.mode = RunaheadMode::kTraditional;
+            return decision;
+        }
+        if (policy_.chainCacheEnabled) {
+            if (const DependenceChain *cached = chainCache_.lookup(head.pc)) {
+                decision.enter = true;
+                decision.mode = RunaheadMode::kBuffer;
+                decision.usedCachedChain = true;
+                decision.chain = *cached;
+                decision.generationCycles = 1;
+
+                // Fig. 13 instrumentation: does the cached chain match
+                // what the ROB would generate right now?
+                ChainResult regen =
+                    chainGen_.generate(rob, sq, head.pc, head.seq);
+                ++chainCacheCheckedHits;
+                if (regen.pcFound
+                    && chainsEqual(*cached, regen.chain)) {
+                    ++chainCacheExactHits;
+                }
+                return decision;
+            }
+        }
+        ChainResult result = chainGen_.generate(rob, sq, head.pc, head.seq);
+        regCamSearches += result.regCamSearches;
+        sqCamSearches += result.sqSearches;
+        robChainReads += result.robReads;
+        if (result.overflow || result.chain.empty()) {
+            decision.enter = true;
+            decision.mode = RunaheadMode::kTraditional;
+            return decision;
+        }
+        if (policy_.chainCacheEnabled)
+            chainCache_.insert(head.pc, result.chain);
+        decision.enter = true;
+        decision.mode = RunaheadMode::kBuffer;
+        decision.chain = result.chain;
+        decision.generationCycles = result.generationCycles;
+        return decision;
+    }
+
+    // Buffer-only policies (Algorithm 1, optionally with chain cache).
+    if (policy_.chainCacheEnabled) {
+        if (const DependenceChain *cached = chainCache_.lookup(head.pc)) {
+            decision.enter = true;
+            decision.mode = RunaheadMode::kBuffer;
+            decision.usedCachedChain = true;
+            decision.chain = *cached;
+            decision.generationCycles = 1;
+
+            ChainResult regen =
+                chainGen_.generate(rob, sq, head.pc, head.seq);
+            ++chainCacheCheckedHits;
+            if (regen.pcFound && chainsEqual(*cached, regen.chain))
+                ++chainCacheExactHits;
+            return decision;
+        }
+    }
+    ChainResult result = chainGen_.generate(rob, sq, head.pc, head.seq);
+    ++pcCamSearches;
+    regCamSearches += result.regCamSearches;
+    sqCamSearches += result.sqSearches;
+    robChainReads += result.robReads;
+    if (!result.pcFound || result.chain.empty()) {
+        // Without traditional runahead to fall back on, stay stalled.
+        ++noChainNoEntry;
+        return decision;
+    }
+    // The buffer-only policy caps the chain at 32 uops and proceeds.
+    if (policy_.chainCacheEnabled)
+        chainCache_.insert(head.pc, result.chain);
+    decision.enter = true;
+    decision.mode = RunaheadMode::kBuffer;
+    decision.chain = result.chain;
+    decision.generationCycles = result.generationCycles;
+    return decision;
+}
+
+void
+RunaheadController::enter(const EntryDecision &decision, Cycle now,
+                          Cycle blocking_ready,
+                          std::uint64_t retired_instrs)
+{
+    if (!decision.enter || inRunahead())
+        panic("RunaheadController::enter: bad entry");
+    mode_ = decision.mode;
+    blockingReady_ = blocking_ready;
+    enteredAt_ = now;
+    missesAtEntry_ = runaheadMisses.value();
+    ++intervals;
+    ++checkpoints;
+    farthestInstr_ = std::max(farthestInstr_, retired_instrs);
+    if (mode_ == RunaheadMode::kBuffer) {
+        ++bufferIntervals;
+        chainGenCycles += decision.generationCycles;
+        bufferIssueStart_ = now + decision.generationCycles;
+        buffer_.fill(decision.chain);
+    } else {
+        ++traditionalIntervals;
+        bufferIssueStart_ = 0;
+    }
+}
+
+void
+RunaheadController::exit(Cycle now, std::uint64_t farthest_instr)
+{
+    if (!inRunahead())
+        panic("RunaheadController::exit while not in runahead");
+    farthestInstr_ = std::max(farthestInstr_, farthest_instr);
+    intervalLengths_.sample(now >= enteredAt_ ? now - enteredAt_ : 0);
+    intervalMlp_.sample(runaheadMisses.value() - missesAtEntry_);
+    mode_ = RunaheadMode::kNone;
+    buffer_.deactivate();
+    runaheadCache_.clear();
+}
+
+void
+RunaheadController::tickCycle()
+{
+    if (mode_ == RunaheadMode::kTraditional)
+        ++cyclesTraditional;
+    else if (mode_ == RunaheadMode::kBuffer)
+        ++cyclesBuffer;
+}
+
+void
+RunaheadController::noteRunaheadMiss()
+{
+    ++runaheadMisses;
+}
+
+double
+RunaheadController::missesPerInterval() const
+{
+    if (intervals.value() == 0)
+        return 0.0;
+    return static_cast<double>(runaheadMisses.value())
+        / static_cast<double>(intervals.value());
+}
+
+double
+RunaheadController::bufferCycleFraction() const
+{
+    const std::uint64_t total =
+        cyclesTraditional.value() + cyclesBuffer.value();
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(cyclesBuffer.value())
+        / static_cast<double>(total);
+}
+
+void
+RunaheadController::regStats(StatGroup *parent)
+{
+    statGroup_.addCounter("intervals", &intervals, "runahead intervals");
+    statGroup_.addCounter("traditional_intervals", &traditionalIntervals,
+                          "traditional-mode intervals");
+    statGroup_.addCounter("buffer_intervals", &bufferIntervals,
+                          "buffer-mode intervals");
+    statGroup_.addCounter("cycles_traditional", &cyclesTraditional,
+                          "cycles in traditional runahead");
+    statGroup_.addCounter("cycles_buffer", &cyclesBuffer,
+                          "cycles in buffer runahead");
+    statGroup_.addCounter("chain_gen_cycles", &chainGenCycles,
+                          "cycles spent generating chains");
+    statGroup_.addCounter("runahead_misses", &runaheadMisses,
+                          "LLC misses generated during runahead");
+    statGroup_.addCounter("suppressed_short", &suppressedShort,
+                          "entries suppressed: interval too short");
+    statGroup_.addCounter("suppressed_overlap", &suppressedOverlap,
+                          "entries suppressed: overlapping interval");
+    statGroup_.addCounter("no_chain_no_entry", &noChainNoEntry,
+                          "buffer-only entries skipped: no chain");
+    statGroup_.addCounter("chain_cache_exact_hits", &chainCacheExactHits,
+                          "chain cache hits matching the ROB chain");
+    statGroup_.addCounter("chain_cache_checked_hits",
+                          &chainCacheCheckedHits,
+                          "chain cache hits with a comparison run");
+    statGroup_.addCounter("checkpoints", &checkpoints,
+                          "architectural checkpoints taken");
+    statGroup_.addCounter("pc_cam_searches", &pcCamSearches,
+                          "ROB PC CAM searches");
+    statGroup_.addCounter("reg_cam_searches", &regCamSearches,
+                          "ROB destination-register CAM searches");
+    statGroup_.addCounter("sq_cam_searches", &sqCamSearches,
+                          "store queue CAM searches (chain gen)");
+    statGroup_.addCounter("rob_chain_reads", &robChainReads,
+                          "ROB reads during chain read-out");
+    runaheadCache_.regStats(&statGroup_);
+    chainGen_.regStats(&statGroup_);
+    chainCache_.regStats(&statGroup_);
+    buffer_.regStats(&statGroup_);
+    if (parent)
+        parent->addChild(&statGroup_);
+}
+
+} // namespace rab

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Lightweight gem5-flavoured statistics package.
+ *
+ * Components register named statistics with a StatGroup; groups nest to
+ * form a tree that can be dumped as an aligned table or JSON. Three stat
+ * kinds cover the simulator's needs:
+ *   - Counter:      a monotonically increasing scalar event count.
+ *   - ScalarValue:  an arbitrary scalar sampled at dump time.
+ *   - Distribution: bucketed samples with mean/min/max.
+ */
+
+#ifndef RAB_STATS_STATS_HH
+#define RAB_STATS_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rab
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Bucketed samples with running mean/min/max. */
+class Distribution
+{
+  public:
+    /** Buckets cover [low, high) in steps of bucket_size. */
+    Distribution(std::uint64_t low, std::uint64_t high,
+                 std::uint64_t bucket_size);
+
+    void sample(std::uint64_t value, std::uint64_t count = 1);
+
+    std::uint64_t samples() const { return samples_; }
+    double mean() const;
+    std::uint64_t min() const { return min_; }
+    std::uint64_t max() const { return max_; }
+
+    /** Count in the bucket that holds @p value. */
+    std::uint64_t bucketCount(std::uint64_t value) const;
+
+    void reset();
+
+  private:
+    std::uint64_t low_;
+    std::uint64_t high_;
+    std::uint64_t bucketSize_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t samples_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_;
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * A named collection of statistics. Values are registered by pointer and
+ * read live at dump time, so components keep plain members and register
+ * them once in their constructor.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name);
+    StatGroup(std::string name, StatGroup *parent);
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    void addCounter(const std::string &name, Counter *counter,
+                    const std::string &desc = "");
+    void addScalar(const std::string &name, const double *value,
+                   const std::string &desc = "");
+    void addChild(StatGroup *child);
+
+    /** Flatten this group's subtree into dotted-name → value pairs. */
+    std::map<std::string, double> collect() const;
+
+    /** Dump an aligned "name value # desc" table. */
+    void dump(std::ostream &os) const;
+
+    /** Dump the subtree as a flat JSON object of dotted names. */
+    void dumpJson(std::ostream &os) const;
+
+    /** Look up one stat by dotted path relative to this group. */
+    double get(const std::string &dotted_name) const;
+
+    void resetCounters();
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        Counter *counter = nullptr;
+        const double *scalar = nullptr;
+        std::string desc;
+    };
+
+    void collectInto(const std::string &prefix,
+                     std::map<std::string, double> &out) const;
+
+    std::string name_;
+    std::vector<Entry> entries_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace rab
+
+#endif // RAB_STATS_STATS_HH

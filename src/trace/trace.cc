@@ -1,0 +1,142 @@
+#include "trace/trace.hh"
+
+#include <cstring>
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace rab
+{
+
+TraceWriter::TraceWriter(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        fatal("trace: cannot open '%s' for writing", path.c_str());
+    TraceHeader header;
+    if (std::fwrite(&header, sizeof(header), 1, file_) != 1)
+        fatal("trace: header write failed");
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::record(const DynUop &uop)
+{
+    if (!file_)
+        panic("trace: record after close");
+    TraceRecord rec;
+    rec.seq = uop.seq;
+    rec.pc = uop.pc;
+    rec.addr = uop.sop.isMem() ? uop.effAddr : kNoAddr;
+    rec.opcode = static_cast<std::uint8_t>(uop.sop.op);
+    rec.flags = 0;
+    if (uop.llcMiss)
+        rec.flags |= TraceRecord::kFlagLlcMiss;
+    if (uop.isControl() && uop.actualTaken)
+        rec.flags |= TraceRecord::kFlagTaken;
+    if (std::fwrite(&rec, sizeof(rec), 1, file_) != 1)
+        fatal("trace: record write failed");
+    ++count_;
+}
+
+void
+TraceWriter::close()
+{
+    if (!file_)
+        return;
+    TraceHeader header;
+    header.records = count_;
+    std::fseek(file_, 0, SEEK_SET);
+    if (std::fwrite(&header, sizeof(header), 1, file_) != 1)
+        fatal("trace: header rewrite failed");
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+TraceReader::TraceReader(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    if (!file_)
+        fatal("trace: cannot open '%s' for reading", path.c_str());
+    if (std::fread(&header_, sizeof(header_), 1, file_) != 1)
+        fatal("trace: truncated header in '%s'", path.c_str());
+    if (std::memcmp(header_.magic, "RABT", 4) != 0)
+        fatal("trace: '%s' is not a rab trace", path.c_str());
+    if (header_.version != 1)
+        fatal("trace: unsupported version %u", header_.version);
+}
+
+TraceReader::~TraceReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+TraceReader::next(TraceRecord &record)
+{
+    if (!file_ || read_ >= header_.records)
+        return false;
+    if (std::fread(&record, sizeof(record), 1, file_) != 1)
+        fatal("trace: truncated record %llu",
+              (unsigned long long)read_);
+    ++read_;
+    return true;
+}
+
+std::vector<TraceRecord>
+TraceReader::readAll()
+{
+    std::vector<TraceRecord> records;
+    records.reserve(header_.records);
+    TraceRecord rec;
+    while (next(rec))
+        records.push_back(rec);
+    return records;
+}
+
+std::string
+TraceSummary::toString() const
+{
+    return strprintf(
+        "%llu uops: %llu loads, %llu stores, %llu branches, "
+        "%llu LLC misses (MPKI %.2f), %llu distinct lines",
+        (unsigned long long)totalUops, (unsigned long long)loads,
+        (unsigned long long)stores, (unsigned long long)branches,
+        (unsigned long long)llcMisses, mpki,
+        (unsigned long long)distinctLines);
+}
+
+TraceSummary
+summarizeTrace(const std::string &path)
+{
+    TraceReader reader(path);
+    TraceSummary summary;
+    std::unordered_set<Addr> lines;
+    TraceRecord rec;
+    while (reader.next(rec)) {
+        ++summary.totalUops;
+        const auto op = static_cast<Opcode>(rec.opcode);
+        if (op == Opcode::kLoad)
+            ++summary.loads;
+        else if (op == Opcode::kStore)
+            ++summary.stores;
+        else if (op == Opcode::kBranch || op == Opcode::kJump)
+            ++summary.branches;
+        if (rec.flags & TraceRecord::kFlagLlcMiss)
+            ++summary.llcMisses;
+        if (rec.addr != kNoAddr)
+            lines.insert(rec.addr / 64);
+    }
+    summary.distinctLines = lines.size();
+    summary.mpki = summary.totalUops == 0 ? 0.0
+        : 1000.0 * static_cast<double>(summary.llcMisses)
+            / static_cast<double>(summary.totalUops);
+    return summary;
+}
+
+} // namespace rab

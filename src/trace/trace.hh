@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Binary retirement-trace capture and replay-analysis tooling.
+ *
+ * TraceWriter hooks a Core's commit stream and records one fixed-size
+ * record per retired uop (sequence number, PC, opcode, effective
+ * address, LLC-miss flag). TraceReader iterates a captured file;
+ * TraceSummary computes aggregate statistics (uop mix, memory
+ * footprint, MPKI) so captured runs can be compared across
+ * configurations or shipped to other tools.
+ */
+
+#ifndef RAB_TRACE_TRACE_HH
+#define RAB_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "backend/dyn_uop.hh"
+#include "common/types.hh"
+
+namespace rab
+{
+
+/** One trace record (32 bytes on disk, little-endian host order). */
+struct TraceRecord
+{
+    std::uint64_t seq = 0;
+    std::uint64_t pc = 0;
+    std::uint64_t addr = 0; ///< kNoAddr for non-memory uops.
+    std::uint8_t opcode = 0;
+    std::uint8_t flags = 0; ///< Bit 0: LLC miss; bit 1: taken branch.
+    std::uint8_t pad[6] = {};
+
+    static constexpr std::uint8_t kFlagLlcMiss = 1;
+    static constexpr std::uint8_t kFlagTaken = 2;
+};
+
+static_assert(sizeof(TraceRecord) == 32, "trace record must be packed");
+
+/** File magic + version header. */
+struct TraceHeader
+{
+    char magic[4] = {'R', 'A', 'B', 'T'};
+    std::uint32_t version = 1;
+    std::uint64_t records = 0;
+};
+
+/** Streams retired uops to a file. */
+class TraceWriter
+{
+  public:
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one retired uop. */
+    void record(const DynUop &uop);
+
+    /** Flush and finalise the header. Called by the destructor too. */
+    void close();
+
+    std::uint64_t recordCount() const { return count_; }
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::uint64_t count_ = 0;
+};
+
+/** Reads a captured trace. */
+class TraceReader
+{
+  public:
+    explicit TraceReader(const std::string &path);
+    ~TraceReader();
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    std::uint64_t recordCount() const { return header_.records; }
+
+    /** Read the next record; false at end of file. */
+    bool next(TraceRecord &record);
+
+    /** Read everything (for small traces / tests). */
+    std::vector<TraceRecord> readAll();
+
+  private:
+    std::FILE *file_ = nullptr;
+    TraceHeader header_;
+    std::uint64_t read_ = 0;
+};
+
+/** Aggregate statistics over a trace. */
+struct TraceSummary
+{
+    std::uint64_t totalUops = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t llcMisses = 0;
+    std::uint64_t distinctLines = 0; ///< 64 B-line footprint.
+    double mpki = 0;
+
+    std::string toString() const;
+};
+
+/** Summarise a captured trace file. */
+TraceSummary summarizeTrace(const std::string &path);
+
+} // namespace rab
+
+#endif // RAB_TRACE_TRACE_HH

@@ -1,0 +1,405 @@
+#include "workloads/builders.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "isa/functional.hh"
+
+namespace rab
+{
+
+namespace
+{
+
+/** Register conventions shared by the builders. */
+constexpr ArchReg kRegIdx = 1;    ///< Induction / offset / pointer.
+constexpr ArchReg kRegHash = 2;   ///< Hashed index.
+constexpr ArchReg kRegAddr = 3;   ///< Effective address.
+constexpr ArchReg kRegVal = 4;    ///< Loaded value.
+constexpr ArchReg kRegDep = 5;    ///< Dependent-load scratch.
+constexpr ArchReg kRegCond = 8;   ///< Branch condition scratch.
+constexpr ArchReg kRegChain = 9;  ///< Address-chain scratch.
+constexpr ArchReg kRegBase = 10;  ///< Primary array base.
+constexpr ArchReg kRegBase2 = 11; ///< Dep-region / output base.
+constexpr ArchReg kRegArray0 = 12;///< Stride-family array bases 12..17.
+constexpr ArchReg kRegAcc = 20;   ///< Filler accumulators 20..27.
+constexpr ArchReg kRegMemCtr = 28;///< Phased gather: memory-phase ctr.
+constexpr ArchReg kRegCmpCtr = 29;///< Phased gather: compute-phase ctr.
+
+std::uint64_t
+wordMask(std::uint64_t bytes)
+{
+    if (bytes < 8 || (bytes & (bytes - 1)) != 0)
+        fatal("workload: working set %llu must be a power of two >= 8",
+              (unsigned long long)bytes);
+    return (bytes - 1) & ~std::uint64_t{7};
+}
+
+
+/** Emit a serial @p n-op mix chain seeded by @p seed_reg whose result
+ *  is folded to zero (so it can lengthen an address dependence chain
+ *  without changing the address). Leaves the zero in kRegChain. */
+void
+emitZeroChain(ProgramBuilder &b, ArchReg seed_reg, int n)
+{
+    if (n <= 0) {
+        b.li(kRegChain, 0);
+        return;
+    }
+    b.mix(kRegChain, seed_reg, seed_reg, 0x2001);
+    for (int i = 1; i < n; ++i)
+        b.mix(kRegChain, kRegChain, seed_reg, 0x2001 + i);
+    b.alu(AluFunc::kAnd, kRegChain, kRegChain, kNoArchReg, 0);
+}
+
+/** Emit filler ALU/FP ops consuming the loaded value. */
+void
+emitFiller(ProgramBuilder &b, const WorkloadParams &p)
+{
+    for (int i = 0; i < p.aluPerIter; ++i) {
+        const ArchReg acc = static_cast<ArchReg>(kRegAcc + (i % 4));
+        b.mix(acc, acc, kRegVal, p.seed + i);
+    }
+    for (int i = 0; i < p.fpPerIter; ++i) {
+        const ArchReg acc = static_cast<ArchReg>(kRegAcc + 4 + (i % 3));
+        if (i % 3 == 2)
+            b.fpMul(acc, acc, static_cast<ArchReg>(kRegAcc + 4));
+        else
+            b.fpAlu(acc, acc, kRegVal);
+    }
+}
+
+/** Emit a data-dependent branch that skips two filler ops ~50% of the
+ *  time (hard to predict: the condition is a loaded-value bit). */
+void
+emitNoisyBranch(ProgramBuilder &b)
+{
+    b.alu(AluFunc::kAnd, kRegCond, kRegVal, kNoArchReg, 1);
+    auto skip = b.futureLabel();
+    b.branch(BranchCond::kNeZ, kRegCond, kNoArchReg, skip);
+    b.mix(kRegAcc, kRegAcc, kRegCond, 0x51);
+    b.mix(static_cast<ArchReg>(kRegAcc + 1),
+          static_cast<ArchReg>(kRegAcc + 1), kRegCond, 0x52);
+    b.bind(skip);
+}
+
+} // namespace
+
+Program
+buildGather(const WorkloadParams &p)
+{
+    ProgramBuilder b(p.name);
+    const std::uint64_t mask = wordMask(p.workingSetBytes);
+    const std::uint64_t dep_mask = wordMask(p.depRegionBytes);
+    const Addr dep_base = kHeapBase + p.workingSetBytes + (64ull << 10);
+    const bool phased = p.memPhaseIters > 0;
+
+    b.initReg(kRegIdx, 0);
+    b.initReg(kRegBase, kHeapBase);
+    b.initReg(kRegBase2, dep_base);
+
+    auto loop = b.label();
+    ProgramBuilder::Label mem_loop{};
+    if (phased) {
+        b.li(kRegMemCtr, p.memPhaseIters);
+        mem_loop = b.label();
+    }
+    b.addi(kRegIdx, kRegIdx, 1);
+    b.mix(kRegHash, kRegIdx, kRegIdx, static_cast<std::int64_t>(p.seed));
+
+    if (p.altChains) {
+        // Diamond: the address register is produced on one of two paths
+        // (75% / 25%) whose *structure* differs, so the dynamic
+        // dependence chain of the shared gather load varies between
+        // instances (sphinx-like). The minority path computes a
+        // slightly shifted address and is one op longer, so a chain
+        // cached from one path issues inaccurate (but valid, flowing)
+        // requests when the other path runs, and the hybrid policy sees
+        // occasional over-length chains.
+        b.alu(AluFunc::kAnd, kRegCond, kRegHash, kNoArchReg, 7);
+        auto alt = b.futureLabel();
+        auto join = b.futureLabel();
+        b.branch(BranchCond::kEqZ, kRegCond, kNoArchReg, alt);
+        b.mix(kRegChain, kRegHash, kRegIdx, 0x1111);
+        for (int i = 0; i < p.chainAlu; ++i)
+            b.mix(kRegChain, kRegChain, kRegIdx, 0x4001 + i);
+        b.jump(join);
+        b.bind(alt);
+        // Minority path: the address depends on the previous loaded
+        // value, so a chain cached from this path poisons after one
+        // buffer loop (bounded inaccuracy).
+        b.mix(kRegChain, kRegHash, kRegVal, 0x9999);
+        for (int i = 0; i < p.chainAlu; ++i)
+            b.mix(kRegChain, kRegChain, kRegIdx, 0x4001 + i);
+        b.bind(join);
+        b.alu(AluFunc::kAnd, kRegChain, kRegChain, kNoArchReg,
+              static_cast<std::int64_t>(mask));
+        b.add(kRegAddr, kRegBase, kRegChain);
+    } else {
+        const int noise = p.chainNoiseBranches;
+        const int gap = noise > 0 ? p.chainAlu / (noise + 1) : 0;
+        for (int i = 0; i < p.chainAlu; ++i) {
+            b.mix(kRegHash, kRegHash, kRegIdx, 0x77 + i);
+            if (noise > 0 && gap > 2 && i > 0 && i % gap == 0
+                && i / gap <= noise) {
+                // Diamond on an induction-counter bit: periodic (the
+                // branch predictor learns it) yet the dynamic slice
+                // varies between instances.
+                b.alu(AluFunc::kAnd, kRegCond, kRegIdx, kNoArchReg,
+                      1 << (1 + i / gap));
+                auto skip = b.futureLabel();
+                b.branch(BranchCond::kNeZ, kRegCond, kNoArchReg, skip);
+                b.mix(kRegHash, kRegHash, kRegIdx, 0x3000 + i);
+                b.mix(kRegHash, kRegHash, kRegIdx, 0x3100 + i);
+                b.bind(skip);
+            }
+        }
+        b.alu(AluFunc::kAnd, kRegHash, kRegHash, kNoArchReg,
+              static_cast<std::int64_t>(mask));
+        b.add(kRegAddr, kRegBase, kRegHash);
+    }
+
+    b.load(kRegVal, kRegAddr, 0);
+
+    for (int d = 0; d < p.depLoads; ++d) {
+        b.alu(AluFunc::kAnd, kRegDep, kRegVal, kNoArchReg,
+              static_cast<std::int64_t>(dep_mask));
+        b.add(kRegDep, kRegBase2, kRegDep);
+        b.load(kRegVal, kRegDep, 0);
+    }
+
+    if (p.stores) {
+        b.add(kRegDep, kRegBase2, kRegHash);
+        b.store(kRegDep, kRegVal, 8);
+    }
+
+    if (p.noisyBranch)
+        emitNoisyBranch(b);
+
+    if (phased) {
+        // Close the memory phase, then run the compute phase: an inner
+        // loop of 4 ALU + 2 FP ops that keeps the core busy without
+        // touching memory.
+        b.addi(kRegMemCtr, kRegMemCtr, -1);
+        b.branch(BranchCond::kNeZ, kRegMemCtr, kNoArchReg, mem_loop);
+        if (p.computePhaseIters > 0) {
+            b.li(kRegCmpCtr, p.computePhaseIters);
+            auto cmp_loop = b.label();
+            b.mix(kRegAcc, kRegAcc, kRegVal, 0xc001);
+            b.mix(static_cast<ArchReg>(kRegAcc + 1),
+                  static_cast<ArchReg>(kRegAcc + 1), kRegAcc, 0xc002);
+            b.mix(static_cast<ArchReg>(kRegAcc + 2),
+                  static_cast<ArchReg>(kRegAcc + 2), kRegAcc, 0xc003);
+            b.mix(static_cast<ArchReg>(kRegAcc + 3),
+                  static_cast<ArchReg>(kRegAcc + 3), kRegAcc, 0xc004);
+            b.fpAlu(static_cast<ArchReg>(kRegAcc + 4),
+                    static_cast<ArchReg>(kRegAcc + 4), kRegAcc);
+            b.fpMul(static_cast<ArchReg>(kRegAcc + 5),
+                    static_cast<ArchReg>(kRegAcc + 5),
+                    static_cast<ArchReg>(kRegAcc + 4));
+            b.addi(kRegCmpCtr, kRegCmpCtr, -1);
+            b.branch(BranchCond::kNeZ, kRegCmpCtr, kNoArchReg, cmp_loop);
+        }
+    }
+    emitFiller(b, p);
+    b.jump(loop);
+    return b.build();
+}
+
+Program
+buildStream(const WorkloadParams &p)
+{
+    ProgramBuilder b(p.name);
+    const std::uint64_t mask = wordMask(p.workingSetBytes);
+    const Addr out_base = kHeapBase + p.workingSetBytes + (64ull << 10);
+
+    b.initReg(kRegIdx, 0);
+    b.initReg(kRegBase, kHeapBase);
+    b.initReg(kRegBase2, out_base);
+
+    auto loop = b.label();
+    b.addi(kRegIdx, kRegIdx, p.strideBytes);
+    if (p.segmentBytes > 0) {
+        // Segment boundary: jump ahead by a large, non-stream step
+        // (finishing a row). Taken once per segment; predictable.
+        b.alu(AluFunc::kAnd, kRegCond, kRegIdx, kNoArchReg,
+              static_cast<std::int64_t>(p.segmentBytes - 1));
+        auto no_jump = b.futureLabel();
+        b.branch(BranchCond::kNeZ, kRegCond, kNoArchReg, no_jump);
+        b.addi(kRegIdx, kRegIdx,
+               static_cast<std::int64_t>(p.segmentBytes * 7));
+        b.bind(no_jump);
+    }
+    b.alu(AluFunc::kAnd, kRegIdx, kRegIdx, kNoArchReg,
+          static_cast<std::int64_t>(mask));
+    b.add(kRegAddr, kRegBase, kRegIdx);
+    if (p.chainAlu > 0) {
+        emitZeroChain(b, kRegIdx, p.chainAlu);
+        b.add(kRegAddr, kRegAddr, kRegChain);
+    }
+    b.load(kRegVal, kRegAddr, 0);
+
+    if (p.stores) {
+        b.add(kRegDep, kRegBase2, kRegIdx);
+        b.store(kRegDep, kRegVal, 0);
+    }
+
+    if (p.noisyBranch)
+        emitNoisyBranch(b);
+    emitFiller(b, p);
+    b.jump(loop);
+    return b.build();
+}
+
+Program
+buildStride(const WorkloadParams &p)
+{
+    ProgramBuilder b(p.name);
+    const std::uint64_t mask = wordMask(p.workingSetBytes);
+    const int arrays = std::min(p.numArrays, 6);
+    if (arrays < 1)
+        fatal("workload %s: need at least one array", p.name.c_str());
+
+    b.initReg(kRegIdx, 0);
+    for (int a = 0; a < arrays; ++a) {
+        // Space the arrays out so they map to different rows/banks.
+        b.initReg(static_cast<ArchReg>(kRegArray0 + a),
+                  kHeapBase + static_cast<Addr>(a)
+                      * (p.workingSetBytes + (1ull << 20)));
+    }
+
+    auto loop = b.label();
+    b.addi(kRegIdx, kRegIdx, p.strideBytes);
+    b.alu(AluFunc::kAnd, kRegIdx, kRegIdx, kNoArchReg,
+          static_cast<std::int64_t>(mask));
+    if (p.chainAlu > 0) {
+        // Lengthen every array's address chain by a shared zero-folded
+        // computation (models address arithmetic in real stencils).
+        // The chain re-seeds from the induction each iteration, so
+        // iterations still pipeline.
+        emitZeroChain(b, kRegIdx, p.chainAlu);
+    } else {
+        b.li(kRegChain, 0);
+    }
+    for (int a = 0; a < arrays; ++a) {
+        b.add(kRegAddr, static_cast<ArchReg>(kRegArray0 + a), kRegIdx);
+        b.add(kRegAddr, kRegAddr, kRegChain);
+        b.load(kRegVal, kRegAddr, 0);
+        b.mix(static_cast<ArchReg>(kRegAcc + (a % 4)),
+              static_cast<ArchReg>(kRegAcc + (a % 4)), kRegVal, a);
+    }
+
+    if (p.stores) {
+        b.add(kRegDep, static_cast<ArchReg>(kRegArray0), kRegIdx);
+        b.store(kRegDep, kRegAcc, 8);
+    }
+
+    if (p.noisyBranch)
+        emitNoisyBranch(b);
+    emitFiller(b, p);
+    b.jump(loop);
+    return b.build();
+}
+
+Program
+buildChase(const WorkloadParams &p)
+{
+    ProgramBuilder b(p.name);
+    const std::uint64_t node_bytes =
+        p.seqChase ? static_cast<std::uint64_t>(p.strideBytes) : 64;
+    const std::uint64_t nodes = p.workingSetBytes / node_bytes;
+    if (nodes < 4 || (nodes & (nodes - 1)) != 0)
+        fatal("workload %s: chase node count must be a power of two",
+              p.name.c_str());
+    const Addr base = kHeapBase;
+    const std::uint64_t node_mask = nodes - 1;
+    // Multiplicative-LCG permutation: A = 5 (mod 8) has order 2^(k-2)
+    // over the odd residues, giving a long pseudo-random pointer cycle.
+    const std::uint64_t mult = 2862933555777941757ull;
+    const bool seq = p.seqChase;
+
+    b.initReg(kRegIdx, base + node_bytes); // Node 1 (odd: max orbit).
+    b.initReg(kRegChain, 0);
+    b.memoryImage([base, nodes, node_mask, mult, node_bytes, seq](
+                      Addr addr) -> std::uint64_t {
+        if (addr >= base && addr < base + nodes * node_bytes
+            && ((addr - base) % node_bytes) == 0) {
+            const std::uint64_t idx = (addr - base) / node_bytes;
+            const std::uint64_t next =
+                (seq ? idx + 1 : idx * mult) & node_mask;
+            return base + next * node_bytes;
+        }
+        return mix64(addr);
+    });
+
+    auto loop = b.label();
+    b.load(kRegVal, kRegIdx, 0); // next pointer (the dependent miss)
+    // A long computation chain whose (always-zero) result feeds the
+    // next pointer, stretching the load's dependence chain.
+    for (int i = 0; i < p.chainAlu; ++i)
+        b.mix(kRegChain, kRegChain, kRegVal, 0x1000 + i);
+    b.alu(AluFunc::kAnd, kRegChain, kRegChain, kNoArchReg, 0);
+    b.add(kRegIdx, kRegVal, kRegChain);
+
+    // Independent side gathers (events touching other heap objects):
+    // these give runahead some minable parallelism even though the
+    // chase itself is serial.
+    if (p.depLoads > 0) {
+        const Addr side_base = base + p.workingSetBytes + (1ull << 20);
+        const std::uint64_t side_mask = wordMask(p.workingSetBytes);
+        b.initReg(kRegBase2, side_base);
+        for (int d = 0; d < p.depLoads; ++d) {
+            b.addi(kRegDep, kRegDep, 1);
+            b.mix(kRegCond, kRegDep, kRegDep, 0x5151 + d);
+            b.alu(AluFunc::kAnd, kRegCond, kRegCond, kNoArchReg,
+                  static_cast<std::int64_t>(side_mask));
+            b.add(kRegCond, kRegBase2, kRegCond);
+            b.load(kRegHash, kRegCond, 0);
+        }
+    }
+
+    if (p.noisyBranch)
+        emitNoisyBranch(b);
+    emitFiller(b, p);
+    b.jump(loop);
+    return b.build();
+}
+
+Program
+buildCompute(const WorkloadParams &p)
+{
+    ProgramBuilder b(p.name);
+    const std::uint64_t mask = wordMask(p.workingSetBytes);
+
+    b.initReg(kRegIdx, 0);
+    b.initReg(kRegBase, kHeapBase);
+
+    auto loop = b.label();
+    b.addi(kRegIdx, kRegIdx, 8);
+    b.alu(AluFunc::kAnd, kRegIdx, kRegIdx, kNoArchReg,
+          static_cast<std::int64_t>(mask));
+    b.add(kRegAddr, kRegBase, kRegIdx);
+    b.load(kRegVal, kRegAddr, 0);
+    if (p.stores)
+        b.store(kRegAddr, kRegVal, 8);
+    if (p.noisyBranch)
+        emitNoisyBranch(b);
+    emitFiller(b, p);
+    b.jump(loop);
+    return b.build();
+}
+
+Program
+buildWorkload(const WorkloadParams &params)
+{
+    switch (params.family) {
+      case WorkloadFamily::kGather: return buildGather(params);
+      case WorkloadFamily::kStream: return buildStream(params);
+      case WorkloadFamily::kStride: return buildStride(params);
+      case WorkloadFamily::kChase: return buildChase(params);
+      case WorkloadFamily::kCompute: return buildCompute(params);
+    }
+    fatal("buildWorkload: bad family");
+}
+
+} // namespace rab

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Parameterised synthetic-workload program builders.
+ *
+ * SPEC CPU2006 binaries and SimPoint traces are not redistributable, so
+ * the suite is reproduced with synthetic kernels whose *memory access
+ * structure* matches what the paper's per-benchmark discussion
+ * attributes to each application (see DESIGN.md §2):
+ *
+ *  - kGather:  independent random gathers with a short address chain
+ *              (mcf, soplex, sphinx-like; also the medium/low-intensity
+ *              mixes when the working set partially fits the LLC).
+ *  - kStream:  sequential sweeps, optionally storing to an output
+ *              stream (libquantum, lbm, bwaves-like). Stream-prefetcher
+ *              friendly.
+ *  - kStride:  multi-array large-stride sweeps (milc, leslie3d,
+ *              GemsFDTD, zeusmp, cactusADM, wrf-like). Prefetcher
+ *              hostile, runahead friendly.
+ *  - kChase:   a dependent pointer chase with a long computation chain
+ *              feeding each next address (omnetpp-like): long, often
+ *              unique dependence chains; dependent misses.
+ *  - kCompute: L1-resident compute loops (the low-MPKI group).
+ */
+
+#ifndef RAB_WORKLOADS_BUILDERS_HH
+#define RAB_WORKLOADS_BUILDERS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/program.hh"
+
+namespace rab
+{
+
+/** Synthetic workload families. */
+enum class WorkloadFamily
+{
+    kGather,
+    kStream,
+    kStride,
+    kChase,
+    kCompute,
+};
+
+/** Knobs shared by all families (not all are used by each). */
+struct WorkloadParams
+{
+    std::string name = "workload";
+    WorkloadFamily family = WorkloadFamily::kGather;
+
+    /** Primary data working set; must be a power of two. */
+    std::uint64_t workingSetBytes = 64ull << 20;
+
+    /** Access stride for stream/stride families (bytes). */
+    int strideBytes = 8;
+
+    /** Parallel arrays swept by the stride family. */
+    int numArrays = 1;
+
+    /** Filler ALU ops per iteration (outside address chains). */
+    int aluPerIter = 4;
+
+    /** Filler FP ops per iteration. */
+    int fpPerIter = 0;
+
+    /** Dependent loads after the primary gather load. */
+    int depLoads = 0;
+
+    /** Working set of the dependent loads; power of two. */
+    std::uint64_t depRegionBytes = 16 * 1024;
+
+    /** Extra ALU ops *inside* the address-generation chain
+     *  (lengthens dependence chains; > 28 forces hybrid fallback). */
+    int chainAlu = 0;
+
+    /** Emit one store per iteration (to an output stream). */
+    bool stores = false;
+
+    /** Stream family: > 0 breaks the sweep into segments of this many
+     *  bytes (power of two): after each segment the stream jumps ahead,
+     *  like finishing one row of an array. Stream prefetchers overshoot
+     *  by their prefetch distance at every boundary, which is where
+     *  their bandwidth overhead comes from. */
+    std::uint64_t segmentBytes = 0;
+
+    /** Alternate between two differently-shaped gather chains on a
+     *  data-dependent condition (defeats the 2-entry chain cache,
+     *  sphinx-like). */
+    bool altChains = false;
+
+    /** Insert a data-dependent (hard-to-predict) branch skipping a few
+     *  filler ops. */
+    bool noisyBranch = false;
+
+    /** Chase family: follow a *sequential* pointer chain (next node =
+     *  this node + strideBytes) instead of a pseudo-random permutation.
+     *  Serial like any chase — runahead cannot mine it — but perfectly
+     *  stream-prefetchable (wrf-like). */
+    bool seqChase = false;
+
+    /** Gather family: number of data-dependent skip-diamonds embedded
+     *  *inside* the address chain. Each diamond conditionally skips two
+     *  chain ops, so the dynamic dependence chain of the gather load
+     *  varies between instances (omnetpp-like unique chains). */
+    int chainNoiseBranches = 0;
+
+    /** Gather family: > 0 switches to a *phased* program — an inner
+     *  memory loop of this many gather iterations followed by an inner
+     *  compute loop (computePhaseIters iterations of an 8-uop FP/ALU
+     *  body). Misses cluster inside the memory phase, which keeps
+     *  several dynamic instances of the gather PC in the ROB (so chain
+     *  generation finds a match) while the compute phase controls
+     *  MPKI — the structure of stencil/physics codes like zeusmp,
+     *  cactusADM and milc. */
+    int memPhaseIters = 0;
+
+    /** Gather family: compute-phase loop iterations (see above). */
+    int computePhaseIters = 0;
+
+    /** Seed mixed into the address hash. */
+    std::uint64_t seed = 1;
+};
+
+/** Build a program for @p params (dispatches on family). */
+Program buildWorkload(const WorkloadParams &params);
+
+/** @{ Family builders (exposed for tests). */
+Program buildGather(const WorkloadParams &params);
+Program buildStream(const WorkloadParams &params);
+Program buildStride(const WorkloadParams &params);
+Program buildChase(const WorkloadParams &params);
+Program buildCompute(const WorkloadParams &params);
+/** @} */
+
+/** Base heap address used by every builder. */
+inline constexpr Addr kHeapBase = 0x10000000ull;
+
+} // namespace rab
+
+#endif // RAB_WORKLOADS_BUILDERS_HH

@@ -1,0 +1,253 @@
+#include "workloads/suite.hh"
+
+#include "common/logging.hh"
+#include "isa/functional.hh"
+
+namespace rab
+{
+
+namespace
+{
+
+/** Deterministic per-name seed. */
+std::uint64_t
+mixSeed(const char *name)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char *c = name; *c; ++c)
+        h = mix64(h ^ static_cast<std::uint64_t>(*c));
+    return h | 1;
+}
+
+} // namespace
+
+const char *
+intensityName(MemIntensity intensity)
+{
+    switch (intensity) {
+      case MemIntensity::kLow: return "low";
+      case MemIntensity::kMedium: return "medium";
+      case MemIntensity::kHigh: return "high";
+    }
+    return "?";
+}
+
+namespace
+{
+
+WorkloadParams
+compute(const char *name, std::uint64_t ws, int alu, int fp,
+        bool noisy = false)
+{
+    WorkloadParams p;
+    p.name = name;
+    p.family = WorkloadFamily::kCompute;
+    p.workingSetBytes = ws;
+    p.aluPerIter = alu;
+    p.fpPerIter = fp;
+    p.noisyBranch = noisy;
+    p.seed = mixSeed(name);
+    return p;
+}
+
+WorkloadParams
+gather(const char *name, std::uint64_t ws, int alu, int dep,
+       bool alt = false, bool noisy = false, int fp = 0,
+       std::uint64_t dep_region = 16 * 1024, int chain_alu = 0,
+       int mem_phase = 0, int compute_phase = 0)
+{
+    WorkloadParams p;
+    p.name = name;
+    p.family = WorkloadFamily::kGather;
+    p.workingSetBytes = ws;
+    p.aluPerIter = alu;
+    p.fpPerIter = fp;
+    p.depLoads = dep;
+    p.depRegionBytes = dep_region;
+    p.chainAlu = chain_alu;
+    p.altChains = alt;
+    p.noisyBranch = noisy;
+    p.memPhaseIters = mem_phase;
+    p.computePhaseIters = compute_phase;
+    p.seed = mixSeed(name);
+    return p;
+}
+
+WorkloadParams
+withChainNoise(WorkloadParams p, int diamonds)
+{
+    p.chainNoiseBranches = diamonds;
+    return p;
+}
+
+WorkloadParams
+stream(const char *name, std::uint64_t ws, int stride, int alu, int fp,
+       bool stores, int chain_alu = 0, std::uint64_t segment = 0)
+{
+    WorkloadParams p;
+    p.name = name;
+    p.family = WorkloadFamily::kStream;
+    p.workingSetBytes = ws;
+    p.strideBytes = stride;
+    p.aluPerIter = alu;
+    p.fpPerIter = fp;
+    p.stores = stores;
+    p.chainAlu = chain_alu;
+    p.segmentBytes = segment;
+    p.seed = mixSeed(name);
+    return p;
+}
+
+WorkloadParams
+stride(const char *name, std::uint64_t ws, int stride_bytes, int arrays,
+       int alu, int fp, int chain_alu = 0)
+{
+    WorkloadParams p;
+    p.name = name;
+    p.family = WorkloadFamily::kStride;
+    p.workingSetBytes = ws;
+    p.strideBytes = stride_bytes;
+    p.numArrays = arrays;
+    p.aluPerIter = alu;
+    p.fpPerIter = fp;
+    p.chainAlu = chain_alu;
+    p.seed = mixSeed(name);
+    return p;
+}
+
+WorkloadParams
+chase(const char *name, std::uint64_t ws, int chain_alu, int alu,
+      bool noisy, int side_gathers = 0, bool seq = false,
+      int node_bytes = 64, int fp = 0)
+{
+    WorkloadParams p;
+    p.name = name;
+    p.family = WorkloadFamily::kChase;
+    p.workingSetBytes = ws;
+    p.chainAlu = chain_alu;
+    p.aluPerIter = alu;
+    p.noisyBranch = noisy;
+    p.depLoads = side_gathers;
+    p.seqChase = seq;
+    p.strideBytes = node_bytes;
+    p.fpPerIter = fp;
+    p.seed = mixSeed(name);
+    return p;
+}
+
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * kKiB;
+
+std::vector<WorkloadSpec>
+makeSuite()
+{
+    using MI = MemIntensity;
+    std::vector<WorkloadSpec> suite;
+    const auto add = [&](WorkloadParams p, MI mi) {
+        suite.push_back(WorkloadSpec{std::move(p), mi});
+    };
+
+    // --- Low intensity (MPKI <= 2), Figure 1 left-to-right order.
+    // Working sets are L1-resident (these applications are not memory
+    // limited; a short simulation must not read cold-miss noise as
+    // memory intensity). The ALU/FP mixes differentiate them.
+    add(compute("calculix", 2 * kKiB, 6, 8), MI::kLow);
+    add(compute("povray", 2 * kKiB, 10, 4), MI::kLow);
+    add(compute("namd", 2 * kKiB, 6, 10), MI::kLow);
+    add(compute("gamess", 2 * kKiB, 12, 4), MI::kLow);
+    add(compute("perlbench", 4 * kKiB, 14, 0, /*noisy=*/true),
+        MI::kLow);
+    add(compute("tonto", 2 * kKiB, 8, 8), MI::kLow);
+    add(compute("gromacs", 4 * kKiB, 8, 8), MI::kLow);
+    add(compute("gobmk", 4 * kKiB, 14, 0, /*noisy=*/true), MI::kLow);
+    add(compute("dealII", 4 * kKiB, 8, 6), MI::kLow);
+    add(compute("sjeng", 4 * kKiB, 12, 0, /*noisy=*/true), MI::kLow);
+    add(compute("gcc", 4 * kKiB, 16, 0, /*noisy=*/true), MI::kLow);
+    add(compute("hmmer", 2 * kKiB, 16, 0), MI::kLow);
+    add(compute("h264", 4 * kKiB, 12, 2), MI::kLow);
+    add(compute("bzip2", 4 * kKiB, 12, 0, /*noisy=*/true), MI::kLow);
+    add(compute("astar", 4 * kKiB, 12, 0, /*noisy=*/true), MI::kLow);
+    add(compute("xalanc", 4 * kKiB, 14, 0), MI::kLow);
+
+    // --- Medium intensity (2 < MPKI < 10). ---
+    add(gather("zeusmp", 16 * kMiB, 4, 0, false, false, 0, 16 * kKiB,
+               25, /*mem_phase=*/6, /*compute_phase=*/80),
+        MI::kMedium);
+    add(gather("cactus", 16 * kMiB, 4, 0, false, false, 0, 16 * kKiB,
+               18, /*mem_phase=*/6, /*compute_phase=*/60),
+        MI::kMedium);
+    add(chase("wrf", 32 * kMiB, 0, 26, false, 0, /*seq=*/true,
+              /*node_bytes=*/8, /*fp=*/10),
+        MI::kMedium);
+
+    // --- High intensity (MPKI >= 10). ---
+    add(stride("GemsFDTD", 256 * kMiB, 8640, 1, 12, 16, 23),
+        MI::kHigh);
+    add(stride("leslie", 256 * kMiB, 8704, 1, 16, 12, 12), MI::kHigh);
+    add(withChainNoise(gather("omnetpp", 64 * kMiB, 4, 0, false,
+                              /*noisy=*/true, 0, 16 * kKiB, 60),
+                       /*diamonds=*/3),
+        MI::kHigh);
+    add(gather("milc", 64 * kMiB, 4, 0, false, false, 0, 16 * kKiB,
+               17, /*mem_phase=*/8, /*compute_phase=*/24),
+        MI::kHigh);
+    add(gather("soplex", 16 * kMiB, 14, 0, false, false, 0,
+               16 * kKiB, 10),
+        MI::kHigh);
+    add(gather("sphinx", 8 * kMiB, 12, 0, /*alt=*/true, false, 0,
+               16 * kKiB, 24),
+        MI::kHigh);
+    add(stride("bwaves", 256 * kMiB, 8704, 1, 20, 8, 13), MI::kHigh);
+    add(stream("libq", 32 * kMiB, 8, 5, 0, /*stores=*/true, 8,
+               /*segment=*/8 * kKiB),
+        MI::kHigh);
+    add(stream("lbm", 32 * kMiB, 16, 22, 6, /*stores=*/true, 9,
+               /*segment=*/8 * kKiB),
+        MI::kHigh);
+    add(gather("mcf", 64 * kMiB, 6, 1, false, false, 0, 16 * kKiB,
+               8),
+        MI::kHigh);
+
+    return suite;
+}
+
+} // namespace
+
+const std::vector<WorkloadSpec> &
+spec06Suite()
+{
+    static const std::vector<WorkloadSpec> suite = makeSuite();
+    return suite;
+}
+
+std::vector<WorkloadSpec>
+mediumHighSuite()
+{
+    std::vector<WorkloadSpec> subset;
+    for (const WorkloadSpec &spec : spec06Suite()) {
+        if (spec.intensity != MemIntensity::kLow)
+            subset.push_back(spec);
+    }
+    return subset;
+}
+
+const WorkloadSpec *
+findWorkload(const std::string &name)
+{
+    for (const WorkloadSpec &spec : spec06Suite()) {
+        if (spec.params.name == name)
+            return &spec;
+    }
+    return nullptr;
+}
+
+Program
+buildSuiteWorkload(const std::string &name)
+{
+    const WorkloadSpec *spec = findWorkload(name);
+    if (!spec)
+        fatal("unknown workload '%s'", name.c_str());
+    return buildWorkload(spec->params);
+}
+
+} // namespace rab

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The synthetic SPEC CPU2006 workload suite: 29 named workloads in the
+ * paper's Figure 1 order (lowest to highest memory intensity), with the
+ * Table 2 intensity classification.
+ */
+
+#ifndef RAB_WORKLOADS_SUITE_HH
+#define RAB_WORKLOADS_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/builders.hh"
+
+namespace rab
+{
+
+/** Table 2 memory intensity classes. */
+enum class MemIntensity
+{
+    kLow,    ///< MPKI <= 2
+    kMedium, ///< 2 < MPKI < 10
+    kHigh,   ///< MPKI >= 10
+};
+
+const char *intensityName(MemIntensity intensity);
+
+/** One suite entry. */
+struct WorkloadSpec
+{
+    WorkloadParams params;
+    MemIntensity intensity;
+};
+
+/** The full 29-workload suite in Figure 1 order. */
+const std::vector<WorkloadSpec> &spec06Suite();
+
+/** The medium + high intensity subset (the paper's evaluation focus). */
+std::vector<WorkloadSpec> mediumHighSuite();
+
+/** Find a workload spec by name; nullptr if unknown. */
+const WorkloadSpec *findWorkload(const std::string &name);
+
+/** Build a named workload's program. */
+Program buildSuiteWorkload(const std::string &name);
+
+} // namespace rab
+
+#endif // RAB_WORKLOADS_SUITE_HH

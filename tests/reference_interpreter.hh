@@ -1,0 +1,114 @@
+/**
+ * @file
+ * In-order functional reference interpreter used for differential
+ * testing: the out-of-order core's committed instruction stream (PCs,
+ * results, addresses, architectural state) must match this simple
+ * model exactly, on every workload and under every runahead
+ * configuration (runahead is microarchitectural speculation only — it
+ * must never change architectural results).
+ */
+
+#ifndef RAB_TESTS_REFERENCE_INTERPRETER_HH
+#define RAB_TESTS_REFERENCE_INTERPRETER_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "isa/functional.hh"
+#include "isa/program.hh"
+
+namespace rab::test
+{
+
+/** One retired uop in the reference stream. */
+struct RefCommit
+{
+    Pc pc = 0;
+    std::uint64_t result = 0; ///< Dest value / store data; 0 otherwise.
+    Addr addr = kNoAddr;      ///< Memory uops only.
+    bool taken = false;       ///< Control uops only.
+};
+
+/** The reference machine. */
+class ReferenceInterpreter
+{
+  public:
+    explicit ReferenceInterpreter(const Program &program)
+        : program_(program)
+    {
+        regs_.fill(0);
+        for (ArchReg r = 0; r < kNumArchRegs; ++r)
+            regs_[r] = program.initialReg(r);
+        if (program.memoryImage())
+            mem_.setBackground(program.memoryImage());
+    }
+
+    /** Execute one uop; returns its commit record. */
+    RefCommit
+    step()
+    {
+        const Uop &uop = program_.fetch(pc_);
+        const std::uint64_t v1 =
+            uop.src1 != kNoArchReg ? regs_[uop.src1] : 0;
+        const std::uint64_t v2 =
+            uop.src2 != kNoArchReg ? regs_[uop.src2] : 0;
+
+        RefCommit commit;
+        commit.pc = pc_ % program_.size();
+        Pc next = commit.pc + 1;
+        switch (uop.op) {
+          case Opcode::kNop:
+            break;
+          case Opcode::kLoad:
+            commit.addr = effectiveAddr(uop, v1);
+            commit.result = mem_.read(commit.addr);
+            regs_[uop.dest] = commit.result;
+            break;
+          case Opcode::kStore:
+            commit.addr = effectiveAddr(uop, v1);
+            commit.result = v2;
+            mem_.write(commit.addr, v2);
+            break;
+          case Opcode::kBranch:
+            commit.taken = evalBranch(uop, v1, v2);
+            if (commit.taken)
+                next = uop.target;
+            break;
+          case Opcode::kJump:
+            commit.taken = true;
+            next = uop.target;
+            break;
+          default:
+            commit.result = evalAlu(uop, v1, v2);
+            regs_[uop.dest] = commit.result;
+            break;
+        }
+        pc_ = next % program_.size();
+        return commit;
+    }
+
+    /** Execute @p n uops and return the commit trace. */
+    std::vector<RefCommit>
+    run(std::uint64_t n)
+    {
+        std::vector<RefCommit> trace;
+        trace.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i)
+            trace.push_back(step());
+        return trace;
+    }
+
+    std::uint64_t reg(ArchReg r) const { return regs_[r]; }
+    Pc pc() const { return pc_; }
+
+  private:
+    const Program &program_;
+    std::array<std::uint64_t, kNumArchRegs> regs_{};
+    FunctionalMemory mem_;
+    Pc pc_ = 0;
+};
+
+} // namespace rab::test
+
+#endif // RAB_TESTS_REFERENCE_INTERPRETER_HH

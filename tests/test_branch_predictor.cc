@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests: hybrid branch predictor, BTB, RAS.
+ */
+
+#include <gtest/gtest.h>
+
+#include "frontend/branch_predictor.hh"
+
+namespace rab
+{
+namespace
+{
+
+BranchPredictor
+makeBp()
+{
+    return BranchPredictor(BranchPredictorConfig{});
+}
+
+TEST(BranchPredictor, ColdTakenBranchPredictedNotTakenWithoutBtb)
+{
+    auto bp = makeBp();
+    const BranchPrediction pred = bp.predictBranch(10);
+    EXPECT_FALSE(pred.btbHit);
+    EXPECT_FALSE(pred.taken); // no target available
+}
+
+TEST(BranchPredictor, LearnsAlwaysTaken)
+{
+    auto bp = makeBp();
+    for (int i = 0; i < 8; ++i) {
+        const BranchPrediction pred = bp.predictBranch(10);
+        bp.update(10, true, 42, pred.taken);
+    }
+    const BranchPrediction pred = bp.predictBranch(10);
+    EXPECT_TRUE(pred.taken);
+    EXPECT_TRUE(pred.btbHit);
+    EXPECT_EQ(pred.target, 42u);
+}
+
+TEST(BranchPredictor, LearnsAlwaysNotTaken)
+{
+    auto bp = makeBp();
+    for (int i = 0; i < 8; ++i)
+        bp.update(10, false, 11, 0);
+    EXPECT_FALSE(bp.predictBranch(10).taken);
+}
+
+TEST(BranchPredictor, GshareLearnsAlternatingPattern)
+{
+    auto bp = makeBp();
+    // Train T,N,T,N... with correct history updates; gshare + chooser
+    // should converge to ~perfect prediction.
+    bool taken = false;
+    int correct_tail = 0;
+    for (int i = 0; i < 400; ++i) {
+        taken = !taken;
+        const std::uint64_t hist = bp.history();
+        const BranchPrediction pred = bp.predictBranch(20);
+        if (pred.taken != taken)
+            bp.setHistory((hist << 1) | (taken ? 1 : 0));
+        bp.update(20, taken, 99, hist);
+        if (i >= 300)
+            correct_tail += (pred.taken == taken) ? 1 : 0;
+    }
+    EXPECT_GE(correct_tail, 95);
+}
+
+TEST(BranchPredictor, HistorySnapshotRestore)
+{
+    auto bp = makeBp();
+    bp.setHistory(0b101);
+    const std::uint64_t snapshot = bp.history();
+    bp.predictBranch(3); // speculative update shifts the history
+    EXPECT_NE(bp.history(), snapshot);
+    bp.setHistory(snapshot);
+    EXPECT_EQ(bp.history(), snapshot);
+}
+
+TEST(BranchPredictor, JumpUsesBtb)
+{
+    auto bp = makeBp();
+    EXPECT_FALSE(bp.predictJump(30).btbHit);
+    bp.update(30, true, 77, 0);
+    const BranchPrediction pred = bp.predictJump(30);
+    EXPECT_TRUE(pred.btbHit);
+    EXPECT_EQ(pred.target, 77u);
+}
+
+TEST(BranchPredictor, RasPushPopLifo)
+{
+    auto bp = makeBp();
+    bp.rasPush(100);
+    bp.rasPush(200);
+    EXPECT_EQ(bp.rasPop(), 200u);
+    EXPECT_EQ(bp.rasPop(), 100u);
+    EXPECT_EQ(bp.rasPop(), 0u); // empty
+}
+
+TEST(BranchPredictor, RasSnapshotRestore)
+{
+    auto bp = makeBp();
+    bp.rasPush(1);
+    bp.rasPush(2);
+    const auto snapshot = bp.rasSnapshot();
+    bp.rasPop();
+    bp.rasRestore(snapshot);
+    EXPECT_EQ(bp.rasPop(), 2u);
+}
+
+TEST(BranchPredictor, RasBounded)
+{
+    BranchPredictorConfig cfg;
+    cfg.rasEntries = 4;
+    BranchPredictor bp(cfg);
+    for (Pc i = 1; i <= 10; ++i)
+        bp.rasPush(i);
+    EXPECT_EQ(bp.rasSnapshot().size(), 4u);
+    EXPECT_EQ(bp.rasPop(), 10u);
+}
+
+TEST(BranchPredictor, BadConfigFatal)
+{
+    BranchPredictorConfig cfg;
+    cfg.bimodalEntries = 1000; // not a power of two
+    EXPECT_DEATH(BranchPredictor bp(cfg), "power of two");
+}
+
+} // namespace
+} // namespace rab

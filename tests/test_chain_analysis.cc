@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests: the Figs. 3-5 chain-analysis instrumentation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "runahead/chain_analysis.hh"
+#include "stats/stats.hh"
+
+namespace rab
+{
+namespace
+{
+
+DynUop
+mk(SeqNum seq, Pc pc, ArchReg dest, ArchReg src1 = kNoArchReg,
+   ArchReg src2 = kNoArchReg, bool load = false)
+{
+    DynUop u;
+    u.seq = seq;
+    u.pc = pc;
+    u.sop.op = load ? Opcode::kLoad : Opcode::kIntAlu;
+    u.sop.dest = dest;
+    u.sop.src1 = src1;
+    u.sop.src2 = src2;
+    return u;
+}
+
+/** Record one gather iteration: addi(1), mix(2<-1), add(3<-2),
+ *  load(4<-[3]), filler(20). Returns the load. */
+DynUop
+recordIteration(ChainAnalysis &ca, SeqNum base)
+{
+    ca.recordExec(mk(base + 0, 0, 1, 1));
+    ca.recordExec(mk(base + 1, 1, 2, 1));
+    ca.recordExec(mk(base + 2, 2, 3, 10, 2));
+    const DynUop load = mk(base + 3, 3, 4, 3, kNoArchReg, true);
+    ca.recordExec(load);
+    ca.recordExec(mk(base + 4, 4, 20, 20, 4));
+    return load;
+}
+
+TEST(ChainAnalysis, SliceLengthIsStaticChain)
+{
+    ChainAnalysis ca;
+    ca.beginInterval();
+    recordIteration(ca, 10);
+    const DynUop miss = recordIteration(ca, 20);
+    ca.recordMiss(miss);
+    ca.endInterval();
+    // Static slice: load, add, mix, addi = 4 distinct PCs (the older
+    // iteration's addi dedups by PC).
+    EXPECT_EQ(ca.chainsMeasured.value(), 1u);
+    EXPECT_DOUBLE_EQ(ca.averageChainLength(), 4.0);
+}
+
+TEST(ChainAnalysis, IdenticalChainsCountAsRepeated)
+{
+    ChainAnalysis ca;
+    ca.beginInterval();
+    for (int i = 0; i < 5; ++i) {
+        const DynUop miss = recordIteration(ca, 10 + i * 10);
+        ca.recordMiss(miss);
+    }
+    ca.endInterval();
+    EXPECT_EQ(ca.chainsTotal.value(), 5u);
+    EXPECT_EQ(ca.chainsRepeated.value(), 4u); // first is "unique"
+    EXPECT_DOUBLE_EQ(ca.repeatedFraction(), 0.8);
+}
+
+TEST(ChainAnalysis, DifferentChainsAreUnique)
+{
+    ChainAnalysis ca;
+    ca.beginInterval();
+    const DynUop m1 = recordIteration(ca, 10);
+    ca.recordMiss(m1);
+    // A structurally different miss: load whose address comes straight
+    // from the induction.
+    ca.recordExec(mk(31, 7, 5, 1));
+    const DynUop m2 = mk(32, 8, 6, 5, kNoArchReg, true);
+    ca.recordExec(m2);
+    ca.recordMiss(m2);
+    ca.endInterval();
+    EXPECT_EQ(ca.chainsTotal.value(), 2u);
+    EXPECT_EQ(ca.chainsRepeated.value(), 0u);
+}
+
+TEST(ChainAnalysis, NecessaryFractionCountsChainOps)
+{
+    ChainAnalysis ca;
+    ca.beginInterval();
+    const DynUop miss = recordIteration(ca, 10); // 5 executed ops
+    ca.recordMiss(miss);
+    ca.endInterval();
+    // addi, mix, add, load are necessary; the filler is not.
+    EXPECT_EQ(ca.opsExecuted.value(), 5u);
+    EXPECT_EQ(ca.opsNecessary.value(), 4u);
+    EXPECT_DOUBLE_EQ(ca.necessaryFraction(), 0.8);
+}
+
+TEST(ChainAnalysis, IntervalsAreIndependent)
+{
+    ChainAnalysis ca;
+    ca.beginInterval();
+    ca.recordMiss(recordIteration(ca, 10));
+    ca.endInterval();
+    ca.beginInterval();
+    ca.recordMiss(recordIteration(ca, 50));
+    ca.endInterval();
+    // The same chain in a *new* interval counts as unique again.
+    EXPECT_EQ(ca.chainsTotal.value(), 2u);
+    EXPECT_EQ(ca.chainsRepeated.value(), 0u);
+}
+
+TEST(ChainAnalysis, IgnoresRecordsOutsideIntervals)
+{
+    ChainAnalysis ca;
+    const DynUop miss = recordIteration(ca, 10); // no beginInterval
+    ca.recordMiss(miss);
+    ca.endInterval();
+    EXPECT_EQ(ca.opsExecuted.value(), 0u);
+    EXPECT_EQ(ca.chainsTotal.value(), 0u);
+}
+
+TEST(ChainAnalysis, OutOfOrderRecordingStillWalksProgramOrder)
+{
+    // Writeback order differs from program order; the walk must not.
+    ChainAnalysis ca;
+    ca.beginInterval();
+    ca.recordExec(mk(12, 2, 3, 10, 2));    // add completes first
+    ca.recordExec(mk(10, 0, 1, 1));        // addi later
+    ca.recordExec(mk(11, 1, 2, 1));        // mix last
+    const DynUop miss = mk(13, 3, 4, 3, kNoArchReg, true);
+    ca.recordExec(miss);
+    ca.recordMiss(miss);
+    ca.endInterval();
+    EXPECT_DOUBLE_EQ(ca.averageChainLength(), 4.0);
+}
+
+TEST(StatsJson, DumpJsonIsWellFormed)
+{
+    StatGroup root("root");
+    Counter c;
+    c += 5;
+    root.addCounter("events", &c);
+    StatGroup child("child", &root);
+    Counter d;
+    child.addCounter("inner", &d);
+    std::ostringstream os;
+    root.dumpJson(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("\"root.events\": 5"), std::string::npos);
+    EXPECT_NE(s.find("\"root.child.inner\": 0"), std::string::npos);
+    EXPECT_EQ(s.front(), '{');
+    EXPECT_EQ(s[s.size() - 2], '}');
+}
+
+} // namespace
+} // namespace rab

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests: deterministic RNG and logging helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace rab
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ZeroSeedRemapped)
+{
+    Rng rng(0);
+    EXPECT_NE(rng.next(), 0u);
+}
+
+TEST(Rng, RangeBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.range(17), 17u);
+}
+
+TEST(Rng, RangeCoversAllValues)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.range(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRespectesProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng rng(5);
+    const std::uint64_t first = rng.next();
+    rng.next();
+    rng.seed(5);
+    EXPECT_EQ(rng.next(), first);
+}
+
+TEST(Logging, Strprintf)
+{
+    EXPECT_EQ(strprintf("%d-%s", 7, "x"), "7-x");
+    EXPECT_EQ(strprintf("%llu", 18446744073709551615ull),
+              "18446744073709551615");
+    EXPECT_EQ(strprintf("plain"), "plain");
+}
+
+TEST(Logging, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 3), "boom 3");
+}
+
+} // namespace
+} // namespace rab

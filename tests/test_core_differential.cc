@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Differential correctness tests: the out-of-order core's committed
+ * instruction stream must exactly match the in-order reference
+ * interpreter — on straight-line code, branchy code, memory-heavy code,
+ * and (crucially) under every runahead configuration. Runahead is pure
+ * microarchitectural speculation: it must never change architectural
+ * results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/simulation.hh"
+#include "reference_interpreter.hh"
+#include "workloads/suite.hh"
+
+namespace rab
+{
+namespace
+{
+
+using test::RefCommit;
+using test::ReferenceInterpreter;
+
+/** Run @p program on the core and capture its commit stream. */
+std::vector<RefCommit>
+runCore(const Program &program, RunaheadConfig rc, std::uint64_t n,
+        bool prefetch = false)
+{
+    SimConfig config = makeConfig(rc, prefetch);
+    config.warmupInstructions = 0;
+    config.instructions = n;
+    Simulation sim(config, program);
+    std::vector<RefCommit> trace;
+    trace.reserve(n);
+    sim.core().setCommitHook([&](const DynUop &uop) {
+        RefCommit c;
+        c.pc = uop.pc;
+        c.result = uop.sop.hasDest() || uop.isStore() ? uop.result : 0;
+        c.addr = uop.sop.isMem() ? uop.effAddr : kNoAddr;
+        c.taken = uop.isControl() && uop.actualTaken;
+        trace.push_back(c);
+    });
+    sim.run();
+    trace.resize(std::min<std::size_t>(trace.size(), n));
+    return trace;
+}
+
+void
+expectTracesEqual(const std::vector<RefCommit> &ref,
+                  const std::vector<RefCommit> &core,
+                  const std::string &what)
+{
+    ASSERT_EQ(ref.size(), core.size()) << what;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        ASSERT_EQ(ref[i].pc, core[i].pc) << what << " @uop " << i;
+        ASSERT_EQ(ref[i].result, core[i].result)
+            << what << " @uop " << i << " pc " << ref[i].pc;
+        ASSERT_EQ(ref[i].addr, core[i].addr) << what << " @uop " << i;
+        ASSERT_EQ(ref[i].taken, core[i].taken) << what << " @uop " << i;
+    }
+}
+
+void
+checkProgram(const Program &program, std::uint64_t n)
+{
+    ReferenceInterpreter interp(program);
+    const auto ref = interp.run(n);
+    for (const RunaheadConfig rc :
+         {RunaheadConfig::kBaseline, RunaheadConfig::kRunahead,
+          RunaheadConfig::kRunaheadEnhanced,
+          RunaheadConfig::kRunaheadBuffer,
+          RunaheadConfig::kRunaheadBufferCC, RunaheadConfig::kHybrid}) {
+        const auto core = runCore(program, rc, n);
+        expectTracesEqual(ref, core,
+                          std::string(program.name()) + "/"
+                              + runaheadConfigName(rc));
+    }
+}
+
+TEST(CoreDifferential, StraightLineArithmetic)
+{
+    ProgramBuilder b("arith");
+    b.initReg(1, 3);
+    auto loop = b.label();
+    b.addi(1, 1, 5);
+    b.mix(2, 1, 1, 17);
+    b.alu(AluFunc::kXor, 3, 2, 1, 9);
+    b.alu(AluFunc::kShl, 4, 3, kNoArchReg, 3);
+    b.alu(AluFunc::kShr, 5, 4, kNoArchReg, 2);
+    b.mul(6, 5, 2);
+    b.fpAlu(7, 6, 1);
+    b.jump(loop);
+    checkProgram(b.build(), 4000);
+}
+
+TEST(CoreDifferential, DataDependentBranches)
+{
+    ProgramBuilder b("branchy");
+    b.initReg(1, 0);
+    auto loop = b.label();
+    b.addi(1, 1, 1);
+    b.mix(2, 1, 1, 3);
+    b.alu(AluFunc::kAnd, 3, 2, kNoArchReg, 1);
+    auto skip = b.futureLabel();
+    b.branch(BranchCond::kNeZ, 3, kNoArchReg, skip);
+    b.mix(4, 4, 2, 5);
+    b.mix(4, 4, 1, 6);
+    b.bind(skip);
+    b.alu(AluFunc::kAnd, 5, 2, kNoArchReg, 7);
+    auto skip2 = b.futureLabel();
+    b.branch(BranchCond::kEqZ, 5, kNoArchReg, skip2);
+    b.mix(6, 6, 5, 7);
+    b.bind(skip2);
+    b.jump(loop);
+    checkProgram(b.build(), 4000);
+}
+
+TEST(CoreDifferential, StoreToLoadForwarding)
+{
+    ProgramBuilder b("stld");
+    b.initReg(1, 0);
+    b.initReg(10, 0x100000);
+    auto loop = b.label();
+    b.addi(1, 1, 8);
+    b.alu(AluFunc::kAnd, 1, 1, kNoArchReg, 0x3ff8);
+    b.add(3, 10, 1);
+    b.mix(4, 1, 1, 11);
+    b.store(3, 4, 0);    // write
+    b.load(5, 3, 0);     // immediately reload (forwarded)
+    b.mix(6, 6, 5, 13);
+    b.load(7, 3, 8);     // neighbouring word (not forwarded)
+    b.mix(6, 6, 7, 15);
+    b.jump(loop);
+    checkProgram(b.build(), 4000);
+}
+
+TEST(CoreDifferential, MemoryIntensiveGather)
+{
+    WorkloadParams p;
+    p.name = "minimcf";
+    p.family = WorkloadFamily::kGather;
+    p.workingSetBytes = 8ull << 20;
+    p.aluPerIter = 3;
+    p.depLoads = 1;
+    p.chainAlu = 4;
+    checkProgram(buildWorkload(p), 3000);
+}
+
+TEST(CoreDifferential, PointerChase)
+{
+    WorkloadParams p;
+    p.name = "minichase";
+    p.family = WorkloadFamily::kChase;
+    p.workingSetBytes = 1ull << 20;
+    p.chainAlu = 6;
+    p.aluPerIter = 2;
+    checkProgram(buildWorkload(p), 2000);
+}
+
+TEST(CoreDifferential, PhasedGather)
+{
+    WorkloadParams p;
+    p.name = "miniphased";
+    p.family = WorkloadFamily::kGather;
+    p.workingSetBytes = 4ull << 20;
+    p.chainAlu = 8;
+    p.memPhaseIters = 4;
+    p.computePhaseIters = 10;
+    p.aluPerIter = 2;
+    checkProgram(buildWorkload(p), 3000);
+}
+
+TEST(CoreDifferential, AltChainsDiamond)
+{
+    WorkloadParams p;
+    p.name = "minisphinx";
+    p.family = WorkloadFamily::kGather;
+    p.workingSetBytes = 2ull << 20;
+    p.altChains = true;
+    p.chainAlu = 6;
+    p.aluPerIter = 2;
+    checkProgram(buildWorkload(p), 3000);
+}
+
+TEST(CoreDifferential, StoreStream)
+{
+    WorkloadParams p;
+    p.name = "minilbm";
+    p.family = WorkloadFamily::kStream;
+    p.workingSetBytes = 4ull << 20;
+    p.strideBytes = 16;
+    p.stores = true;
+    p.aluPerIter = 3;
+    p.chainAlu = 3;
+    checkProgram(buildWorkload(p), 3000);
+}
+
+TEST(CoreDifferential, WithPrefetcherEnabled)
+{
+    // Timing changes; architecture must not.
+    WorkloadParams p;
+    p.name = "ministream";
+    p.family = WorkloadFamily::kStream;
+    p.workingSetBytes = 4ull << 20;
+    p.strideBytes = 8;
+    p.aluPerIter = 2;
+    const Program program = buildWorkload(p);
+    ReferenceInterpreter interp(program);
+    const auto ref = interp.run(3000);
+    const auto core =
+        runCore(program, RunaheadConfig::kHybrid, 3000, true);
+    expectTracesEqual(ref, core, "stream/hybrid+pf");
+}
+
+TEST(CoreDifferential, EverySuiteWorkloadShortRun)
+{
+    for (const WorkloadSpec &spec : spec06Suite()) {
+        const Program program = buildWorkload(spec.params);
+        ReferenceInterpreter interp(program);
+        const auto ref = interp.run(1200);
+        const auto core =
+            runCore(program, RunaheadConfig::kHybrid, 1200);
+        expectTracesEqual(ref, core, spec.params.name);
+    }
+}
+
+} // namespace
+} // namespace rab

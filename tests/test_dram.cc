@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests: DDR3 timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/dram.hh"
+
+namespace rab
+{
+namespace
+{
+
+DramConfig
+defaultConfig()
+{
+    return DramConfig{};
+}
+
+TEST(Dram, RowHitFasterThanConflict)
+{
+    Dram dram(defaultConfig());
+    EXPECT_LT(dram.idleHitLatency(), dram.idleConflictLatency());
+
+    // First access opens the row (activate), second hits it.
+    const Addr a = 0x100000;
+    const DramResult first = dram.access(a, 0, false);
+    EXPECT_FALSE(first.rowHit);
+    const Cycle t1 = first.readyCycle;
+    const DramResult second = dram.access(a + 64 * dram.config().channels,
+                                          t1, false);
+    EXPECT_TRUE(second.rowHit);
+    EXPECT_LT(second.readyCycle - t1, t1 - 0);
+}
+
+TEST(Dram, SameBankDifferentRowConflicts)
+{
+    Dram dram(defaultConfig());
+    const Addr a = 0x100000;
+    // Same channel + bank, next row: channels * banks * rowBytes apart.
+    const Addr b = a
+        + static_cast<Addr>(dram.config().rowBytes)
+            * dram.config().banksPerChannel * dram.config().channels;
+    ASSERT_EQ(dram.channelOf(a), dram.channelOf(b));
+    ASSERT_EQ(dram.bankOf(a), dram.bankOf(b));
+    ASSERT_NE(dram.rowOf(a), dram.rowOf(b));
+
+    dram.access(a, 0, false);
+    const DramResult r = dram.access(b, 0, false);
+    EXPECT_FALSE(r.rowHit);
+    // The second access waits for the bank: later than an idle conflict.
+    EXPECT_GT(r.readyCycle, dram.idleConflictLatency());
+}
+
+TEST(Dram, DifferentBanksProceedInParallel)
+{
+    Dram dram(defaultConfig());
+    const Addr a = 0x100000;
+    const Addr b = a + dram.config().rowBytes * dram.config().channels;
+    ASSERT_EQ(dram.channelOf(a), dram.channelOf(b));
+    ASSERT_NE(dram.bankOf(a), dram.bankOf(b));
+
+    const Cycle t_a = dram.access(a, 0, false).readyCycle;
+    const Cycle t_b = dram.access(b, 0, false).readyCycle;
+    // Bank-parallel: only the shared data bus separates them.
+    EXPECT_LT(t_b, t_a + t_a / 2);
+}
+
+TEST(Dram, ConsecutiveLinesAlternateChannels)
+{
+    Dram dram(defaultConfig());
+    EXPECT_NE(dram.channelOf(0), dram.channelOf(64));
+    EXPECT_EQ(dram.channelOf(0), dram.channelOf(128));
+}
+
+TEST(Dram, StatsCountReadsAndWrites)
+{
+    Dram dram(defaultConfig());
+    dram.access(0, 0, false);
+    dram.access(64, 0, true);
+    dram.access(128, 0, false);
+    EXPECT_EQ(dram.reads.value(), 2u);
+    EXPECT_EQ(dram.writes.value(), 1u);
+    EXPECT_EQ(dram.rowHits.value() + dram.rowConflicts.value(), 3u);
+}
+
+TEST(Dram, LatencyAccounting)
+{
+    Dram dram(defaultConfig());
+    const DramResult r = dram.access(0x4000, 100, false);
+    EXPECT_EQ(dram.latencySum.value(), r.readyCycle - 100);
+}
+
+TEST(Dram, ResetClearsBankState)
+{
+    Dram dram(defaultConfig());
+    dram.access(0x100000, 0, false);
+    dram.reset();
+    EXPECT_EQ(dram.reads.value(), 0u);
+    const DramResult r = dram.access(0x100000, 0, false);
+    EXPECT_FALSE(r.rowHit); // rows closed again
+}
+
+TEST(Dram, BankOccupancySerializesBursts)
+{
+    Dram dram(defaultConfig());
+    const Addr a = 0x100000;
+    const Addr row_stride = static_cast<Addr>(dram.config().rowBytes)
+        * dram.config().banksPerChannel * dram.config().channels;
+    // Ten conflicting accesses to one bank arriving together must
+    // serialise: each occupies the bank for roughly tRC.
+    Cycle last = 0;
+    for (int i = 0; i < 10; ++i)
+        last = dram.access(a + i * row_stride, 0, false).readyCycle;
+    EXPECT_GT(last, 9 * dram.idleConflictLatency() / 2);
+}
+
+} // namespace
+} // namespace rab

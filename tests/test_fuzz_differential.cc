@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Fuzz testing: generate random (but valid) programs — random ALU ops,
+ * data-dependent branches, loads and stores over bounded regions —
+ * and require the out-of-order core to commit exactly the reference
+ * interpreter's stream under several runahead configurations. This is
+ * the widest net for pipeline bugs (forwarding, squash, poison,
+ * checkpoint/restore) the suite casts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "core/simulation.hh"
+#include "reference_interpreter.hh"
+
+namespace rab
+{
+namespace
+{
+
+using test::RefCommit;
+using test::ReferenceInterpreter;
+
+/** Generate a random single-loop program. Register conventions:
+ *  r1..r7 data, r8 scratch, r10/r11 region bases. */
+Program
+randomProgram(std::uint64_t seed, int body_ops)
+{
+    Rng rng(seed);
+    ProgramBuilder b(strprintf("fuzz%llu", (unsigned long long)seed));
+    b.initReg(10, 0x10000000); // large region (misses)
+    b.initReg(11, 0x00100000); // small region (hits)
+    for (ArchReg r = 1; r <= 7; ++r)
+        b.initReg(r, rng.next());
+
+    auto loop = b.label();
+    // Pending forward-branch fixups: (label, ops until bind).
+    std::vector<std::pair<ProgramBuilder::Label, int>> pending;
+
+    const auto reg = [&]() -> ArchReg {
+        return static_cast<ArchReg>(1 + rng.range(7));
+    };
+
+    for (int i = 0; i < body_ops; ++i) {
+        // Bind any due forward labels (diamond joins).
+        for (auto it = pending.begin(); it != pending.end();) {
+            if (--it->second <= 0) {
+                b.bind(it->first);
+                it = pending.erase(it);
+            } else {
+                ++it;
+            }
+        }
+
+        switch (rng.range(10)) {
+          case 0:
+          case 1:
+          case 2: // plain ALU
+            b.alu(static_cast<AluFunc>(rng.range(8)), reg(), reg(),
+                  reg(), static_cast<std::int64_t>(rng.range(1024)));
+            break;
+          case 3:
+            b.mul(reg(), reg(), reg());
+            break;
+          case 4:
+            b.fpAlu(reg(), reg(), reg());
+            break;
+          case 5:
+          case 6: { // load from one of the regions
+            const ArchReg base = rng.chance(0.5) ? 10 : 11;
+            b.alu(AluFunc::kAnd, 8, reg(), kNoArchReg,
+                  static_cast<std::int64_t>(
+                      (base == 10 ? (8u << 20) : (64u << 10)) - 8));
+            b.add(8, base, 8);
+            b.load(reg(), 8, 0);
+            break;
+          }
+          case 7: { // store into the small region
+            b.alu(AluFunc::kAnd, 8, reg(), kNoArchReg,
+                  static_cast<std::int64_t>((64u << 10) - 8));
+            b.add(8, 11, 8);
+            b.store(8, reg(), 0);
+            break;
+          }
+          case 8: { // possible store-to-load forwarding pair
+            b.alu(AluFunc::kAnd, 8, reg(), kNoArchReg, 0xff8);
+            b.add(8, 11, 8);
+            b.store(8, reg(), 0);
+            b.load(reg(), 8, 0);
+            break;
+          }
+          case 9: { // data-dependent forward branch (diamond)
+            b.alu(AluFunc::kAnd, 8, reg(), kNoArchReg,
+                  static_cast<std::int64_t>(1 + rng.range(3)));
+            auto skip = b.futureLabel();
+            b.branch(rng.chance(0.5) ? BranchCond::kNeZ
+                                     : BranchCond::kEqZ,
+                     8, kNoArchReg, skip);
+            pending.emplace_back(skip,
+                                 static_cast<int>(1 + rng.range(4)));
+            break;
+          }
+        }
+    }
+    for (auto &[label, ops] : pending)
+        b.bind(label);
+    b.jump(loop);
+    return b.build();
+}
+
+class FuzzDifferential : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FuzzDifferential, CommitsReferenceStream)
+{
+    const std::uint64_t seed = GetParam();
+    const Program program = randomProgram(seed, 24);
+    constexpr std::uint64_t kInstructions = 1'200;
+
+    ReferenceInterpreter interp(program);
+    const auto ref = interp.run(kInstructions);
+
+    for (const RunaheadConfig rc :
+         {RunaheadConfig::kBaseline, RunaheadConfig::kRunahead,
+          RunaheadConfig::kRunaheadBufferCC, RunaheadConfig::kHybrid}) {
+        SimConfig config = makeConfig(rc, seed % 2 == 0);
+        config.warmupInstructions = 0;
+        config.instructions = kInstructions;
+        Simulation sim(config, program);
+        std::vector<RefCommit> trace;
+        sim.core().setCommitHook([&](const DynUop &uop) {
+            RefCommit c;
+            c.pc = uop.pc;
+            c.result =
+                uop.sop.hasDest() || uop.isStore() ? uop.result : 0;
+            c.addr = uop.sop.isMem() ? uop.effAddr : kNoAddr;
+            c.taken = uop.isControl() && uop.actualTaken;
+            trace.push_back(c);
+        });
+        sim.run();
+        trace.resize(std::min<std::size_t>(trace.size(), kInstructions));
+
+        ASSERT_EQ(trace.size(), ref.size())
+            << "seed " << seed << " config " << runaheadConfigName(rc);
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+            ASSERT_EQ(ref[i].pc, trace[i].pc)
+                << "seed " << seed << " " << runaheadConfigName(rc)
+                << " uop " << i;
+            ASSERT_EQ(ref[i].result, trace[i].result)
+                << "seed " << seed << " " << runaheadConfigName(rc)
+                << " uop " << i << " pc " << ref[i].pc;
+            ASSERT_EQ(ref[i].addr, trace[i].addr)
+                << "seed " << seed << " " << runaheadConfigName(rc)
+                << " uop " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferential,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+} // namespace
+} // namespace rab

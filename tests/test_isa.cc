@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests: uop semantics, functional memory, program builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/functional.hh"
+#include "isa/program.hh"
+#include "isa/uop.hh"
+
+namespace rab
+{
+namespace
+{
+
+Uop
+aluUop(AluFunc func, std::int64_t imm = 0)
+{
+    Uop u;
+    u.op = Opcode::kIntAlu;
+    u.func = func;
+    u.dest = 1;
+    u.src1 = 2;
+    u.src2 = 3;
+    u.imm = imm;
+    return u;
+}
+
+TEST(Uop, Classification)
+{
+    Uop load;
+    load.op = Opcode::kLoad;
+    load.dest = 1;
+    load.src1 = 2;
+    EXPECT_TRUE(load.isLoad());
+    EXPECT_TRUE(load.isMem());
+    EXPECT_FALSE(load.isControl());
+    EXPECT_TRUE(load.hasDest());
+    EXPECT_EQ(load.numSrcs(), 1);
+
+    Uop br;
+    br.op = Opcode::kBranch;
+    br.src1 = 4;
+    EXPECT_TRUE(br.isControl());
+    EXPECT_FALSE(br.hasDest());
+}
+
+TEST(Uop, ExecLatencies)
+{
+    EXPECT_EQ(execLatency(Opcode::kIntAlu), 1);
+    EXPECT_EQ(execLatency(Opcode::kIntMul), 3);
+    EXPECT_EQ(execLatency(Opcode::kIntDiv), 18);
+    EXPECT_EQ(execLatency(Opcode::kFpAlu), 4);
+    EXPECT_EQ(execLatency(Opcode::kFpMul), 6);
+    EXPECT_EQ(execLatency(Opcode::kFpDiv), 24);
+    EXPECT_EQ(execLatency(Opcode::kLoad), 1);
+}
+
+TEST(Alu, ArithmeticFunctions)
+{
+    EXPECT_EQ(evalAlu(aluUop(AluFunc::kAdd, 5), 10, 20), 35u);
+    EXPECT_EQ(evalAlu(aluUop(AluFunc::kSub, 1), 20, 5), 16u);
+    EXPECT_EQ(evalAlu(aluUop(AluFunc::kXor, 0), 0xff, 0x0f), 0xf0u);
+    EXPECT_EQ(evalAlu(aluUop(AluFunc::kShl, 4), 3, 0), 48u);
+    EXPECT_EQ(evalAlu(aluUop(AluFunc::kShr, 4), 48, 0), 3u);
+    EXPECT_EQ(evalAlu(aluUop(AluFunc::kMov, 7), 10, 0), 17u);
+    EXPECT_EQ(evalAlu(aluUop(AluFunc::kLi, 99), 1, 2), 99u);
+}
+
+TEST(Alu, AndMasksWithImmediate)
+{
+    // kAnd: s1 & (s2 | imm); with no second register value this is a
+    // mask-with-immediate — the workload builders rely on it.
+    EXPECT_EQ(evalAlu(aluUop(AluFunc::kAnd, 0xff), 0x1234, 0), 0x34u);
+    EXPECT_EQ(evalAlu(aluUop(AluFunc::kAnd, 0), 0x1234, 0), 0u);
+    EXPECT_EQ(evalAlu(aluUop(AluFunc::kAnd, 0), 0x1234, 0xf0), 0x30u);
+}
+
+TEST(Alu, MixDiffusesBits)
+{
+    const auto a = evalAlu(aluUop(AluFunc::kMix, 1), 1, 2);
+    const auto b = evalAlu(aluUop(AluFunc::kMix, 1), 1, 3);
+    const auto c = evalAlu(aluUop(AluFunc::kMix, 2), 1, 2);
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(Branch, Conditions)
+{
+    Uop br;
+    br.op = Opcode::kBranch;
+    br.cond = BranchCond::kEqZ;
+    EXPECT_TRUE(evalBranch(br, 0, 9));
+    EXPECT_FALSE(evalBranch(br, 1, 9));
+    br.cond = BranchCond::kNeZ;
+    EXPECT_TRUE(evalBranch(br, 1, 0));
+    br.cond = BranchCond::kLtS;
+    EXPECT_TRUE(evalBranch(br, static_cast<std::uint64_t>(-5), 3));
+    EXPECT_FALSE(evalBranch(br, 3, static_cast<std::uint64_t>(-5)));
+    br.cond = BranchCond::kGeU;
+    EXPECT_TRUE(evalBranch(br, 7, 7));
+    EXPECT_FALSE(evalBranch(br, 6, 7));
+    br.cond = BranchCond::kAlways;
+    EXPECT_TRUE(evalBranch(br, 0, 0));
+}
+
+TEST(FunctionalMemory, WriteReadAligned)
+{
+    FunctionalMemory mem;
+    mem.write(0x1000, 42);
+    EXPECT_EQ(mem.read(0x1000), 42u);
+    // Sub-word addresses alias the containing 8-byte word.
+    EXPECT_EQ(mem.read(0x1003), 42u);
+    mem.write(0x1007, 7);
+    EXPECT_EQ(mem.read(0x1000), 7u);
+}
+
+TEST(FunctionalMemory, BackgroundDeterministic)
+{
+    FunctionalMemory a;
+    FunctionalMemory b;
+    EXPECT_EQ(a.read(0x5000), b.read(0x5000));
+    EXPECT_NE(a.read(0x5000), a.read(0x5008));
+}
+
+TEST(FunctionalMemory, CustomBackground)
+{
+    FunctionalMemory mem;
+    mem.setBackground([](Addr addr) { return addr * 2; });
+    EXPECT_EQ(mem.read(0x100), 0x200u);
+    mem.write(0x100, 1);
+    EXPECT_EQ(mem.read(0x100), 1u);
+    mem.clear();
+    EXPECT_EQ(mem.read(0x100), 0x200u);
+}
+
+TEST(ProgramBuilder, LabelsAndJumps)
+{
+    ProgramBuilder b("t");
+    auto loop = b.label();
+    b.addi(1, 1, 1);
+    auto fwd = b.futureLabel();
+    b.branch(BranchCond::kEqZ, 1, kNoArchReg, fwd);
+    b.nop();
+    b.bind(fwd);
+    b.jump(loop);
+    const Program p = b.build();
+    ASSERT_EQ(p.size(), 4u);
+    EXPECT_EQ(p.at(1).target, 3u); // forward branch to bind point
+    EXPECT_EQ(p.at(3).target, 0u); // back jump to loop
+}
+
+TEST(ProgramBuilder, InitialRegsAndFetchWrap)
+{
+    ProgramBuilder b("t");
+    b.initReg(3, 123);
+    b.nop();
+    b.nop();
+    const Program p = b.build();
+    EXPECT_EQ(p.initialReg(3), 123u);
+    EXPECT_EQ(p.initialReg(4), 0u);
+    EXPECT_EQ(&p.fetch(0), &p.fetch(2)); // wraps modulo size
+}
+
+TEST(ProgramBuilder, DisassembleListsEveryUop)
+{
+    ProgramBuilder b("t");
+    b.load(1, 2, 8);
+    b.store(2, 1, 0);
+    const Program p = b.build();
+    const std::string dis = p.disassemble();
+    EXPECT_NE(dis.find("load"), std::string::npos);
+    EXPECT_NE(dis.find("store"), std::string::npos);
+}
+
+TEST(ProgramBuilder, ValidateCatchesBadRegister)
+{
+    Program p("bad");
+    Uop u;
+    u.op = Opcode::kIntAlu;
+    u.dest = 200; // out of range
+    p.append(u);
+    EXPECT_DEATH(p.validate(), "bad register");
+}
+
+} // namespace
+} // namespace rab

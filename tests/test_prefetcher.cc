@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests: POWER4-style stream prefetcher with FDP throttling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/stream_prefetcher.hh"
+
+namespace rab
+{
+namespace
+{
+
+PrefetcherConfig
+enabledConfig()
+{
+    PrefetcherConfig cfg;
+    cfg.enabled = true;
+    return cfg;
+}
+
+std::vector<Addr>
+train(StreamPrefetcher &pf, Addr start_line, int count, int step = 1)
+{
+    std::vector<Addr> out;
+    for (int i = 0; i < count; ++i)
+        pf.observe((start_line + static_cast<Addr>(i) * step) * 64, true,
+                   out);
+    return out;
+}
+
+TEST(StreamPrefetcher, DisabledDoesNothing)
+{
+    PrefetcherConfig cfg;
+    cfg.enabled = false;
+    StreamPrefetcher pf(cfg, 64);
+    std::vector<Addr> out;
+    for (int i = 0; i < 10; ++i)
+        pf.observe(i * 64, true, out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(pf.issued.value(), 0u);
+}
+
+TEST(StreamPrefetcher, AscendingStreamConfirmsAndPrefetches)
+{
+    StreamPrefetcher pf(enabledConfig(), 64);
+    const auto out = train(pf, 100, 5);
+    EXPECT_FALSE(out.empty());
+    // Prefetches run ahead of the demand pointer.
+    for (const Addr a : out)
+        EXPECT_GT(a / 64, 100u);
+    EXPECT_EQ(pf.streamsAllocated.value(), 1u);
+}
+
+TEST(StreamPrefetcher, NoPrefetchBeforeConfirmation)
+{
+    StreamPrefetcher pf(enabledConfig(), 64);
+    std::vector<Addr> out;
+    pf.observe(100 * 64, true, out); // allocation only
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(StreamPrefetcher, DescendingStreamFollowsDirection)
+{
+    StreamPrefetcher pf(enabledConfig(), 64);
+    std::vector<Addr> out;
+    for (int i = 0; i < 6; ++i)
+        pf.observe((1000 - i) * 64, true, out);
+    ASSERT_FALSE(out.empty());
+    for (const Addr a : out)
+        EXPECT_LT(a / 64, 1000u - 2);
+}
+
+TEST(StreamPrefetcher, DegreeLimitsPerTrigger)
+{
+    StreamPrefetcher pf(enabledConfig(), 64);
+    train(pf, 100, 3); // confirm
+    std::vector<Addr> out;
+    pf.observe(103 * 64, true, out);
+    EXPECT_LE(static_cast<int>(out.size()), pf.currentDegree());
+}
+
+TEST(StreamPrefetcher, HeadStaysWithinDistance)
+{
+    StreamPrefetcher pf(enabledConfig(), 64);
+    std::vector<Addr> all;
+    for (int i = 0; i < 64; ++i)
+        pf.observe((200 + i) * 64, true, all);
+    for (const Addr a : all) {
+        EXPECT_LE(static_cast<long>(a / 64) - (200 + 63),
+                  pf.config().distance + 1);
+    }
+}
+
+TEST(StreamPrefetcher, RandomAccessesDoNotConfirm)
+{
+    StreamPrefetcher pf(enabledConfig(), 64);
+    std::vector<Addr> out;
+    // Far-apart lines: never within any tracker's window.
+    for (int i = 0; i < 20; ++i)
+        pf.observe(static_cast<Addr>(i) * (1u << 20), true, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(StreamPrefetcher, FdpThrottlesDownOnLowAccuracy)
+{
+    PrefetcherConfig cfg = enabledConfig();
+    cfg.fdpInterval = 64;
+    StreamPrefetcher pf(cfg, 64);
+    const int d0 = pf.currentDistance();
+    // Issue many prefetches, never report any useful.
+    train(pf, 0, 400);
+    EXPECT_LT(pf.currentDistance(), d0);
+    EXPECT_GT(pf.fdpDowngrades.value(), 0u);
+}
+
+TEST(StreamPrefetcher, FdpRecoversOnHighAccuracy)
+{
+    PrefetcherConfig cfg = enabledConfig();
+    cfg.fdpInterval = 64;
+    StreamPrefetcher pf(cfg, 64);
+    train(pf, 0, 400); // throttle down
+    const int throttled = pf.currentDistance();
+    // Now report everything useful.
+    std::vector<Addr> out;
+    for (int i = 400; i < 1200; ++i) {
+        out.clear();
+        pf.observe(static_cast<Addr>(i) * 64, true, out);
+        for (std::size_t k = 0; k < out.size(); ++k)
+            pf.notifyUseful();
+    }
+    EXPECT_GT(pf.currentDistance(), throttled);
+    EXPECT_GT(pf.fdpUpgrades.value(), 0u);
+}
+
+TEST(StreamPrefetcher, TrackerCapacityRecycled)
+{
+    PrefetcherConfig cfg = enabledConfig();
+    cfg.streams = 4;
+    StreamPrefetcher pf(cfg, 64);
+    std::vector<Addr> out;
+    for (int s = 0; s < 10; ++s)
+        pf.observe(static_cast<Addr>(s) * (1u << 22), true, out);
+    EXPECT_EQ(pf.streamsAllocated.value(), 10u); // LRU reuse, no crash
+}
+
+} // namespace
+} // namespace rab

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Unit tests: runahead cache, chain cache, runahead buffer, and the
+ * dependence chain generator (Algorithm 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "backend/lsq.hh"
+#include "backend/rob.hh"
+#include "runahead/chain_cache.hh"
+#include "runahead/chain_generator.hh"
+#include "runahead/runahead_buffer.hh"
+#include "runahead/runahead_cache.hh"
+
+namespace rab
+{
+namespace
+{
+
+// --------------------------------------------------------------------
+// RunaheadCache
+// --------------------------------------------------------------------
+
+TEST(RunaheadCache, WriteReadForward)
+{
+    RunaheadCache rc{RunaheadCacheConfig{}};
+    rc.write(0x1000, 42);
+    std::uint64_t data = 0;
+    EXPECT_TRUE(rc.read(0x1000, data));
+    EXPECT_EQ(data, 42u);
+    EXPECT_FALSE(rc.read(0x2000, data));
+}
+
+TEST(RunaheadCache, OverwriteSameWord)
+{
+    RunaheadCache rc{RunaheadCacheConfig{}};
+    rc.write(0x1000, 1);
+    rc.write(0x1000, 2);
+    std::uint64_t data = 0;
+    ASSERT_TRUE(rc.read(0x1000, data));
+    EXPECT_EQ(data, 2u);
+    EXPECT_EQ(rc.occupancy(), 1u);
+}
+
+TEST(RunaheadCache, LruWithinSet)
+{
+    // 512 B, 4-way, 8 B lines -> 16 sets; set stride = 128 bytes.
+    RunaheadCache rc{RunaheadCacheConfig{}};
+    for (int i = 0; i < 5; ++i)
+        rc.write(0x1000 + static_cast<Addr>(i) * 128, i);
+    std::uint64_t data = 0;
+    EXPECT_FALSE(rc.read(0x1000, data)); // oldest evicted
+    EXPECT_TRUE(rc.read(0x1000 + 4 * 128, data));
+}
+
+TEST(RunaheadCache, ClearOnRunaheadExit)
+{
+    RunaheadCache rc{RunaheadCacheConfig{}};
+    rc.write(0x1000, 7);
+    rc.clear();
+    std::uint64_t data = 0;
+    EXPECT_FALSE(rc.read(0x1000, data));
+    EXPECT_EQ(rc.occupancy(), 0u);
+}
+
+// --------------------------------------------------------------------
+// ChainCache
+// --------------------------------------------------------------------
+
+DependenceChain
+chainOfLength(int n, Pc base = 0)
+{
+    DependenceChain chain;
+    for (int i = 0; i < n; ++i) {
+        ChainOp op;
+        op.pc = base + static_cast<Pc>(i);
+        op.sop.op = Opcode::kIntAlu;
+        op.sop.dest = 1;
+        chain.push_back(op);
+    }
+    return chain;
+}
+
+TEST(ChainCache, HitAfterInsert)
+{
+    ChainCache cc(2);
+    cc.insert(100, chainOfLength(3));
+    const DependenceChain *hit = cc.lookup(100);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->size(), 3u);
+    EXPECT_EQ(cc.hits.value(), 1u);
+    EXPECT_EQ(cc.lookup(200), nullptr);
+    EXPECT_EQ(cc.misses.value(), 1u);
+}
+
+TEST(ChainCache, NoPathAssociativity)
+{
+    ChainCache cc(2);
+    cc.insert(100, chainOfLength(3));
+    cc.insert(100, chainOfLength(5)); // replaces, never duplicates
+    const DependenceChain *hit = cc.lookup(100);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->size(), 5u);
+}
+
+TEST(ChainCache, LruReplacement)
+{
+    ChainCache cc(2);
+    cc.insert(1, chainOfLength(1));
+    cc.insert(2, chainOfLength(2));
+    cc.lookup(1); // 2 becomes LRU
+    cc.insert(3, chainOfLength(3));
+    EXPECT_NE(cc.lookup(1), nullptr);
+    EXPECT_EQ(cc.lookup(2), nullptr);
+    EXPECT_NE(cc.lookup(3), nullptr);
+}
+
+TEST(ChainCache, ClearEmpties)
+{
+    ChainCache cc(2);
+    cc.insert(1, chainOfLength(1));
+    cc.clear();
+    EXPECT_EQ(cc.lookup(1), nullptr);
+}
+
+TEST(Chain, SignatureAndEquality)
+{
+    const DependenceChain a = chainOfLength(4);
+    const DependenceChain b = chainOfLength(4);
+    DependenceChain c = chainOfLength(4);
+    c[2].sop.imm = 99;
+    EXPECT_EQ(chainSignature(a), chainSignature(b));
+    EXPECT_TRUE(chainsEqual(a, b));
+    EXPECT_FALSE(chainsEqual(a, c));
+    EXPECT_FALSE(chainsEqual(a, chainOfLength(3)));
+}
+
+// --------------------------------------------------------------------
+// RunaheadBuffer
+// --------------------------------------------------------------------
+
+TEST(RunaheadBuffer, LoopsOverChain)
+{
+    RunaheadBuffer buffer(32);
+    buffer.fill(chainOfLength(3));
+    EXPECT_TRUE(buffer.hasOp());
+    EXPECT_EQ(buffer.peek().pc, 0u);
+    buffer.advance();
+    buffer.advance();
+    EXPECT_EQ(buffer.peek().pc, 2u);
+    buffer.advance(); // wraps
+    EXPECT_EQ(buffer.peek().pc, 0u);
+    EXPECT_EQ(buffer.iterationsCompleted(), 1u);
+}
+
+TEST(RunaheadBuffer, TruncatesToCapacity)
+{
+    RunaheadBuffer buffer(4);
+    buffer.fill(chainOfLength(10));
+    EXPECT_EQ(buffer.chainLength(), 4u);
+}
+
+TEST(RunaheadBuffer, DeactivateStopsIssue)
+{
+    RunaheadBuffer buffer(32);
+    buffer.fill(chainOfLength(2));
+    buffer.deactivate();
+    EXPECT_FALSE(buffer.hasOp());
+    EXPECT_DEATH(buffer.peek(), "inactive");
+}
+
+// --------------------------------------------------------------------
+// ChainGenerator (Algorithm 1)
+// --------------------------------------------------------------------
+
+/** Build a ROB holding two unrolled iterations of a gather loop:
+ *    addi r1 <- r1 + 1
+ *    mix  r2 <- r1, r1
+ *    add  r3 <- r10 + r2
+ *    load r4 <- [r3]
+ *    (filler with no relation to the chain)
+ */
+struct ChainGenFixture : ::testing::Test
+{
+    ChainGenFixture() : rob(64), sq(8) {}
+
+    DynUop
+    mk(SeqNum seq, Pc pc, Opcode op, ArchReg dest, ArchReg src1,
+       ArchReg src2 = kNoArchReg)
+    {
+        DynUop u;
+        u.seq = seq;
+        u.pc = pc;
+        u.sop.op = op;
+        u.sop.dest = dest;
+        u.sop.src1 = src1;
+        u.sop.src2 = src2;
+        return u;
+    }
+
+    void
+    pushIteration(SeqNum base)
+    {
+        rob.push(mk(base + 0, 0, Opcode::kIntAlu, 1, 1));
+        rob.push(mk(base + 1, 1, Opcode::kIntAlu, 2, 1, 1));
+        rob.push(mk(base + 2, 2, Opcode::kIntAlu, 3, 10, 2));
+        rob.push(mk(base + 3, 3, Opcode::kLoad, 4, 3));
+        rob.push(mk(base + 4, 4, Opcode::kIntAlu, 20, 20, 4)); // filler
+        rob.push(mk(base + 5, 5, Opcode::kJump, kNoArchReg,
+                    kNoArchReg));
+    }
+
+    Rob rob;
+    StoreQueue sq;
+};
+
+TEST_F(ChainGenFixture, FindsFilteredChain)
+{
+    pushIteration(1);  // blocking iteration (head load seq=4 at pc 3)
+    pushIteration(10); // younger instance
+    ChainGenerator gen{ChainGeneratorConfig{}};
+    const ChainResult result = gen.generate(rob, sq, /*pc=*/3,
+                                            /*blocking_seq=*/4);
+    ASSERT_TRUE(result.pcFound);
+    EXPECT_FALSE(result.overflow);
+    // Chain = {addi, mix, add, load} of the younger iteration (plus
+    // the previous iteration's induction addi, reached through the
+    // loop-carried r1), in program order; filler and jump excluded.
+    ASSERT_GE(result.chain.size(), 4u);
+    ASSERT_LE(result.chain.size(), 5u);
+    for (const ChainOp &op : result.chain) {
+        EXPECT_LE(op.pc, 3u); // never filler (pc 4) or jump (pc 5)
+    }
+    EXPECT_EQ(result.chain.back().pc, 3u);
+    EXPECT_EQ(result.chain.back().sop.op, Opcode::kLoad);
+    // The induction must be present so a buffer loop advances.
+    EXPECT_EQ(result.chain.front().pc, 0u);
+    EXPECT_GT(result.generationCycles, 0);
+    EXPECT_GT(result.regCamSearches, 0);
+}
+
+TEST_F(ChainGenFixture, NoPcMatchReported)
+{
+    pushIteration(1);
+    ChainGenerator gen{ChainGeneratorConfig{}};
+    const ChainResult result = gen.generate(rob, sq, 3, /*seq=*/4);
+    EXPECT_FALSE(result.pcFound);
+    EXPECT_EQ(gen.noPcMatch.value(), 1u);
+}
+
+TEST_F(ChainGenFixture, LengthCapSetsOverflow)
+{
+    pushIteration(1);
+    pushIteration(10);
+    ChainGeneratorConfig cfg;
+    cfg.maxChainLength = 2;
+    ChainGenerator gen(cfg);
+    const ChainResult result = gen.generate(rob, sq, 3, 4);
+    EXPECT_TRUE(result.pcFound);
+    EXPECT_TRUE(result.overflow);
+    EXPECT_LE(result.chain.size(), 2u);
+}
+
+TEST_F(ChainGenFixture, StoreQueueProducerIncluded)
+{
+    // Iteration that spills r2 then reloads it:
+    //   addi r1; mix r2<-r1; store [r11]<-r2; load r5<-[r11];
+    //   add r3<-r10+r5; load r4<-[r3]
+    const auto push_spill_iter = [&](SeqNum base) {
+        rob.push(mk(base + 0, 0, Opcode::kIntAlu, 1, 1));
+        rob.push(mk(base + 1, 1, Opcode::kIntAlu, 2, 1, 1));
+        DynUop st = mk(base + 2, 2, Opcode::kStore, kNoArchReg, 11, 2);
+        st.effAddr = 0x800;
+        const int st_slot = rob.push(std::move(st));
+        sq.allocate(base + 2, st_slot);
+        sq.setAddress(base + 2, 0x800, false);
+        DynUop ld = mk(base + 3, 3, Opcode::kLoad, 5, 11);
+        ld.effAddr = 0x800;
+        rob.push(std::move(ld));
+        rob.push(mk(base + 4, 4, Opcode::kIntAlu, 3, 10, 5));
+        rob.push(mk(base + 5, 5, Opcode::kLoad, 4, 3));
+    };
+    push_spill_iter(1);
+    push_spill_iter(10);
+
+    ChainGenerator gen{ChainGeneratorConfig{}};
+    const ChainResult result = gen.generate(rob, sq, 5, /*seq=*/6);
+    ASSERT_TRUE(result.pcFound);
+    bool has_store = false;
+    for (const ChainOp &op : result.chain)
+        has_store |= op.sop.isStore();
+    EXPECT_TRUE(has_store);
+    EXPECT_GT(result.sqSearches, 0);
+}
+
+TEST_F(ChainGenFixture, CycleCostScalesWithSearches)
+{
+    pushIteration(1);
+    pushIteration(10);
+    ChainGenerator gen{ChainGeneratorConfig{}};
+    const ChainResult result = gen.generate(rob, sq, 3, 4);
+    // 1 (PC CAM) + ceil(searches / 2 ports) <= cycles, plus readout.
+    EXPECT_GE(result.generationCycles,
+              1 + (result.regCamSearches + 1) / 2);
+}
+
+} // namespace
+} // namespace rab

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests: statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/stats.hh"
+
+namespace rab
+{
+namespace
+{
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Distribution, MeanMinMax)
+{
+    Distribution d(0, 100, 10);
+    d.sample(5);
+    d.sample(15);
+    d.sample(25, 2);
+    EXPECT_EQ(d.samples(), 4u);
+    EXPECT_DOUBLE_EQ(d.mean(), (5 + 15 + 25 + 25) / 4.0);
+    EXPECT_EQ(d.min(), 5u);
+    EXPECT_EQ(d.max(), 25u);
+}
+
+TEST(Distribution, Buckets)
+{
+    Distribution d(0, 100, 10);
+    d.sample(5);
+    d.sample(7);
+    d.sample(15);
+    EXPECT_EQ(d.bucketCount(3), 2u);  // bucket [0, 10)
+    EXPECT_EQ(d.bucketCount(12), 1u); // bucket [10, 20)
+    EXPECT_EQ(d.bucketCount(95), 0u);
+}
+
+TEST(Distribution, OverflowUnderflow)
+{
+    Distribution d(10, 20, 5);
+    d.sample(5);   // underflow
+    d.sample(100); // overflow
+    EXPECT_EQ(d.bucketCount(5), 1u);
+    EXPECT_EQ(d.bucketCount(100), 1u);
+    EXPECT_EQ(d.samples(), 2u);
+}
+
+TEST(Distribution, Reset)
+{
+    Distribution d(0, 10, 1);
+    d.sample(5);
+    d.reset();
+    EXPECT_EQ(d.samples(), 0u);
+    EXPECT_EQ(d.bucketCount(5), 0u);
+}
+
+TEST(StatGroup, CollectAndGet)
+{
+    StatGroup root("root");
+    Counter c;
+    c += 3;
+    double scalar = 1.5;
+    root.addCounter("events", &c, "event counter");
+    root.addScalar("ratio", &scalar);
+
+    StatGroup child("child", &root);
+    Counter c2;
+    c2 += 9;
+    child.addCounter("inner", &c2);
+
+    const auto all = root.collect();
+    EXPECT_EQ(all.at("root.events"), 3.0);
+    EXPECT_EQ(all.at("root.ratio"), 1.5);
+    EXPECT_EQ(all.at("root.child.inner"), 9.0);
+
+    EXPECT_EQ(root.get("events"), 3.0);
+    EXPECT_EQ(root.get("child.inner"), 9.0);
+}
+
+TEST(StatGroup, CollectReadsLiveValues)
+{
+    StatGroup root("root");
+    Counter c;
+    root.addCounter("c", &c);
+    ++c;
+    EXPECT_EQ(root.get("c"), 1.0);
+    c += 10;
+    EXPECT_EQ(root.get("c"), 11.0);
+}
+
+TEST(StatGroup, ResetCountersRecursive)
+{
+    StatGroup root("root");
+    StatGroup child("child", &root);
+    Counter a;
+    Counter b;
+    a += 5;
+    b += 7;
+    root.addCounter("a", &a);
+    child.addCounter("b", &b);
+    root.resetCounters();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(StatGroup, DumpContainsNames)
+{
+    StatGroup root("core");
+    Counter c;
+    c += 2;
+    root.addCounter("commits", &c);
+    std::ostringstream os;
+    root.dump(os);
+    EXPECT_NE(os.str().find("core.commits"), std::string::npos);
+}
+
+TEST(StatGroup, GetUnknownPanics)
+{
+    StatGroup root("root");
+    EXPECT_DEATH(root.get("nope"), "unknown stat");
+}
+
+} // namespace
+} // namespace rab

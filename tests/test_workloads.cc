@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit tests: workload builders and the SPEC06-like suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "isa/functional.hh"
+#include "workloads/suite.hh"
+
+namespace rab
+{
+namespace
+{
+
+TEST(Suite, HasTwentyNineWorkloads)
+{
+    EXPECT_EQ(spec06Suite().size(), 29u);
+}
+
+TEST(Suite, Table2Classification)
+{
+    // Table 2's groups.
+    const std::set<std::string> high{"mcf",  "libq",   "bwaves",
+                                     "lbm",  "sphinx", "omnetpp",
+                                     "milc", "soplex", "leslie",
+                                     "GemsFDTD"};
+    const std::set<std::string> medium{"zeusmp", "cactus", "wrf"};
+    int high_count = 0;
+    int medium_count = 0;
+    for (const WorkloadSpec &spec : spec06Suite()) {
+        if (spec.intensity == MemIntensity::kHigh) {
+            EXPECT_TRUE(high.count(spec.params.name))
+                << spec.params.name;
+            ++high_count;
+        } else if (spec.intensity == MemIntensity::kMedium) {
+            EXPECT_TRUE(medium.count(spec.params.name))
+                << spec.params.name;
+            ++medium_count;
+        }
+    }
+    EXPECT_EQ(high_count, 10);
+    EXPECT_EQ(medium_count, 3);
+    EXPECT_EQ(mediumHighSuite().size(), 13u);
+}
+
+TEST(Suite, NamesUniqueAndFindable)
+{
+    std::set<std::string> names;
+    for (const WorkloadSpec &spec : spec06Suite()) {
+        EXPECT_TRUE(names.insert(spec.params.name).second)
+            << "duplicate " << spec.params.name;
+        EXPECT_EQ(findWorkload(spec.params.name), &spec);
+    }
+    EXPECT_EQ(findWorkload("nonexistent"), nullptr);
+}
+
+TEST(Suite, EveryProgramValidates)
+{
+    for (const WorkloadSpec &spec : spec06Suite()) {
+        const Program p = buildWorkload(spec.params);
+        EXPECT_FALSE(p.empty()) << spec.params.name;
+        p.validate(); // panics on corruption
+    }
+}
+
+TEST(Suite, BuildDeterministic)
+{
+    const Program a = buildSuiteWorkload("mcf");
+    const Program b = buildSuiteWorkload("mcf");
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.disassemble(), b.disassemble());
+}
+
+TEST(Builders, GatherHasExpectedStructure)
+{
+    WorkloadParams p;
+    p.family = WorkloadFamily::kGather;
+    p.workingSetBytes = 1 << 20;
+    p.depLoads = 1;
+    p.aluPerIter = 2;
+    const Program prog = buildWorkload(p);
+    int loads = 0;
+    int jumps = 0;
+    for (Pc pc = 0; pc < prog.size(); ++pc) {
+        loads += prog.at(pc).isLoad() ? 1 : 0;
+        jumps += prog.at(pc).op == Opcode::kJump ? 1 : 0;
+    }
+    EXPECT_EQ(loads, 2); // primary + dependent
+    EXPECT_EQ(jumps, 1);
+}
+
+TEST(Builders, ChainAluLengthensProgram)
+{
+    WorkloadParams p;
+    p.family = WorkloadFamily::kGather;
+    p.workingSetBytes = 1 << 20;
+    const std::size_t short_len = buildWorkload(p).size();
+    p.chainAlu = 10;
+    EXPECT_EQ(buildWorkload(p).size(), short_len + 10);
+}
+
+TEST(Builders, PhasedGatherHasTwoInnerLoops)
+{
+    WorkloadParams p;
+    p.family = WorkloadFamily::kGather;
+    p.workingSetBytes = 1 << 20;
+    p.memPhaseIters = 4;
+    p.computePhaseIters = 8;
+    const Program prog = buildWorkload(p);
+    int branches = 0;
+    for (Pc pc = 0; pc < prog.size(); ++pc)
+        branches += prog.at(pc).op == Opcode::kBranch ? 1 : 0;
+    EXPECT_GE(branches, 2); // memory-phase + compute-phase back edges
+}
+
+TEST(Builders, ChasePermutationIsALongCycle)
+{
+    WorkloadParams p;
+    p.family = WorkloadFamily::kChase;
+    p.workingSetBytes = 1 << 20; // 16384 nodes of 64 B
+    const Program prog = buildWorkload(p);
+    ASSERT_TRUE(prog.memoryImage());
+
+    FunctionalMemory mem;
+    mem.setBackground(prog.memoryImage());
+    Addr cur = prog.initialReg(1);
+    std::set<Addr> visited;
+    for (int i = 0; i < 4000; ++i) {
+        ASSERT_TRUE(visited.insert(cur).second)
+            << "pointer cycle shorter than " << i;
+        cur = mem.read(cur);
+    }
+}
+
+TEST(Builders, SequentialChaseAdvancesByNodeBytes)
+{
+    WorkloadParams p;
+    p.family = WorkloadFamily::kChase;
+    p.workingSetBytes = 1 << 16;
+    p.seqChase = true;
+    p.strideBytes = 8;
+    const Program prog = buildWorkload(p);
+    FunctionalMemory mem;
+    mem.setBackground(prog.memoryImage());
+    const Addr start = prog.initialReg(1);
+    EXPECT_EQ(mem.read(start), start + 8);
+}
+
+TEST(Builders, StrideUsesMultipleArrays)
+{
+    WorkloadParams p;
+    p.family = WorkloadFamily::kStride;
+    p.workingSetBytes = 1 << 20;
+    p.numArrays = 3;
+    const Program prog = buildWorkload(p);
+    int loads = 0;
+    for (Pc pc = 0; pc < prog.size(); ++pc)
+        loads += prog.at(pc).isLoad() ? 1 : 0;
+    EXPECT_EQ(loads, 3);
+}
+
+TEST(Builders, StreamStoresWhenRequested)
+{
+    WorkloadParams p;
+    p.family = WorkloadFamily::kStream;
+    p.workingSetBytes = 1 << 20;
+    p.stores = true;
+    const Program prog = buildWorkload(p);
+    int stores = 0;
+    for (Pc pc = 0; pc < prog.size(); ++pc)
+        stores += prog.at(pc).isStore() ? 1 : 0;
+    EXPECT_EQ(stores, 1);
+}
+
+TEST(Builders, BadWorkingSetFatal)
+{
+    WorkloadParams p;
+    p.family = WorkloadFamily::kGather;
+    p.workingSetBytes = 1000; // not a power of two
+    EXPECT_DEATH(buildWorkload(p), "power of two");
+}
+
+} // namespace
+} // namespace rab
