@@ -43,6 +43,7 @@ struct Options
     bool listWorkloads = false;
     bool printConfig = false;
     std::string tracePath;
+    CheckLevel checkLevel = CheckLevel::kOff;
 
     // Table 1 overrides.
     int robEntries = 0;
@@ -69,6 +70,8 @@ usage(int code)
         "  --stats             dump the full statistics table\n"
         "  --json              dump statistics as JSON\n"
         "  --trace FILE        capture a retirement trace (.rabt)\n"
+        "  --check LEVEL       invariant checking: off | cheap | full\n"
+        "                      (RAB_CHECK_LEVEL overrides)\n"
         "  --rob N | --rs N | --buffer N | --chain-cache N |\n"
         "  --mem-queue N | --llc BYTES     Table 1 overrides\n"
         "  --print-config      show the simulated system and exit\n"
@@ -124,6 +127,8 @@ parseArgs(int argc, char **argv)
             opts.dumpJson = true;
         else if (arg == "--trace")
             opts.tracePath = next(i);
+        else if (arg == "--check")
+            opts.checkLevel = parseCheckLevel(next(i));
         else if (arg == "--rob")
             opts.robEntries = std::atoi(next(i));
         else if (arg == "--rs")
@@ -154,6 +159,8 @@ makeSimConfig(const Options &opts)
     SimConfig config = makeConfig(opts.config, opts.prefetch);
     config.instructions = opts.instructions;
     config.warmupInstructions = opts.warmup;
+    config.checkLevel = opts.checkLevel;
+    config.core.checkLevel = opts.checkLevel;
     if (opts.robEntries > 0)
         config.core.robEntries = opts.robEntries;
     if (opts.rsEntries > 0)

@@ -33,6 +33,18 @@ Core::Core(const CoreConfig &config, const Program *program,
 
     resetArchState();
 
+    CheckerContext checker_ctx;
+    checker_ctx.rob = &rob_;
+    checker_ctx.sq = &sq_;
+    checker_ctx.prf = &prf_;
+    checker_ctx.rat = &rat_;
+    checker_ctx.runahead = &runaheadCtrl_;
+    checker_ctx.program = program_;
+    checker_ctx.archValues = &archValues_;
+    checker_ = std::make_unique<InvariantChecker>(
+        checkLevelFromEnv(config_.checkLevel), checker_ctx);
+    runaheadCtrl_.setChecker(checker_.get());
+
     statGroup_.addCounter("committed_uops", &committedUops,
                           "architecturally retired uops");
     statGroup_.addCounter("pseudo_retired_uops", &pseudoRetiredUops,
@@ -79,6 +91,7 @@ Core::Core(const CoreConfig &config, const Program *program,
     frontend_->regStats(&statGroup_);
     runaheadCtrl_.regStats(&statGroup_);
     chainAnalysis_.regStats(&statGroup_);
+    checker_->regStats(&statGroup_);
 }
 
 void
@@ -119,6 +132,7 @@ Core::tick()
     doRename(now);
     frontend_->tick(now);
     runaheadCtrl_.tickCycle();
+    checker_->onCycle(now);
     ++cycle_;
 
     if (cycle_ - lastCommitCycle_ > config_.deadlockCycles) {
@@ -257,6 +271,7 @@ Core::doCommit(Cycle now)
         }
 
         if (!runahead && head.isStore()) {
+            checker_->onRealStore(head.effAddr);
             const AccessResult res =
                 mem_->access(AccessType::kStore, head.effAddr, now,
                              /*runahead=*/false, head.pc);
@@ -285,6 +300,7 @@ Core::doCommit(Cycle now)
             ++pseudoRetiredUops;
             ++pseudoRetiredInterval_;
         }
+        checker_->onRetire(head, rob_.headSlot());
         ++robReads;
         rob_.popHead();
         ++commits;
@@ -387,6 +403,8 @@ Core::enterRunahead(const EntryDecision &decision, Cycle now)
     } else if (config_.collectChainAnalysis) {
         chainAnalysis_.beginInterval();
     }
+
+    checker_->onRunaheadEnter(checkpoint_);
 }
 
 void
@@ -421,6 +439,8 @@ Core::exitRunahead(Cycle now)
     frontend_->setGated(false);
     frontend_->redirect(checkpoint_.resumePc, now + config_.exitPenalty);
     checkpoint_.valid = false;
+
+    checker_->onRunaheadExit(checkpoint_);
 }
 
 // ---------------------------------------------------------------------
@@ -503,6 +523,7 @@ Core::issueLoad(int slot, DynUop &uop, Cycle now)
         return;
     }
     if (search.kind == SqSearch::Kind::kForward) {
+        checker_->onForward(uop.seq, search.storeSeq);
         uop.result = search.data;
         uop.poisoned = search.poisoned;
         uop.forwarded = true;

@@ -26,6 +26,7 @@
 #include "backend/rename.hh"
 #include "backend/reservation_station.hh"
 #include "backend/rob.hh"
+#include "checker/invariant_checker.hh"
 #include "frontend/branch_predictor.hh"
 #include "frontend/frontend.hh"
 #include "isa/program.hh"
@@ -60,6 +61,10 @@ struct CoreConfig
     std::uint64_t deadlockCycles = 2'000'000;
     bool collectChainAnalysis = false;
 
+    /** Invariant checking effort; the RAB_CHECK_LEVEL environment
+     *  variable overrides this (the test suite forces "full"). */
+    CheckLevel checkLevel = CheckLevel::kOff;
+
     FrontendConfig frontend{};
     BranchPredictorConfig bp{};
     RunaheadPolicy runahead{};
@@ -93,6 +98,8 @@ class Core
     /** @{ Component access (tests, figures, energy model). */
     RunaheadController &runahead() { return runaheadCtrl_; }
     const RunaheadController &runahead() const { return runaheadCtrl_; }
+    InvariantChecker &checker() { return *checker_; }
+    const InvariantChecker &checker() const { return *checker_; }
     Frontend &frontend() { return *frontend_; }
     BranchPredictor &branchPredictor() { return bp_; }
     ChainAnalysis &chainAnalysis() { return chainAnalysis_; }
@@ -181,6 +188,8 @@ class Core
     RunaheadController runaheadCtrl_;
     ChainAnalysis chainAnalysis_;
     ArchCheckpoint checkpoint_;
+    std::unique_ptr<InvariantChecker> checker_; ///< After the structures
+                                                ///< it watches.
 
     Cycle cycle_ = 0;
     SeqNum seqCounter_ = 0;

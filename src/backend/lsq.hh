@@ -43,6 +43,19 @@ struct SqSearch
 class StoreQueue
 {
   public:
+    /** One store's state (public so the invariant checker can audit the
+     *  queue against the ROB). */
+    struct Entry
+    {
+        SeqNum seq = kNoSeqNum;
+        int robSlot = -1;
+        Addr wordAddr = kNoAddr; ///< kNoAddr until computed.
+        std::uint64_t data = 0;
+        bool dataReady = false;
+        bool addrPoisoned = false;
+        bool dataPoisoned = false;
+    };
+
     explicit StoreQueue(int capacity);
 
     int capacity() const { return capacity_; }
@@ -74,6 +87,9 @@ class StoreQueue
 
     void clear() { entries_.clear(); }
 
+    /** Read-only view, oldest first (invariant checker). */
+    const std::deque<Entry> &entries() const { return entries_; }
+
     /** @{ Statistics. */
     Counter forwards;
     Counter unknownAddrStalls;
@@ -81,17 +97,6 @@ class StoreQueue
     /** @} */
 
   private:
-    struct Entry
-    {
-        SeqNum seq = kNoSeqNum;
-        int robSlot = -1;
-        Addr wordAddr = kNoAddr; ///< kNoAddr until computed.
-        std::uint64_t data = 0;
-        bool dataReady = false;
-        bool addrPoisoned = false;
-        bool dataPoisoned = false;
-    };
-
     static Addr wordOf(Addr addr) { return addr & ~Addr{7}; }
     Entry *find(SeqNum seq);
 

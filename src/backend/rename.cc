@@ -75,6 +75,13 @@ PhysRegFile::offChip(PhysReg reg) const
     return regs_[reg].offChip;
 }
 
+bool
+PhysRegFile::allocated(PhysReg reg) const
+{
+    check(reg);
+    return regs_[reg].allocated;
+}
+
 void
 PhysRegFile::write(PhysReg reg, std::uint64_t value, bool poisoned,
                    bool off_chip)

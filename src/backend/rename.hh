@@ -40,6 +40,7 @@ class PhysRegFile
     bool ready(PhysReg reg) const;
     bool poisoned(PhysReg reg) const;
     bool offChip(PhysReg reg) const;
+    bool allocated(PhysReg reg) const;
 
     /** Write a computed value and mark the register ready. */
     void write(PhysReg reg, std::uint64_t value, bool poisoned,

@@ -39,6 +39,7 @@ ReservationStation::selectReady(const Rob &rob, const PhysRegFile &prf,
 {
     // Gather ready entries, oldest first.
     std::vector<Entry *> ready;
+    ready.reserve(size_);
     for (Entry &e : entries_) {
         if (!e.valid)
             continue;
@@ -55,6 +56,7 @@ ReservationStation::selectReady(const Rob &rob, const PhysRegFile &prf,
               [](const Entry *a, const Entry *b) { return a->seq < b->seq; });
 
     std::vector<int> selected;
+    selected.reserve(std::min<std::size_t>(ready.size(), width));
     for (Entry *e : ready) {
         if (static_cast<int>(selected.size()) >= width)
             break;

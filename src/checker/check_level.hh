@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Invariant-checker effort levels. A tiny standalone header so config
+ * structs (SimConfig/CoreConfig) can carry a level without pulling in
+ * the checker itself.
+ */
+
+#ifndef RAB_CHECKER_CHECK_LEVEL_HH
+#define RAB_CHECKER_CHECK_LEVEL_HH
+
+#include <string>
+
+namespace rab
+{
+
+/** How much invariant checking to run. */
+enum class CheckLevel
+{
+    kOff,   ///< No checking (production runs).
+    kCheap, ///< O(1) spot checks per cycle + full scans at mode
+            ///< transitions.
+    kFull,  ///< Everything: periodic full structural scans plus every
+            ///< event hook. Intended for tests and debugging.
+};
+
+/** Name string ("off" / "cheap" / "full"). */
+const char *checkLevelName(CheckLevel level);
+
+/** Parse a level name; calls fatal() on an unknown name. */
+CheckLevel parseCheckLevel(const std::string &name);
+
+/** The RAB_CHECK_LEVEL environment variable overrides @p fallback when
+ *  set (this is how the test suite forces full checking everywhere). */
+CheckLevel checkLevelFromEnv(CheckLevel fallback);
+
+} // namespace rab
+
+#endif // RAB_CHECKER_CHECK_LEVEL_HH

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Microarchitectural invariant checker.
+ *
+ * The simulator's correctness hinges on cross-module invariants that no
+ * single structure can enforce alone: ROB age order, store-queue /
+ * ROB agreement, the rename map and free list partitioning the physical
+ * register file, Algorithm 1 chain well-formedness, exact
+ * checkpoint/restore around runahead intervals, and runahead store
+ * containment. The checker validates them from the outside, each cycle
+ * and at every mode transition, gated by CheckLevel so production runs
+ * pay nothing.
+ *
+ * A violation logs a state dump through common/logging and throws an
+ * InvariantViolation carrying the cycle, module and invariant name, so
+ * tests can assert that deliberately corrupted state is caught.
+ */
+
+#ifndef RAB_CHECKER_INVARIANT_CHECKER_HH
+#define RAB_CHECKER_INVARIANT_CHECKER_HH
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "backend/rename.hh"
+#include "checker/check_level.hh"
+#include "common/types.hh"
+#include "runahead/chain.hh"
+#include "stats/stats.hh"
+
+namespace rab
+{
+
+class Rob;
+class StoreQueue;
+class RunaheadController;
+class Program;
+struct DynUop;
+
+/** Thrown (after logging a state dump) when an invariant fails. */
+class InvariantViolation : public std::runtime_error
+{
+  public:
+    InvariantViolation(Cycle cycle, std::string module,
+                       std::string invariant, std::string detail);
+
+    Cycle cycle() const { return cycle_; }
+    const std::string &module() const { return module_; }
+    const std::string &invariant() const { return invariant_; }
+    const std::string &detail() const { return detail_; }
+
+  private:
+    Cycle cycle_;
+    std::string module_;
+    std::string invariant_;
+    std::string detail_;
+};
+
+/** Read-only views of the structures the checker validates. Any pointer
+ *  may be null; the corresponding checks are skipped (unit tests drive
+ *  single invariants against partial contexts). */
+struct CheckerContext
+{
+    const Rob *rob = nullptr;
+    const StoreQueue *sq = nullptr;
+    const PhysRegFile *prf = nullptr;
+    const Rat *rat = nullptr;
+    const RunaheadController *runahead = nullptr;
+    const Program *program = nullptr;
+    const std::array<std::uint64_t, kNumArchRegs> *archValues = nullptr;
+};
+
+/** The checker. One instance per Core; also constructible standalone
+ *  around individual structures for unit tests. */
+class InvariantChecker
+{
+  public:
+    InvariantChecker(CheckLevel level, const CheckerContext &ctx);
+
+    CheckLevel level() const { return level_; }
+    bool enabled() const { return level_ != CheckLevel::kOff; }
+
+    /** Cycles between full structural scans at kFull (spot checks still
+     *  run every cycle). */
+    static constexpr Cycle kFullScanPeriod = 16;
+
+    /** @{ Hook points, called by Core / RunaheadController. */
+
+    /** End of every simulated cycle. */
+    void onCycle(Cycle now);
+
+    /** Immediately before the ROB pops @p uop for (pseudo-)retirement:
+     *  retirement happens at the head only, oldest first, completed. */
+    void onRetire(const DynUop &uop, int rob_slot);
+
+    /** A load was forwarded from the store queue: program order. */
+    void onForward(SeqNum load_seq, SeqNum store_seq);
+
+    /** A store is about to access the real memory hierarchy. */
+    void onRealStore(Addr addr);
+
+    /** After runahead entry: checkpoint must capture the architectural
+     *  state exactly. */
+    void onRunaheadEnter(const ArchCheckpoint &checkpoint);
+
+    /** After runahead exit + restore: state must match the entry
+     *  snapshot exactly and the pipeline must be clean. */
+    void onRunaheadExit(const ArchCheckpoint &checkpoint);
+
+    /** A dependence chain was generated (or pulled from the chain
+     *  cache) for the blocking load at @p blocking_pc. */
+    void checkChain(const DependenceChain &chain, Pc blocking_pc,
+                    int max_length);
+
+    /** Chain-cache discipline: entries are only ever indexed by their
+     *  generating blocking-load PC. */
+    void onChainCacheInsert(Pc pc, const DependenceChain &chain);
+    void onChainCacheHit(Pc pc, const DependenceChain &chain);
+    /** @} */
+
+    /** @{ Individual structural scans (public so tests can target one
+     *  invariant at a time). Each throws InvariantViolation on
+     *  failure. */
+    void checkRobOrder();
+    void checkStoreQueue();
+    void checkRenameState();
+    void checkArchStateFrozen();
+    /** @} */
+
+    /** @{ Statistics. */
+    Counter checksRun;   ///< Structural scans completed.
+    Counter violations;  ///< Violations raised (each also throws).
+    /** @} */
+
+    void regStats(StatGroup *parent);
+
+  private:
+    [[noreturn]] void violate(const char *module, const char *invariant,
+                              std::string detail);
+    void spotChecks();
+    void fullScan();
+    std::string stateDump() const;
+
+    CheckLevel level_;
+    CheckerContext ctx_;
+    Cycle now_ = 0;
+    bool inRunahead_ = false;
+    std::array<std::uint64_t, kNumArchRegs> entrySnapshot_{};
+    std::vector<std::uint8_t> refMarks_; ///< Scratch: PRF reference map.
+    StatGroup statGroup_;
+};
+
+} // namespace rab
+
+#endif // RAB_CHECKER_INVARIANT_CHECKER_HH

@@ -45,6 +45,7 @@ SimConfig::finalize()
         break;
     }
     mem.prefetcher.enabled = prefetch;
+    core.checkLevel = checkLevel;
     // Figures 3-5 instrument traditional runahead intervals.
     core.collectChainAnalysis = core.runahead.traditionalEnabled;
     energy.robEntries = core.robEntries;

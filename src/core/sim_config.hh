@@ -11,6 +11,7 @@
 #include <string>
 
 #include "backend/core.hh"
+#include "checker/check_level.hh"
 #include "energy/energy_model.hh"
 #include "memory/memory_system.hh"
 
@@ -39,6 +40,10 @@ struct SimConfig
 
     RunaheadConfig runahead = RunaheadConfig::kBaseline;
     bool prefetch = false; ///< Enable the Table 1 stream prefetcher.
+
+    /** Invariant-checking effort (see src/checker). RAB_CHECK_LEVEL in
+     *  the environment overrides it. */
+    CheckLevel checkLevel = CheckLevel::kOff;
 
     std::uint64_t warmupInstructions = 20'000;
     std::uint64_t instructions = 100'000;

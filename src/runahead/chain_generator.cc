@@ -145,6 +145,7 @@ ChainGenerator::generate(const Rob &rob, const StoreQueue &sq,
     std::sort(slots.begin(), slots.end(), [&](int a, int b) {
         return rob.slot(a).seq < rob.slot(b).seq;
     });
+    result.chain.reserve(slots.size());
     for (const int slot : slots) {
         const DynUop &uop = rob.slot(slot);
         result.chain.push_back(ChainOp{uop.pc, uop.sop});

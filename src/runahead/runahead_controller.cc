@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "checker/invariant_checker.hh"
 #include "common/logging.hh"
 
 namespace rab
@@ -113,6 +114,11 @@ RunaheadController::decideEntry(const Rob &rob, const StoreQueue &sq,
         }
         if (policy_.chainCacheEnabled) {
             if (const DependenceChain *cached = chainCache_.lookup(head.pc)) {
+                if (checker_) {
+                    checker_->onChainCacheHit(head.pc, *cached);
+                    checker_->checkChain(*cached, head.pc,
+                                         policy_.chainGen.maxChainLength);
+                }
                 decision.enter = true;
                 decision.mode = RunaheadMode::kBuffer;
                 decision.usedCachedChain = true;
@@ -140,8 +146,15 @@ RunaheadController::decideEntry(const Rob &rob, const StoreQueue &sq,
             decision.mode = RunaheadMode::kTraditional;
             return decision;
         }
-        if (policy_.chainCacheEnabled)
+        if (checker_) {
+            checker_->checkChain(result.chain, head.pc,
+                                 policy_.chainGen.maxChainLength);
+        }
+        if (policy_.chainCacheEnabled) {
+            if (checker_)
+                checker_->onChainCacheInsert(head.pc, result.chain);
             chainCache_.insert(head.pc, result.chain);
+        }
         decision.enter = true;
         decision.mode = RunaheadMode::kBuffer;
         decision.chain = result.chain;
@@ -152,6 +165,11 @@ RunaheadController::decideEntry(const Rob &rob, const StoreQueue &sq,
     // Buffer-only policies (Algorithm 1, optionally with chain cache).
     if (policy_.chainCacheEnabled) {
         if (const DependenceChain *cached = chainCache_.lookup(head.pc)) {
+            if (checker_) {
+                checker_->onChainCacheHit(head.pc, *cached);
+                checker_->checkChain(*cached, head.pc,
+                                     policy_.chainGen.maxChainLength);
+            }
             decision.enter = true;
             decision.mode = RunaheadMode::kBuffer;
             decision.usedCachedChain = true;
@@ -177,8 +195,15 @@ RunaheadController::decideEntry(const Rob &rob, const StoreQueue &sq,
         return decision;
     }
     // The buffer-only policy caps the chain at 32 uops and proceeds.
-    if (policy_.chainCacheEnabled)
+    if (checker_) {
+        checker_->checkChain(result.chain, head.pc,
+                             policy_.chainGen.maxChainLength);
+    }
+    if (policy_.chainCacheEnabled) {
+        if (checker_)
+            checker_->onChainCacheInsert(head.pc, result.chain);
         chainCache_.insert(head.pc, result.chain);
+    }
     decision.enter = true;
     decision.mode = RunaheadMode::kBuffer;
     decision.chain = result.chain;

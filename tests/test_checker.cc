@@ -1,0 +1,474 @@
+/**
+ * @file
+ * Invariant checker tests: every checker invariant must fire on
+ * deliberately corrupted state and stay silent on clean state — both
+ * hand-built structures and full simulations of the paper's
+ * configurations at check_level=full.
+ */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "backend/lsq.hh"
+#include "backend/rob.hh"
+#include "checker/invariant_checker.hh"
+#include "core/simulation.hh"
+#include "workloads/suite.hh"
+
+namespace rab
+{
+namespace
+{
+
+/** Run @p fn and require it to raise exactly @p invariant. */
+template <typename Fn>
+void
+expectViolation(Fn &&fn, const std::string &invariant)
+{
+    try {
+        fn();
+        FAIL() << "expected invariant violation '" << invariant << "'";
+    } catch (const InvariantViolation &v) {
+        EXPECT_EQ(v.invariant(), invariant) << v.what();
+    }
+}
+
+DynUop
+makeUop(SeqNum seq, Opcode op = Opcode::kIntAlu)
+{
+    DynUop uop;
+    uop.seq = seq;
+    uop.pc = seq;
+    uop.sop.op = op;
+    uop.completed = true;
+    return uop;
+}
+
+// ---------------------------------------------------------------------
+// Invariant 1: ROB age order and head-only retirement
+// ---------------------------------------------------------------------
+
+TEST(CheckerRob, CleanRobPasses)
+{
+    Rob rob(8);
+    rob.push(makeUop(1));
+    rob.push(makeUop(2));
+    rob.push(makeUop(3));
+    CheckerContext ctx;
+    ctx.rob = &rob;
+    InvariantChecker checker(CheckLevel::kFull, ctx);
+    EXPECT_NO_THROW(checker.checkRobOrder());
+    EXPECT_NO_THROW(checker.onCycle(16));
+    EXPECT_EQ(checker.violations.value(), 0u);
+}
+
+TEST(CheckerRob, OutOfOrderSeqFires)
+{
+    Rob rob(8);
+    rob.push(makeUop(5));
+    rob.push(makeUop(3)); // younger slot, older seq: corrupt
+    CheckerContext ctx;
+    ctx.rob = &rob;
+    InvariantChecker checker(CheckLevel::kFull, ctx);
+    expectViolation([&] { checker.checkRobOrder(); }, "age-order");
+    EXPECT_EQ(checker.violations.value(), 1u);
+}
+
+TEST(CheckerRob, RetireAwayFromHeadFires)
+{
+    Rob rob(8);
+    rob.push(makeUop(1));
+    const int tail = rob.push(makeUop(2));
+    CheckerContext ctx;
+    ctx.rob = &rob;
+    InvariantChecker checker(CheckLevel::kFull, ctx);
+    EXPECT_NO_THROW(checker.onRetire(rob.head(), rob.headSlot()));
+    expectViolation([&] { checker.onRetire(rob.slot(tail), tail); },
+                    "retire-at-head");
+}
+
+TEST(CheckerRob, RetireIncompleteFires)
+{
+    Rob rob(8);
+    DynUop uop = makeUop(1);
+    uop.completed = false;
+    rob.push(std::move(uop));
+    CheckerContext ctx;
+    ctx.rob = &rob;
+    InvariantChecker checker(CheckLevel::kFull, ctx);
+    expectViolation([&] { checker.onRetire(rob.head(), rob.headSlot()); },
+                    "retire-completed");
+}
+
+TEST(CheckerRob, DisabledCheckerIgnoresCorruption)
+{
+    Rob rob(8);
+    rob.push(makeUop(5));
+    rob.push(makeUop(3));
+    CheckerContext ctx;
+    ctx.rob = &rob;
+    InvariantChecker checker(CheckLevel::kOff, ctx);
+    EXPECT_NO_THROW(checker.onCycle(16));
+    EXPECT_NO_THROW(checker.onRetire(rob.slot(rob.tailSlot()),
+                                     rob.tailSlot()));
+    EXPECT_EQ(checker.violations.value(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Invariant 2: store queue <-> ROB agreement and forwarding order
+// ---------------------------------------------------------------------
+
+TEST(CheckerLsq, CleanStoreQueuePasses)
+{
+    Rob rob(8);
+    StoreQueue sq(8);
+    const int slot = rob.push(makeUop(1, Opcode::kStore));
+    sq.allocate(1, slot);
+    rob.push(makeUop(2));
+    CheckerContext ctx;
+    ctx.rob = &rob;
+    ctx.sq = &sq;
+    InvariantChecker checker(CheckLevel::kFull, ctx);
+    EXPECT_NO_THROW(checker.checkStoreQueue());
+}
+
+TEST(CheckerLsq, MissingSqEntryFires)
+{
+    Rob rob(8);
+    StoreQueue sq(8);
+    const int slot = rob.push(makeUop(1, Opcode::kStore));
+    sq.allocate(1, slot);
+    rob.push(makeUop(2, Opcode::kStore)); // store uop with no SQ entry
+    CheckerContext ctx;
+    ctx.rob = &rob;
+    ctx.sq = &sq;
+    InvariantChecker checker(CheckLevel::kFull, ctx);
+    expectViolation([&] { checker.checkStoreQueue(); }, "one-to-one");
+}
+
+TEST(CheckerLsq, SqEntryForDeadSlotFires)
+{
+    Rob rob(8);
+    StoreQueue sq(8);
+    const int slot = rob.push(makeUop(1, Opcode::kStore));
+    sq.allocate(99, slot); // seq does not match the ROB entry
+    CheckerContext ctx;
+    ctx.rob = &rob;
+    ctx.sq = &sq;
+    InvariantChecker checker(CheckLevel::kFull, ctx);
+    expectViolation([&] { checker.checkStoreQueue(); }, "rob-agreement");
+}
+
+TEST(CheckerLsq, ForwardFromYoungerStoreFires)
+{
+    CheckerContext ctx;
+    InvariantChecker checker(CheckLevel::kCheap, ctx);
+    EXPECT_NO_THROW(checker.onForward(10, 5));
+    expectViolation([&] { checker.onForward(5, 10); },
+                    "forward-program-order");
+    expectViolation([&] { checker.onForward(5, 5); },
+                    "forward-program-order");
+}
+
+// ---------------------------------------------------------------------
+// Invariant 3: rename map + free list partition the register file
+// ---------------------------------------------------------------------
+
+/** A minimal consistent rename state: every arch reg mapped, the rest
+ *  of the file free, nothing in flight. */
+class CheckerRename : public ::testing::Test
+{
+  protected:
+    CheckerRename() : prf_(kNumArchRegs + 8), rob_(4)
+    {
+        for (ArchReg r = 0; r < kNumArchRegs; ++r)
+            rat_.setMap(r, prf_.alloc());
+        ctx_.prf = &prf_;
+        ctx_.rat = &rat_;
+        ctx_.rob = &rob_;
+    }
+
+    PhysRegFile prf_;
+    Rat rat_;
+    Rob rob_;
+    CheckerContext ctx_;
+};
+
+TEST_F(CheckerRename, CleanStatePasses)
+{
+    InvariantChecker checker(CheckLevel::kFull, ctx_);
+    EXPECT_NO_THROW(checker.checkRenameState());
+}
+
+TEST_F(CheckerRename, MappedRegOnFreeListFires)
+{
+    prf_.free(rat_.map(5)); // double life: mapped and free
+    InvariantChecker checker(CheckLevel::kFull, ctx_);
+    expectViolation([&] { checker.checkRenameState(); }, "free-in-use");
+}
+
+TEST_F(CheckerRename, AliasedMappingFires)
+{
+    rat_.setMap(1, rat_.map(0)); // two arch regs share a phys reg
+    InvariantChecker checker(CheckLevel::kFull, ctx_);
+    expectViolation([&] { checker.checkRenameState(); },
+                    "aliased-mapping");
+}
+
+TEST_F(CheckerRename, UnmappedArchRegFires)
+{
+    rat_.setMap(2, kNoPhysReg);
+    InvariantChecker checker(CheckLevel::kFull, ctx_);
+    expectViolation([&] { checker.checkRenameState(); }, "valid-mapping");
+}
+
+TEST_F(CheckerRename, LeakedRegisterFires)
+{
+    prf_.alloc(); // allocated but unreachable from RAT or ROB
+    InvariantChecker checker(CheckLevel::kFull, ctx_);
+    expectViolation([&] { checker.checkRenameState(); },
+                    "register-leak");
+}
+
+// ---------------------------------------------------------------------
+// Invariant 4: Algorithm 1 dependence-chain well-formedness
+// ---------------------------------------------------------------------
+
+class CheckerChain : public ::testing::Test
+{
+  protected:
+    CheckerChain()
+    {
+        ProgramBuilder b("chain");
+        auto loop = b.label();
+        b.li(1, 0x1000);   // pc 0
+        b.addi(2, 1, 8);   // pc 1
+        b.load(3, 2, 0);   // pc 2: the blocking load
+        b.store(2, 3, 0);  // pc 3
+        b.jump(loop);      // pc 4
+        program_ = b.build();
+        ctx_.program = &program_;
+        chain_ = {{1, program_.at(1)}, {2, program_.at(2)}};
+    }
+
+    Program program_;
+    CheckerContext ctx_;
+    DependenceChain chain_;
+};
+
+TEST_F(CheckerChain, WellFormedChainPasses)
+{
+    InvariantChecker checker(CheckLevel::kFull, ctx_);
+    EXPECT_NO_THROW(checker.checkChain(chain_, 2, 32));
+    EXPECT_NO_THROW(checker.onChainCacheInsert(2, chain_));
+    EXPECT_NO_THROW(checker.onChainCacheHit(2, chain_));
+}
+
+TEST_F(CheckerChain, EmptyChainFires)
+{
+    InvariantChecker checker(CheckLevel::kFull, ctx_);
+    expectViolation([&] { checker.checkChain({}, 2, 32); }, "non-empty");
+}
+
+TEST_F(CheckerChain, OverLengthChainFires)
+{
+    InvariantChecker checker(CheckLevel::kFull, ctx_);
+    expectViolation([&] { checker.checkChain(chain_, 2, 1); },
+                    "length-cap");
+}
+
+TEST_F(CheckerChain, NotEndingAtBlockingLoadFires)
+{
+    InvariantChecker checker(CheckLevel::kFull, ctx_);
+    const DependenceChain truncated = {{1, program_.at(1)}};
+    expectViolation([&] { checker.checkChain(truncated, 1, 32); },
+                    "terminates-at-blocking-load");
+    // Right shape, wrong PC.
+    expectViolation([&] { checker.checkChain(chain_, 3, 32); },
+                    "terminates-at-blocking-load");
+}
+
+TEST_F(CheckerChain, ControlUopInChainFires)
+{
+    InvariantChecker checker(CheckLevel::kFull, ctx_);
+    const DependenceChain with_jump = {{4, program_.at(4)},
+                                       {2, program_.at(2)}};
+    expectViolation([&] { checker.checkChain(with_jump, 2, 32); },
+                    "no-control-uops");
+}
+
+TEST_F(CheckerChain, LoadWithoutAddressBaseFires)
+{
+    InvariantChecker checker(CheckLevel::kFull, ctx_);
+    DependenceChain corrupt = chain_;
+    corrupt.back().sop.src1 = kNoArchReg;
+    expectViolation([&] { checker.checkChain(corrupt, 2, 32); },
+                    "well-formed-sources");
+}
+
+TEST_F(CheckerChain, DecodeMismatchFires)
+{
+    InvariantChecker checker(CheckLevel::kFull, ctx_);
+    DependenceChain corrupt = chain_;
+    corrupt.front().sop.imm += 1; // bit flip vs the static program
+    expectViolation([&] { checker.checkChain(corrupt, 2, 32); },
+                    "decodes-from-program");
+}
+
+// ---------------------------------------------------------------------
+// Invariant 5: runahead checkpoint / restore / store containment
+// ---------------------------------------------------------------------
+
+class CheckerRunahead : public ::testing::Test
+{
+  protected:
+    CheckerRunahead()
+    {
+        for (ArchReg r = 0; r < kNumArchRegs; ++r)
+            arch_[r] = 0x100 + r;
+        ctx_.archValues = &arch_;
+        checkpoint_.values = arch_;
+        checkpoint_.valid = true;
+    }
+
+    std::array<std::uint64_t, kNumArchRegs> arch_{};
+    CheckerContext ctx_;
+    ArchCheckpoint checkpoint_;
+};
+
+TEST_F(CheckerRunahead, CleanIntervalPasses)
+{
+    InvariantChecker checker(CheckLevel::kFull, ctx_);
+    EXPECT_NO_THROW(checker.onRunaheadEnter(checkpoint_));
+    EXPECT_NO_THROW(checker.onCycle(1)); // arch state still frozen
+    checkpoint_.valid = false;           // consumed by the restore
+    EXPECT_NO_THROW(checker.onRunaheadExit(checkpoint_));
+    EXPECT_NO_THROW(checker.onRealStore(0x40)); // normal mode: fine
+    EXPECT_EQ(checker.violations.value(), 0u);
+}
+
+TEST_F(CheckerRunahead, InvalidCheckpointFires)
+{
+    InvariantChecker checker(CheckLevel::kFull, ctx_);
+    checkpoint_.valid = false;
+    expectViolation([&] { checker.onRunaheadEnter(checkpoint_); },
+                    "checkpoint-taken");
+}
+
+TEST_F(CheckerRunahead, CheckpointValueMismatchFires)
+{
+    InvariantChecker checker(CheckLevel::kFull, ctx_);
+    checkpoint_.values[3] ^= 1;
+    expectViolation([&] { checker.onRunaheadEnter(checkpoint_); },
+                    "checkpoint-exact");
+}
+
+TEST_F(CheckerRunahead, ArchStateMutatedDuringRunaheadFires)
+{
+    InvariantChecker checker(CheckLevel::kFull, ctx_);
+    checker.onRunaheadEnter(checkpoint_);
+    arch_[7] += 1; // runahead result leaked into architectural state
+    expectViolation([&] { checker.onCycle(1); }, "arch-state-frozen");
+}
+
+TEST_F(CheckerRunahead, RunaheadStoreToRealMemoryFires)
+{
+    InvariantChecker checker(CheckLevel::kFull, ctx_);
+    checker.onRunaheadEnter(checkpoint_);
+    expectViolation([&] { checker.onRealStore(0x40); },
+                    "store-containment");
+}
+
+TEST_F(CheckerRunahead, UnconsumedCheckpointAtExitFires)
+{
+    InvariantChecker checker(CheckLevel::kFull, ctx_);
+    checker.onRunaheadEnter(checkpoint_);
+    expectViolation([&] { checker.onRunaheadExit(checkpoint_); },
+                    "checkpoint-consumed");
+}
+
+TEST_F(CheckerRunahead, InexactRestoreFires)
+{
+    InvariantChecker checker(CheckLevel::kFull, ctx_);
+    checker.onRunaheadEnter(checkpoint_);
+    arch_[2] += 1; // restore did not reproduce the entry state
+    checkpoint_.valid = false;
+    expectViolation([&] { checker.onRunaheadExit(checkpoint_); },
+                    "restore-exact");
+}
+
+TEST_F(CheckerRunahead, PipelineNotFlushedAtExitFires)
+{
+    Rob rob(8);
+    rob.push(makeUop(1));
+    ctx_.rob = &rob;
+    InvariantChecker checker(CheckLevel::kFull, ctx_);
+    checker.onRunaheadEnter(checkpoint_);
+    checkpoint_.valid = false;
+    expectViolation([&] { checker.onRunaheadExit(checkpoint_); },
+                    "pipeline-flushed");
+}
+
+// ---------------------------------------------------------------------
+// Invariant 6: chain cache indexed only by generating blocking-load PC
+// ---------------------------------------------------------------------
+
+TEST_F(CheckerChain, ChainCacheIndexMismatchFires)
+{
+    InvariantChecker checker(CheckLevel::kFull, ctx_);
+    expectViolation([&] { checker.onChainCacheInsert(1, chain_); },
+                    "indexed-by-generating-pc");
+    expectViolation([&] { checker.onChainCacheHit(1, chain_); },
+                    "indexed-by-generating-pc");
+}
+
+// ---------------------------------------------------------------------
+// Check-level plumbing
+// ---------------------------------------------------------------------
+
+TEST(CheckLevelTest, ParseAndName)
+{
+    EXPECT_EQ(parseCheckLevel("off"), CheckLevel::kOff);
+    EXPECT_EQ(parseCheckLevel("cheap"), CheckLevel::kCheap);
+    EXPECT_EQ(parseCheckLevel("full"), CheckLevel::kFull);
+    EXPECT_STREQ(checkLevelName(CheckLevel::kFull), "full");
+}
+
+TEST(CheckLevelTest, EnvOverride)
+{
+    ::setenv("RAB_CHECK_LEVEL", "cheap", 1);
+    EXPECT_EQ(checkLevelFromEnv(CheckLevel::kOff), CheckLevel::kCheap);
+    ::unsetenv("RAB_CHECK_LEVEL");
+    EXPECT_EQ(checkLevelFromEnv(CheckLevel::kFull), CheckLevel::kFull);
+}
+
+// ---------------------------------------------------------------------
+// Clean full-system runs: every configuration, check_level=full,
+// zero violations and a non-trivial number of scans.
+// ---------------------------------------------------------------------
+
+TEST(CheckerIntegration, AllConfigsCleanAtFull)
+{
+    for (const RunaheadConfig rc :
+         {RunaheadConfig::kBaseline, RunaheadConfig::kRunahead,
+          RunaheadConfig::kRunaheadEnhanced,
+          RunaheadConfig::kRunaheadBuffer,
+          RunaheadConfig::kRunaheadBufferCC, RunaheadConfig::kHybrid}) {
+        SimConfig config = makeConfig(rc, false);
+        config.warmupInstructions = 1'000;
+        config.instructions = 5'000;
+        config.checkLevel = CheckLevel::kFull;
+        config.finalize();
+        Simulation sim(config, buildSuiteWorkload("mcf"));
+        EXPECT_NO_THROW(sim.run()) << runaheadConfigName(rc);
+        EXPECT_EQ(sim.core().checker().level(), CheckLevel::kFull);
+        EXPECT_EQ(sim.core().checker().violations.value(), 0u)
+            << runaheadConfigName(rc);
+        EXPECT_GT(sim.core().checker().checksRun.value(), 0u)
+            << runaheadConfigName(rc);
+    }
+}
+
+} // namespace
+} // namespace rab

@@ -6,6 +6,10 @@
  * interpreter's stream under several runahead configurations. This is
  * the widest net for pipeline bugs (forwarding, squash, poison,
  * checkpoint/restore) the suite casts.
+ *
+ * Every run executes with the invariant checker at full strength, so a
+ * clean fuzz pass also certifies that no microarchitectural invariant
+ * (see src/checker) was violated along the way.
  */
 
 #include <gtest/gtest.h>
@@ -129,6 +133,8 @@ TEST_P(FuzzDifferential, CommitsReferenceStream)
         SimConfig config = makeConfig(rc, seed % 2 == 0);
         config.warmupInstructions = 0;
         config.instructions = kInstructions;
+        config.checkLevel = CheckLevel::kFull;
+        config.core.checkLevel = CheckLevel::kFull;
         Simulation sim(config, program);
         std::vector<RefCommit> trace;
         sim.core().setCommitHook([&](const DynUop &uop) {
@@ -142,6 +148,14 @@ TEST_P(FuzzDifferential, CommitsReferenceStream)
         });
         sim.run();
         trace.resize(std::min<std::size_t>(trace.size(), kInstructions));
+
+        // A violation would have thrown out of run(); assert the
+        // checker actually scanned and stayed clean.
+        ASSERT_EQ(sim.core().checker().level(), CheckLevel::kFull);
+        ASSERT_EQ(sim.core().checker().violations.value(), 0u)
+            << "seed " << seed << " config " << runaheadConfigName(rc);
+        ASSERT_GT(sim.core().checker().checksRun.value(), 0u)
+            << "seed " << seed << " config " << runaheadConfigName(rc);
 
         ASSERT_EQ(trace.size(), ref.size())
             << "seed " << seed << " config " << runaheadConfigName(rc);
