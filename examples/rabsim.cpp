@@ -12,6 +12,11 @@
  *   rabsim --list
  *   rabsim --workload libq --config buffer-cc --json > libq.json
  *   rabsim --workload mcf --rob 256 --buffer 64 --mem-queue 128
+ *   rabsim --workload mcf --config hybrid --fault-rate 0.01 \
+ *          --check cheap --check-policy degrade
+ *
+ * Exit codes: 0 success, 3 watchdog gave up (forward progress lost),
+ * 4 invariant violation escaped (checker in throw policy).
  */
 
 #include <cstdio>
@@ -20,8 +25,10 @@
 #include <iostream>
 #include <string>
 
+#include "checker/invariant_checker.hh"
 #include "common/logging.hh"
 #include "core/simulation.hh"
+#include "fault/watchdog.hh"
 #include "trace/trace.hh"
 #include "workloads/suite.hh"
 
@@ -44,6 +51,9 @@ struct Options
     bool printConfig = false;
     std::string tracePath;
     CheckLevel checkLevel = CheckLevel::kOff;
+    CheckPolicy checkPolicy = CheckPolicy::kThrow;
+    FaultConfig fault{};
+    std::uint64_t watchdogCycles = 0;
 
     // Table 1 overrides.
     int robEntries = 0;
@@ -72,6 +82,17 @@ usage(int code)
         "  --trace FILE        capture a retirement trace (.rabt)\n"
         "  --check LEVEL       invariant checking: off | cheap | full\n"
         "                      (RAB_CHECK_LEVEL overrides)\n"
+        "  --check-policy P    violation handling: throw | degrade\n"
+        "                      (RAB_CHECK_POLICY overrides)\n"
+        "  --fault-seed N      fault-injection RNG seed (default 1)\n"
+        "  --fault-rate P      enable injection, set every rate to P\n"
+        "  --fault-chain-rate P       chain-cache corruption rate\n"
+        "  --fault-buffer-rate P      runahead-buffer uop flip rate\n"
+        "  --fault-dram-drop-rate P   DRAM response drop rate\n"
+        "  --fault-dram-delay-rate P  DRAM response delay rate\n"
+        "  --fault-stall-rate P       memory-queue stall-window rate\n"
+        "  --watchdog N        forward-progress watchdog bound in\n"
+        "                      cycles (default: auto when faults on)\n"
         "  --rob N | --rs N | --buffer N | --chain-cache N |\n"
         "  --mem-queue N | --llc BYTES     Table 1 overrides\n"
         "  --print-config      show the simulated system and exit\n"
@@ -129,6 +150,31 @@ parseArgs(int argc, char **argv)
             opts.tracePath = next(i);
         else if (arg == "--check")
             opts.checkLevel = parseCheckLevel(next(i));
+        else if (arg == "--check-policy")
+            opts.checkPolicy = parseCheckPolicy(next(i));
+        else if (arg == "--fault-seed") {
+            opts.fault.enabled = true;
+            opts.fault.seed = std::strtoull(next(i), nullptr, 10);
+        } else if (arg == "--fault-rate") {
+            opts.fault.enabled = true;
+            opts.fault.setAllRates(std::atof(next(i)));
+        } else if (arg == "--fault-chain-rate") {
+            opts.fault.enabled = true;
+            opts.fault.chainCacheRate = std::atof(next(i));
+        } else if (arg == "--fault-buffer-rate") {
+            opts.fault.enabled = true;
+            opts.fault.bufferUopRate = std::atof(next(i));
+        } else if (arg == "--fault-dram-drop-rate") {
+            opts.fault.enabled = true;
+            opts.fault.dramDropRate = std::atof(next(i));
+        } else if (arg == "--fault-dram-delay-rate") {
+            opts.fault.enabled = true;
+            opts.fault.dramDelayRate = std::atof(next(i));
+        } else if (arg == "--fault-stall-rate") {
+            opts.fault.enabled = true;
+            opts.fault.memStallRate = std::atof(next(i));
+        } else if (arg == "--watchdog")
+            opts.watchdogCycles = std::strtoull(next(i), nullptr, 10);
         else if (arg == "--rob")
             opts.robEntries = std::atoi(next(i));
         else if (arg == "--rs")
@@ -161,6 +207,11 @@ makeSimConfig(const Options &opts)
     config.warmupInstructions = opts.warmup;
     config.checkLevel = opts.checkLevel;
     config.core.checkLevel = opts.checkLevel;
+    config.checkPolicy = opts.checkPolicy;
+    config.fault = opts.fault;
+    if (opts.watchdogCycles > 0)
+        config.core.watchdog.cycles = opts.watchdogCycles;
+    config.finalize();
     if (opts.robEntries > 0)
         config.core.robEntries = opts.robEntries;
     if (opts.rsEntries > 0)
@@ -204,10 +255,14 @@ runOne(const Options &opts, const std::string &workload)
     if (opts.dumpStats) {
         sim.core().stats().dump(std::cout);
         sim.memory().stats().dump(std::cout);
+        if (sim.faults())
+            sim.faults()->stats().dump(std::cout);
     }
     if (opts.dumpJson) {
         sim.core().stats().dumpJson(std::cout);
         sim.memory().stats().dumpJson(std::cout);
+        if (sim.faults())
+            sim.faults()->stats().dumpJson(std::cout);
     }
     return 0;
 }
@@ -232,12 +287,30 @@ main(int argc, char **argv)
         return 0;
     }
 
-    if (opts.allWorkloads) {
-        for (const WorkloadSpec &spec : spec06Suite())
-            runOne(opts, spec.params.name);
-        return 0;
+    try {
+        if (opts.allWorkloads) {
+            for (const WorkloadSpec &spec : spec06Suite())
+                runOne(opts, spec.params.name);
+            return 0;
+        }
+        if (!findWorkload(opts.workload)) {
+            fatal("unknown workload '%s' (try --list)",
+                  opts.workload.c_str());
+        }
+        return runOne(opts, opts.workload);
+    } catch (const WatchdogTimeout &e) {
+        // Forward progress could not be restored within the recovery
+        // budget: one-line diagnosis, distinct exit code.
+        std::fprintf(stderr,
+                     "rabsim: watchdog gave up at cycle %llu after %d "
+                     "recoveries: forward progress lost (likely an "
+                     "unrecoverable injected fault)\n",
+                     (unsigned long long)e.cycle(), e.recoveries());
+        return 3;
+    } catch (const InvariantViolation &e) {
+        std::fprintf(stderr,
+                     "rabsim: invariant violation in module '%s': %s\n",
+                     e.module().c_str(), e.what());
+        return 4;
     }
-    if (!findWorkload(opts.workload))
-        fatal("unknown workload '%s' (try --list)", opts.workload.c_str());
-    return runOne(opts, opts.workload);
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "fault/fault_injector.hh"
 #include "isa/functional.hh"
 
 namespace rab
@@ -18,6 +19,7 @@ Core::Core(const CoreConfig &config, const Program *program,
       sq_(config.sqEntries),
       ports_(config.issueWidth, config.memPorts),
       runaheadCtrl_(config.runahead),
+      watchdog_(config.watchdog),
       statGroup_("core")
 {
     if (!program_ || program_->empty())
@@ -43,6 +45,10 @@ Core::Core(const CoreConfig &config, const Program *program,
     checker_ctx.archValues = &archValues_;
     checker_ = std::make_unique<InvariantChecker>(
         checkLevelFromEnv(config_.checkLevel), checker_ctx);
+    checker_->setPolicy(checkPolicyFromEnv(config_.checkPolicy));
+    checker_->setDegradeSink([this](const InvariantViolation &) {
+        runaheadCtrl_.noteSpeculativeFault();
+    });
     runaheadCtrl_.setChecker(checker_.get());
 
     statGroup_.addCounter("committed_uops", &committedUops,
@@ -78,6 +84,14 @@ Core::Core(const CoreConfig &config, const Program *program,
     statGroup_.addCounter("runahead_cache_forwards",
                           &runaheadCacheForwards,
                           "loads forwarded from the runahead cache");
+    statGroup_.addCounter("load_queue_retries", &loadQueueRetries,
+                          "loads re-issued after a queue rejection");
+    statGroup_.addCounter("store_queue_retries", &storeQueueRetries,
+                          "store commits retried after a rejection");
+    statGroup_.addCounter("mem_fault_retries", &memFaultRetries,
+                          "retries caused by injected memory faults");
+    statGroup_.addCounter("watchdog_flushes", &watchdogFlushes,
+                          "watchdog-driven recovery flushes");
     statGroup_.addCounter("rs_inserts", &rs_.inserts,
                           "reservation station inserts");
     statGroup_.addCounter("rs_wakeups", &rs_.wakeups,
@@ -90,6 +104,7 @@ Core::Core(const CoreConfig &config, const Program *program,
     bp_.regStats(&statGroup_);
     frontend_->regStats(&statGroup_);
     runaheadCtrl_.regStats(&statGroup_);
+    watchdog_.regStats(&statGroup_);
     chainAnalysis_.regStats(&statGroup_);
     checker_->regStats(&statGroup_);
 }
@@ -134,6 +149,14 @@ Core::tick()
     runaheadCtrl_.tickCycle();
     checker_->onCycle(now);
     ++cycle_;
+
+    // Forward-progress watchdog (fault recovery layer 1): bounded
+    // recovery before the hard deadlock panic below can trigger.
+    if (watchdog_.enabled()
+        && watchdog_.shouldRecover(cycle_, lastCommitCycle_, retired_,
+                                   checker_->stateDump())) {
+        recoverFromWatchdog(cycle_);
+    }
 
     if (cycle_ - lastCommitCycle_ > config_.deadlockCycles) {
         const DynUop *head = rob_.empty() ? nullptr : &rob_.head();
@@ -275,8 +298,13 @@ Core::doCommit(Cycle now)
             const AccessResult res =
                 mem_->access(AccessType::kStore, head.effAddr, now,
                              /*runahead=*/false, head.pc);
-            if (res.rejected)
-                break; // Memory queue full: retry next cycle.
+            if (res.rejected) {
+                // Memory queue full (or faulted): retry next cycle.
+                ++storeQueueRetries;
+                if (res.faulted)
+                    ++memFaultRetries;
+                break;
+            }
             funcMem_.write(head.effAddr, head.result);
         }
 
@@ -292,6 +320,7 @@ Core::doCommit(Cycle now)
         if (!runahead) {
             if (head.sop.hasDest())
                 archValues_[head.sop.dest] = head.result;
+            resumePc_ = head.isControl() ? head.nextPc : head.pc + 1;
             ++retired_;
             ++committedUops;
             if (commitHook_)
@@ -444,6 +473,52 @@ Core::exitRunahead(Cycle now)
 }
 
 // ---------------------------------------------------------------------
+// Watchdog recovery
+// ---------------------------------------------------------------------
+
+void
+Core::recoverFromWatchdog(Cycle now)
+{
+    ++watchdogFlushes;
+    if (inRunahead()) {
+        // Runahead exit is already a full flush-and-restore to the
+        // checkpoint; reuse it as the recovery action.
+        exitRunahead(now);
+    } else {
+        flushToArchState(now);
+    }
+    // Count the flush as progress so the watchdog re-arms for a full
+    // bound instead of re-firing every cycle.
+    lastCommitCycle_ = now;
+    stallCyclesSinceCommit_ = 0;
+}
+
+void
+Core::flushToArchState(Cycle now)
+{
+    // The ROB head (oldest un-retired uop) is the restart point; if
+    // the ROB already drained, resume after the last retirement.
+    const Pc resume = rob_.empty() ? resumePc_ : rob_.head().pc;
+
+    // Discard every in-flight structure. Nothing here has touched
+    // architectural state: archValues_/funcMem_ only change at
+    // commit, so refetching from `resume` replays deterministically.
+    rob_.clear();
+    rs_.clear();
+    sq_.clear();
+    wbq_.clear();
+    prf_.resetAll();
+    for (ArchReg r = 0; r < kNumArchRegs; ++r) {
+        const PhysReg pdst = prf_.alloc();
+        prf_.write(pdst, archValues_[r], /*poisoned=*/false,
+                   /*off_chip=*/false);
+        rat_.setMap(r, pdst);
+    }
+    frontend_->setGated(false);
+    frontend_->redirect(resume, now + config_.exitPenalty);
+}
+
+// ---------------------------------------------------------------------
 // Issue / execute
 // ---------------------------------------------------------------------
 
@@ -548,6 +623,9 @@ Core::issueLoad(int slot, DynUop &uop, Cycle now)
         mem_->access(AccessType::kLoad, uop.effAddr, now, inRunahead(),
                      uop.pc);
     if (res.rejected) {
+        ++loadQueueRetries;
+        if (res.faulted)
+            ++memFaultRetries;
         rs_.reinsert(slot, uop.seq);
         return;
     }
@@ -638,6 +716,10 @@ Core::doRename(Cycle now)
             const ChainOp &cop = runaheadCtrl_.buffer().peek();
             du.pc = cop.pc;
             du.sop = cop.sop;
+            // Fault injection: flip fields of the buffer-supplied uop
+            // (speculative only; discarded wholesale at runahead exit).
+            if (faults_)
+                faults_->maybeCorruptUop(du.sop);
         } else {
             const FetchedUop &fu = frontend_->peek();
             du.pc = fu.pc;

@@ -27,6 +27,7 @@
 #include "backend/reservation_station.hh"
 #include "backend/rob.hh"
 #include "checker/invariant_checker.hh"
+#include "fault/watchdog.hh"
 #include "frontend/branch_predictor.hh"
 #include "frontend/frontend.hh"
 #include "isa/program.hh"
@@ -65,6 +66,14 @@ struct CoreConfig
      *  variable overrides this (the test suite forces "full"). */
     CheckLevel checkLevel = CheckLevel::kOff;
 
+    /** What a detected invariant violation does: throw (tests) or
+     *  route speculative-structure violations to the degradation
+     *  ladder (production runs). RAB_CHECK_POLICY overrides this. */
+    CheckPolicy checkPolicy = CheckPolicy::kThrow;
+
+    /** Forward-progress watchdog (fault recovery layer 1). */
+    WatchdogConfig watchdog{};
+
     FrontendConfig frontend{};
     BranchPredictorConfig bp{};
     RunaheadPolicy runahead{};
@@ -95,9 +104,20 @@ class Core
     using CommitHook = std::function<void(const DynUop &)>;
     void setCommitHook(CommitHook hook) { commitHook_ = std::move(hook); }
 
+    /** Attach a fault injector (may be null): shared with the
+     *  runahead controller (chain cache) and used directly for
+     *  runahead-buffer uop corruption. */
+    void setFaultInjector(FaultInjector *faults)
+    {
+        faults_ = faults;
+        runaheadCtrl_.setFaultInjector(faults);
+    }
+
     /** @{ Component access (tests, figures, energy model). */
     RunaheadController &runahead() { return runaheadCtrl_; }
     const RunaheadController &runahead() const { return runaheadCtrl_; }
+    ForwardProgressWatchdog &watchdog() { return watchdog_; }
+    const ForwardProgressWatchdog &watchdog() const { return watchdog_; }
     InvariantChecker &checker() { return *checker_; }
     const InvariantChecker &checker() const { return *checker_; }
     Frontend &frontend() { return *frontend_; }
@@ -140,6 +160,12 @@ class Core
     Counter fig2MissSrcOnChip; ///< ... whose source data was on-chip.
     Counter loadsForwarded;
     Counter runaheadCacheForwards;
+    Counter loadQueueRetries;  ///< Loads re-issued: memory queue
+                               ///< rejected the access.
+    Counter storeQueueRetries; ///< Store commits retried likewise.
+    Counter memFaultRetries;   ///< Retries caused by an injected
+                               ///< fault (drop budget exhausted).
+    Counter watchdogFlushes;   ///< Watchdog-driven recovery flushes.
     /** @} */
 
   private:
@@ -164,6 +190,12 @@ class Core
     void exitRunahead(Cycle now);
     void resetArchState();
 
+    /** @{ Watchdog recovery: abandon all in-flight speculative work
+     *  and restart from committed architectural state. */
+    void recoverFromWatchdog(Cycle now);
+    void flushToArchState(Cycle now);
+    /** @} */
+
     bool inRunahead() const { return runaheadCtrl_.inRunahead(); }
     RunaheadMode mode() const { return runaheadCtrl_.mode(); }
 
@@ -186,6 +218,8 @@ class Core
     IssuePorts ports_;
 
     RunaheadController runaheadCtrl_;
+    ForwardProgressWatchdog watchdog_;
+    FaultInjector *faults_ = nullptr;
     ChainAnalysis chainAnalysis_;
     ArchCheckpoint checkpoint_;
     std::unique_ptr<InvariantChecker> checker_; ///< After the structures
@@ -200,6 +234,8 @@ class Core
     Cycle lastCommitCycle_ = 0;
     int stallCyclesSinceCommit_ = 0;
     bool renameProgress_ = false;
+    Pc resumePc_ = 0; ///< Next-to-commit PC; watchdog restart point
+                      ///< when the ROB has already drained.
 
     CommitHook commitHook_;
     StatGroup statGroup_;

@@ -33,6 +33,25 @@ CheckLevel parseCheckLevel(const std::string &name);
  *  set (this is how the test suite forces full checking everywhere). */
 CheckLevel checkLevelFromEnv(CheckLevel fallback);
 
+/** What a raised invariant violation does. */
+enum class CheckPolicy
+{
+    kThrow,   ///< Throw InvariantViolation (fail-fast; tests).
+    kDegrade, ///< Route violations in *speculative* state to the
+              ///< runahead degradation ladder and keep simulating;
+              ///< violations of architectural structures still throw.
+};
+
+/** Name string ("throw" / "degrade"). */
+const char *checkPolicyName(CheckPolicy policy);
+
+/** Parse a policy name; calls fatal() on an unknown name. */
+CheckPolicy parseCheckPolicy(const std::string &name);
+
+/** The RAB_CHECK_POLICY environment variable overrides @p fallback
+ *  when set. */
+CheckPolicy checkPolicyFromEnv(CheckPolicy fallback);
+
 } // namespace rab
 
 #endif // RAB_CHECKER_CHECK_LEVEL_HH

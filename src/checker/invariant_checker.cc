@@ -44,6 +44,35 @@ checkLevelFromEnv(CheckLevel fallback)
     return parseCheckLevel(env);
 }
 
+const char *
+checkPolicyName(CheckPolicy policy)
+{
+    switch (policy) {
+      case CheckPolicy::kThrow: return "throw";
+      case CheckPolicy::kDegrade: return "degrade";
+    }
+    return "?";
+}
+
+CheckPolicy
+parseCheckPolicy(const std::string &name)
+{
+    if (name == "throw")
+        return CheckPolicy::kThrow;
+    if (name == "degrade")
+        return CheckPolicy::kDegrade;
+    fatal("unknown check policy '%s' (throw | degrade)", name.c_str());
+}
+
+CheckPolicy
+checkPolicyFromEnv(CheckPolicy fallback)
+{
+    const char *env = std::getenv("RAB_CHECK_POLICY");
+    if (!env || !*env)
+        return fallback;
+    return parseCheckPolicy(env);
+}
+
 InvariantViolation::InvariantViolation(Cycle cycle, std::string module,
                                        std::string invariant,
                                        std::string detail)
@@ -64,6 +93,18 @@ InvariantChecker::InvariantChecker(CheckLevel level,
         refMarks_.assign(static_cast<std::size_t>(ctx_.prf->size()), 0);
 }
 
+bool
+InvariantChecker::isSpeculativeModule(const char *module)
+{
+    // Violations in these modules concern speculative structures only:
+    // the paper's containment argument guarantees they cannot have
+    // corrupted architectural state, so a long run may degrade instead
+    // of dying. "runahead" covers chain use, containment and
+    // checkpoint discipline around the speculative interval.
+    const std::string m = module;
+    return m == "chain" || m == "chain_cache" || m == "runahead";
+}
+
 void
 InvariantChecker::violate(const char *module, const char *invariant,
                           std::string detail)
@@ -72,7 +113,15 @@ InvariantChecker::violate(const char *module, const char *invariant,
     warn("invariant violation at cycle %llu [%s/%s]: %s\n  %s",
          (unsigned long long)now_, module, invariant, detail.c_str(),
          stateDump().c_str());
-    throw InvariantViolation(now_, module, invariant, std::move(detail));
+    InvariantViolation violation(now_, module, invariant,
+                                 std::move(detail));
+    if (policy_ == CheckPolicy::kDegrade && sink_
+        && isSpeculativeModule(module)) {
+        ++violationsRouted;
+        sink_(violation);
+        return;
+    }
+    throw violation;
 }
 
 std::string
@@ -377,8 +426,10 @@ InvariantChecker::checkChain(const DependenceChain &chain,
 {
     if (!enabled())
         return;
-    if (chain.empty())
+    if (chain.empty()) {
         violate("chain", "non-empty", "generated chain has no uops");
+        return; // Routed: nothing further to inspect.
+    }
     if (static_cast<int>(chain.size()) > max_length) {
         violate("chain", "length-cap",
                 strprintf("chain has %d uops, cap is %d",
@@ -433,6 +484,7 @@ InvariantChecker::checkChain(const DependenceChain &chain,
                                   "of %d uops",
                                   (int)i, (unsigned long long)op.pc,
                                   (int)ctx_.program->size()));
+                continue; // Routed: pc is unusable as an index.
             }
             const Uop &ref = ctx_.program->at(op.pc);
             if (ref.op != op.sop.op || ref.func != op.sop.func
@@ -563,6 +615,7 @@ InvariantChecker::onRunaheadExit(const ArchCheckpoint &checkpoint)
                         strprintf("r%d maps to invalid phys reg %d "
                                   "after exit",
                                   (int)r, (int)p));
+                continue; // Routed: p is unusable as an index.
             }
             if (ctx_.prf->poisoned(p)) {
                 violate("runahead", "restore-exact",
@@ -646,6 +699,9 @@ InvariantChecker::regStats(StatGroup *parent)
                           "full structural scans completed");
     statGroup_.addCounter("violations", &violations,
                           "invariant violations raised");
+    statGroup_.addCounter("violations_routed", &violationsRouted,
+                          "violations routed to the degradation "
+                          "ladder instead of thrown");
     if (parent)
         parent->addChild(&statGroup_);
 }

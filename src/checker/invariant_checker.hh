@@ -11,9 +11,17 @@
  * and at every mode transition, gated by CheckLevel so production runs
  * pay nothing.
  *
- * A violation logs a state dump through common/logging and throws an
+ * A violation logs a state dump through common/logging and raises an
  * InvariantViolation carrying the cycle, module and invariant name, so
- * tests can assert that deliberately corrupted state is caught.
+ * tests can assert that deliberately corrupted state is caught. What
+ * "raises" means is policy-controlled (CheckPolicy): under kThrow the
+ * violation is thrown; under kDegrade violations in *speculative*
+ * state (chain, chain cache, runahead containment) are routed to a
+ * degrade sink — the runahead degradation ladder — and simulation
+ * continues, because the paper's containment argument guarantees they
+ * cannot corrupt architectural results. Architectural-structure
+ * violations (ROB, LSQ, rename) throw under every policy: past that
+ * point the simulation is meaningless.
  */
 
 #ifndef RAB_CHECKER_INVARIANT_CHECKER_HH
@@ -21,6 +29,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -83,6 +92,23 @@ class InvariantChecker
     CheckLevel level() const { return level_; }
     bool enabled() const { return level_ != CheckLevel::kOff; }
 
+    /** @{ Violation policy (see file comment). Default kThrow. The
+     *  degrade sink receives every routed violation; without a sink,
+     *  kDegrade still throws. */
+    void setPolicy(CheckPolicy policy) { policy_ = policy; }
+    CheckPolicy policy() const { return policy_; }
+    using DegradeSink = std::function<void(const InvariantViolation &)>;
+    void setDegradeSink(DegradeSink sink) { sink_ = std::move(sink); }
+
+    /** True for modules whose violations only ever concern speculative
+     *  state (safe to route to the degradation ladder). */
+    static bool isSpeculativeModule(const char *module);
+    /** @} */
+
+    /** One-line diagnostic snapshot of the watched structures (also
+     *  attached to every violation and watchdog report). */
+    std::string stateDump() const;
+
     /** Cycles between full structural scans at kFull (spot checks still
      *  run every cycle). */
     static constexpr Cycle kFullScanPeriod = 16;
@@ -131,20 +157,26 @@ class InvariantChecker
     /** @} */
 
     /** @{ Statistics. */
-    Counter checksRun;   ///< Structural scans completed.
-    Counter violations;  ///< Violations raised (each also throws).
+    Counter checksRun;         ///< Structural scans completed.
+    Counter violations;        ///< Violations raised.
+    Counter violationsRouted;  ///< Violations routed to the degrade
+                               ///< sink instead of thrown.
     /** @} */
 
     void regStats(StatGroup *parent);
 
   private:
-    [[noreturn]] void violate(const char *module, const char *invariant,
-                              std::string detail);
+    /** Raise a violation. Returns normally (instead of throwing) only
+     *  when the policy routed it to the degrade sink; callers must be
+     *  prepared to continue past a routed violation. */
+    void violate(const char *module, const char *invariant,
+                 std::string detail);
     void spotChecks();
     void fullScan();
-    std::string stateDump() const;
 
     CheckLevel level_;
+    CheckPolicy policy_ = CheckPolicy::kThrow;
+    DegradeSink sink_;
     CheckerContext ctx_;
     Cycle now_ = 0;
     bool inRunahead_ = false;

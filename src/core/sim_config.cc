@@ -46,6 +46,12 @@ SimConfig::finalize()
     }
     mem.prefetcher.enabled = prefetch;
     core.checkLevel = checkLevel;
+    core.checkPolicy = checkPolicy;
+    // Fault campaigns need the recovery layer armed: default the
+    // forward-progress watchdog on (well below the deadlock panic)
+    // unless the user configured a bound explicitly.
+    if (fault.enabled && core.watchdog.cycles == 0)
+        core.watchdog.cycles = 100'000;
     // Figures 3-5 instrument traditional runahead intervals.
     core.collectChainAnalysis = core.runahead.traditionalEnabled;
     energy.robEntries = core.robEntries;

@@ -13,6 +13,7 @@
 #include "backend/core.hh"
 #include "checker/check_level.hh"
 #include "energy/energy_model.hh"
+#include "fault/fault_injector.hh"
 #include "memory/memory_system.hh"
 
 namespace rab
@@ -44,6 +45,13 @@ struct SimConfig
     /** Invariant-checking effort (see src/checker). RAB_CHECK_LEVEL in
      *  the environment overrides it. */
     CheckLevel checkLevel = CheckLevel::kOff;
+
+    /** Violation handling: throw, or degrade speculative structures.
+     *  RAB_CHECK_POLICY in the environment overrides it. */
+    CheckPolicy checkPolicy = CheckPolicy::kThrow;
+
+    /** Fault injection (see src/fault). Inert unless enabled. */
+    FaultConfig fault{};
 
     std::uint64_t warmupInstructions = 20'000;
     std::uint64_t instructions = 100'000;

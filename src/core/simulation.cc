@@ -9,7 +9,7 @@ namespace rab
 std::string
 SimResult::toString() const
 {
-    return strprintf(
+    std::string s = strprintf(
         "%s/%s%s: %llu instrs, %llu cycles, IPC %.3f, MPKI %.2f, "
         "stall %.1f%%, RA intervals %llu, MLP/interval %.2f, "
         "energy %.6f J",
@@ -18,6 +18,16 @@ SimResult::toString() const
         (unsigned long long)cycles, ipc, mpki, memStallFraction * 100.0,
         (unsigned long long)runaheadIntervals, missesPerInterval,
         energy.totalJ);
+    if (faultsInjected > 0 || watchdogRecoveries > 0
+        || degradeSteps > 0) {
+        s += strprintf(
+            ", faults %llu, watchdog recoveries %llu, degrade steps "
+            "%llu (final level %d)",
+            (unsigned long long)faultsInjected,
+            (unsigned long long)watchdogRecoveries,
+            (unsigned long long)degradeSteps, degradeLevel);
+    }
+    return s;
 }
 
 Simulation::Simulation(const SimConfig &config, Program program)
@@ -25,6 +35,11 @@ Simulation::Simulation(const SimConfig &config, Program program)
 {
     mem_ = std::make_unique<MemorySystem>(config_.mem);
     core_ = std::make_unique<Core>(config_.core, &program_, mem_.get());
+    if (config_.fault.enabled) {
+        faults_ = std::make_unique<FaultInjector>(config_.fault);
+        mem_->setFaultInjector(faults_.get());
+        core_->setFaultInjector(faults_.get());
+    }
 }
 
 SimResult
@@ -83,6 +98,12 @@ Simulation::run()
     r.hybridBufferFraction = ra.bufferCycleFraction();
     r.runaheadIntervals = ra.intervals.value();
     r.dramRequests = mem_->dramRequests();
+
+    if (faults_)
+        r.faultsInjected = faults_->totalInjected();
+    r.watchdogRecoveries = core_->watchdog().recoveries.value();
+    r.degradeSteps = ra.ladder().degradeSteps.value();
+    r.degradeLevel = static_cast<int>(ra.ladder().level());
 
     const EnergyModel energy_model(config_.energy);
     r.energy = energy_model.compute(*core_, cycles);

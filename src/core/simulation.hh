@@ -56,6 +56,13 @@ struct SimResult
     std::uint64_t dramRequests = 0; ///< Fig. 16.
     std::uint64_t runaheadIntervals = 0;
 
+    /** @{ Fault campaign summary (zero when injection is disabled). */
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t watchdogRecoveries = 0;
+    std::uint64_t degradeSteps = 0;
+    int degradeLevel = 0; ///< Final DegradeLevel as an int.
+    /** @} */
+
     EnergyBreakdown energy; ///< Figs. 17/18.
 
     std::string toString() const;
@@ -75,9 +82,13 @@ class Simulation
     MemorySystem &memory() { return *mem_; }
     const Program &program() const { return program_; }
 
+    /** The fault injector, or nullptr when injection is disabled. */
+    FaultInjector *faults() { return faults_.get(); }
+
   private:
     SimConfig config_;
     Program program_;
+    std::unique_ptr<FaultInjector> faults_;
     std::unique_ptr<MemorySystem> mem_;
     std::unique_ptr<Core> core_;
 };

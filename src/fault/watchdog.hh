@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Forward-progress watchdog.
+ *
+ * Detects retirement stalls beyond a configurable cycle bound and
+ * drives bounded recovery: the core responds to a fired watchdog by
+ * flushing to architectural state (a safe point, by the same argument
+ * that makes runahead exit safe) and refetching, instead of
+ * livelocking on a wedged speculative structure or a memory request
+ * whose response was lost. Repeated firings without any retirement in
+ * between mean recovery is not helping; after a bounded number the
+ * watchdog gives up with a structured WatchdogTimeout instead of
+ * letting the simulation hang until the hard deadlock panic.
+ */
+
+#ifndef RAB_FAULT_WATCHDOG_HH
+#define RAB_FAULT_WATCHDOG_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace rab
+{
+
+/** Watchdog configuration. */
+struct WatchdogConfig
+{
+    /** Fire after this many cycles without a (pseudo-)retirement.
+     *  0 disables the watchdog entirely (the hard deadlock panic in
+     *  Core remains as the backstop). */
+    std::uint64_t cycles = 0;
+
+    /** Give up after this many consecutive firings with no retirement
+     *  in between (recovery is clearly not restoring progress). */
+    int giveUpAfter = 3;
+
+    /** Total recovery budget across the whole run; 0 = unlimited. */
+    int maxRecoveries = 0;
+};
+
+/** Structured give-up signal: the watchdog exhausted its recovery
+ *  budget. Drivers catch this for a one-line diagnosis and a distinct
+ *  exit code instead of a raw trace. */
+class WatchdogTimeout : public std::runtime_error
+{
+  public:
+    WatchdogTimeout(Cycle cycle, int recoveries, std::string detail);
+
+    Cycle cycle() const { return cycle_; }
+    int recoveries() const { return recoveries_; }
+    const std::string &detail() const { return detail_; }
+
+  private:
+    Cycle cycle_;
+    int recoveries_;
+    std::string detail_;
+};
+
+/** The watchdog state machine. Owns no core state: the Core feeds it
+ *  (cycle, last-commit cycle, retired count) and performs the actual
+ *  flush when told to recover. */
+class ForwardProgressWatchdog
+{
+  public:
+    explicit ForwardProgressWatchdog(const WatchdogConfig &config);
+
+    const WatchdogConfig &config() const { return config_; }
+    bool enabled() const { return config_.cycles > 0; }
+    int consecutiveFires() const { return consecutive_; }
+
+    /**
+     * Poll once per cycle. Returns true when the stall bound is
+     * exceeded and the caller should attempt a recovery flush; throws
+     * WatchdogTimeout when the recovery budget is exhausted.
+     *
+     * @param now         current cycle.
+     * @param last_commit cycle of the most recent (pseudo-)retirement.
+     * @param retired     architectural retirement count (progress
+     *                    metric across recoveries).
+     * @param state_dump  diagnostic state (from the invariant checker)
+     *                    attached to the give-up error.
+     */
+    bool shouldRecover(Cycle now, Cycle last_commit,
+                       std::uint64_t retired,
+                       const std::string &state_dump);
+
+    /** @{ Statistics. */
+    Counter fires;      ///< Stall-bound expirations.
+    Counter recoveries; ///< Recovery flushes granted.
+    /** @} */
+
+    void regStats(StatGroup *parent);
+
+  private:
+    WatchdogConfig config_;
+    std::uint64_t lastFireRetired_ = 0;
+    bool firedBefore_ = false;
+    int consecutive_ = 0;
+    StatGroup statGroup_;
+};
+
+} // namespace rab
+
+#endif // RAB_FAULT_WATCHDOG_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "fault/fault_injector.hh"
 
 namespace rab
 {
@@ -28,6 +29,14 @@ MemorySystem::MemorySystem(const MemSysConfig &config)
                           "prefetches sent to DRAM");
     statGroup_.addCounter("mshr_merges", &mshrMerges,
                           "accesses merged into in-flight fills");
+    statGroup_.addCounter("mem_retries", &memRetries,
+                          "DRAM requests re-sent after a dropped response");
+    statGroup_.addCounter("mem_timeouts", &memTimeouts,
+                          "in-flight DRAM requests that timed out");
+    statGroup_.addCounter("mem_retry_failures", &memRetryFailures,
+                          "accesses that exhausted the retry budget");
+    statGroup_.addCounter("queue_fault_stalls", &queueFaultStalls,
+                          "rejections from injected queue stall windows");
     l1i_.regStats(&statGroup_);
     l1d_.regStats(&statGroup_);
     llc_.regStats(&statGroup_);
@@ -162,6 +171,39 @@ MemorySystem::accessLlc(AccessType type, Addr line_addr, Cycle llc_time,
         return 0;
     }
 
+    // Injected transient stall window: the queue refuses new misses
+    // until the window closes; the core retries like a full queue.
+    if (faults_ && faults_->memQueueStalled(now)) {
+        ++queueFaultStalls;
+        ++queueRejects;
+        rejected = true;
+        return 0;
+    }
+
+    // Injected response drops: model a timeout + bounded retry with
+    // linear backoff. The whole outcome is decided up front (before
+    // any DRAM/stat side effects) so a failed access leaves the
+    // hierarchy untouched and the core simply retries later.
+    Cycle fault_delay = 0;
+    if (faults_) {
+        int attempt = 0;
+        while (faults_->dropDramResponse()) {
+            ++memTimeouts;
+            if (attempt >= config_.memRetryLimit) {
+                ++memRetryFailures;
+                result.faulted = true;
+                rejected = true;
+                return 0;
+            }
+            ++attempt;
+            ++memRetries;
+            fault_delay += config_.memTimeoutCycles
+                + static_cast<Cycle>(attempt)
+                    * config_.memRetryBackoffCycles;
+        }
+        fault_delay += faults_->dramDelay();
+    }
+
     if (type != AccessType::kPrefetch) {
         ++llcDemandMisses;
         if (type == AccessType::kLoad)
@@ -172,7 +214,7 @@ MemorySystem::accessLlc(AccessType type, Addr line_addr, Cycle llc_time,
     const DramResult dram_result =
         dram_.access(line_addr, llc_time + config_.llc.latency,
                      /*is_write=*/false);
-    const Cycle ready = dram_result.readyCycle;
+    const Cycle ready = dram_result.readyCycle + fault_delay;
     llcPending_[line_addr] = ready;
     outstanding_.push(ready);
     prunePending(llcPending_, now);

@@ -55,7 +55,18 @@ struct MemSysConfig
                                    ///< demand (non-runahead) misses, so
                                    ///< speculative runahead traffic
                                    ///< cannot starve the demand stream.
+
+    /** @{ Bounded-retry recovery for dropped DRAM responses (fault
+     *  injection). A dropped response costs memTimeoutCycles before
+     *  the requester notices; each retry adds a linear backoff. After
+     *  memRetryLimit drops the access fails back to the core. */
+    int memRetryLimit = 3;
+    Cycle memTimeoutCycles = 1000;
+    Cycle memRetryBackoffCycles = 200;
+    /** @} */
 };
+
+class FaultInjector;
 
 /** The composed cache/DRAM hierarchy. */
 class MemorySystem
@@ -108,9 +119,19 @@ class MemorySystem
     Counter queueRejects;     ///< Accesses rejected: memory queue full.
     Counter prefetchesIssued; ///< Prefetches sent to DRAM.
     Counter mshrMerges;       ///< Accesses merged into in-flight fills.
+    Counter memRetries;       ///< DRAM requests re-sent after a drop.
+    Counter memTimeouts;      ///< In-flight requests that timed out.
+    Counter memRetryFailures; ///< Accesses that exhausted the retry
+                              ///< budget and failed back to the core.
+    Counter queueFaultStalls; ///< Accesses rejected by an injected
+                              ///< memory-queue stall window.
     /** @} */
 
     StatGroup &stats() { return statGroup_; }
+
+    /** Attach a fault injector (may be null): drops/delays DRAM
+     *  responses and opens transient memory-queue stall windows. */
+    void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
 
   private:
     /** Per-level in-flight fill tracking. */
@@ -153,6 +174,7 @@ class MemorySystem
 
     std::vector<Addr> prefetchCandidates_;
 
+    FaultInjector *faults_ = nullptr;
     StatGroup statGroup_;
 };
 

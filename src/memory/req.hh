@@ -46,6 +46,11 @@ struct AccessResult
 
     /** True if it hit a line that a prefetch brought in. */
     bool prefetchHit = false;
+
+    /** True if an injected fault exhausted the bounded retry budget;
+     *  the request was not accepted (rejected is also set) and the
+     *  core retries it from the reservation station. */
+    bool faulted = false;
 };
 
 } // namespace rab

@@ -54,6 +54,16 @@ ChainCache::insert(Pc pc, const DependenceChain &chain)
     victim->lruStamp = ++lruCounter_;
 }
 
+DependenceChain *
+ChainCache::faultSlotChain(int idx)
+{
+    if (idx < 0 || idx >= static_cast<int>(slots_.size())
+        || !slots_[idx].valid) {
+        return nullptr;
+    }
+    return &slots_[idx].chain;
+}
+
 void
 ChainCache::clear()
 {

@@ -34,6 +34,11 @@ class ChainCache
     void clear();
     int entries() const { return static_cast<int>(slots_.size()); }
 
+    /** Fault-injection access: the mutable chain stored in slot
+     *  @p idx, or nullptr when the slot is out of range or invalid.
+     *  Only the FaultInjector uses this. */
+    DependenceChain *faultSlotChain(int idx);
+
     /** @{ Statistics. */
     Counter hits;
     Counter misses;

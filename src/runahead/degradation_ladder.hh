@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Graceful runahead degradation ladder.
+ *
+ * The runahead buffer and chain cache are purely speculative, so a
+ * faulting speculative structure is never a correctness problem — but
+ * repeatedly consuming corrupt chains wastes every runahead interval
+ * and hammers the invariant checker. The ladder converts repeated
+ * detected faults into progressively narrower runahead capability:
+ *
+ *   kFull → kNoChainCache → kNoBuffer → kNoRunahead
+ *
+ * At kNoChainCache the chain cache is bypassed (chains are always
+ * regenerated from the ROB); at kNoBuffer the runahead buffer is
+ * disabled and entries fall back to the paper's traditional-runahead
+ * hybrid path; at kNoRunahead the core runs as the baseline. Each level
+ * is probationary: after a configurable clean window with no further
+ * faults the ladder re-enables one step, so a transient fault burst
+ * does not permanently cost the mechanism's performance.
+ */
+
+#ifndef RAB_RUNAHEAD_DEGRADATION_LADDER_HH
+#define RAB_RUNAHEAD_DEGRADATION_LADDER_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace rab
+{
+
+/** How much runahead capability is currently enabled. Ordered: larger
+ *  values are more degraded. */
+enum class DegradeLevel : int
+{
+    kFull = 0,        ///< Everything the policy allows.
+    kNoChainCache = 1,///< Chain cache bypassed.
+    kNoBuffer = 2,    ///< Runahead buffer disabled (traditional only).
+    kNoRunahead = 3,  ///< All runahead disabled.
+};
+
+const char *degradeLevelName(DegradeLevel level);
+
+/** Ladder configuration. */
+struct DegradationConfig
+{
+    bool enabled = true; ///< Armed; inert until a fault is reported.
+
+    /** Faults observed at the current level before stepping down. */
+    int faultThreshold = 4;
+
+    /** Clean cycles at a degraded level before re-enabling one step
+     *  (probation). */
+    std::uint64_t probationCycles = 50'000;
+};
+
+/** The ladder. */
+class DegradationLadder
+{
+  public:
+    explicit DegradationLadder(const DegradationConfig &config);
+
+    const DegradationConfig &config() const { return config_; }
+    DegradeLevel level() const { return level_; }
+
+    bool chainCacheAllowed() const
+    {
+        return level_ < DegradeLevel::kNoChainCache;
+    }
+    bool bufferAllowed() const
+    {
+        return level_ < DegradeLevel::kNoBuffer;
+    }
+    bool runaheadAllowed() const
+    {
+        return level_ < DegradeLevel::kNoRunahead;
+    }
+
+    /** A detected fault in speculative state (invariant violation or
+     *  reported corruption). Steps down when the per-level threshold
+     *  is reached. */
+    void noteFault();
+
+    /** Advance one cycle; drives probation-based re-enable. */
+    void tick();
+
+    /** @{ Statistics. */
+    Counter faultsObserved;  ///< noteFault() calls.
+    Counter degradeSteps;    ///< Downward transitions.
+    Counter reenableSteps;   ///< Probationary upward transitions.
+    Counter toNoChainCache;  ///< Transitions into kNoChainCache.
+    Counter toNoBuffer;      ///< Transitions into kNoBuffer.
+    Counter toNoRunahead;    ///< Transitions into kNoRunahead.
+    /** @} */
+
+    void regStats(StatGroup *parent);
+
+  private:
+    void stepDown();
+    void stepUp();
+
+    DegradationConfig config_;
+    DegradeLevel level_ = DegradeLevel::kFull;
+    int faultsAtLevel_ = 0;
+    std::uint64_t cycle_ = 0;
+    std::uint64_t lastFaultCycle_ = 0;
+    double levelValue_ = 0.0; ///< level() as a dumpable scalar.
+    StatGroup statGroup_;
+};
+
+} // namespace rab
+
+#endif // RAB_RUNAHEAD_DEGRADATION_LADDER_HH

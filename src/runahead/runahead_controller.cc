@@ -4,6 +4,7 @@
 
 #include "checker/invariant_checker.hh"
 #include "common/logging.hh"
+#include "fault/fault_injector.hh"
 
 namespace rab
 {
@@ -66,8 +67,40 @@ RunaheadController::RunaheadController(const RunaheadPolicy &policy)
       chainGen_(policy.chainGen),
       chainCache_(policy.chainCacheEntries),
       buffer_(policy.bufferEntries),
+      ladder_(policy.degrade),
       statGroup_("runahead")
 {
+}
+
+void
+RunaheadController::noteSpeculativeFault()
+{
+    ++speculativeFaults;
+    ladder_.noteFault();
+}
+
+const DependenceChain *
+RunaheadController::lookupTrustedChain(Pc pc)
+{
+    const DependenceChain *cached = chainCache_.lookup(pc);
+    if (!cached)
+        return nullptr;
+    if (checker_) {
+        // Under CheckPolicy::kDegrade a corrupt cached chain does not
+        // throw; the violation is routed to noteSpeculativeFault(),
+        // which bumps speculativeFaults. Snapshot the counter so we
+        // can tell whether this particular chain was flagged.
+        const std::uint64_t faults_before = speculativeFaults.value();
+        checker_->onChainCacheHit(pc, *cached);
+        checker_->checkChain(*cached, pc, policy_.chainGen.maxChainLength);
+        if (speculativeFaults.value() != faults_before) {
+            // Discard the corrupt entry; the caller regenerates the
+            // chain from the ROB and the insert overwrites this slot.
+            ++cachedChainsRejected;
+            return nullptr;
+        }
+    }
+    return cached;
 }
 
 EntryDecision
@@ -79,6 +112,10 @@ RunaheadController::decideEntry(const Rob &rob, const StoreQueue &sq,
     EntryDecision decision;
     if (!policy_.anyRunahead() || inRunahead())
         return decision;
+    if (!ladder_.runaheadAllowed()) {
+        ++degradedNoEntry;
+        return decision;
+    }
 
     if (policy_.enhancements) {
         // Enhancement 1: if the blocking miss was issued to memory long
@@ -97,9 +134,25 @@ RunaheadController::decideEntry(const Rob &rob, const StoreQueue &sq,
         }
     }
 
-    if (!policy_.bufferEnabled) {
+    // The degradation ladder narrows the policy's capabilities: at
+    // kNoBuffer every buffer entry demotes to traditional runahead
+    // (the paper's hybrid fallback path); the chain cache is only
+    // usable while the buffer is.
+    const bool buffer_ok = policy_.bufferEnabled
+        && ladder_.bufferAllowed();
+    const bool cc_ok = buffer_ok && policy_.chainCacheEnabled
+        && ladder_.chainCacheAllowed();
+
+    // Fault injection: corrupt a random live chain-cache entry on the
+    // injector's schedule before any lookup below can consume it.
+    if (faults_ && cc_ok)
+        faults_->maybeCorruptChainCache(chainCache_);
+
+    if (!buffer_ok) {
         decision.enter = true;
         decision.mode = RunaheadMode::kTraditional;
+        if (policy_.bufferEnabled)
+            ++degradedTraditional;
         return decision;
     }
 
@@ -112,13 +165,9 @@ RunaheadController::decideEntry(const Rob &rob, const StoreQueue &sq,
             decision.mode = RunaheadMode::kTraditional;
             return decision;
         }
-        if (policy_.chainCacheEnabled) {
-            if (const DependenceChain *cached = chainCache_.lookup(head.pc)) {
-                if (checker_) {
-                    checker_->onChainCacheHit(head.pc, *cached);
-                    checker_->checkChain(*cached, head.pc,
-                                         policy_.chainGen.maxChainLength);
-                }
+        if (cc_ok) {
+            if (const DependenceChain *cached =
+                    lookupTrustedChain(head.pc)) {
                 decision.enter = true;
                 decision.mode = RunaheadMode::kBuffer;
                 decision.usedCachedChain = true;
@@ -150,7 +199,7 @@ RunaheadController::decideEntry(const Rob &rob, const StoreQueue &sq,
             checker_->checkChain(result.chain, head.pc,
                                  policy_.chainGen.maxChainLength);
         }
-        if (policy_.chainCacheEnabled) {
+        if (cc_ok) {
             if (checker_)
                 checker_->onChainCacheInsert(head.pc, result.chain);
             chainCache_.insert(head.pc, result.chain);
@@ -163,13 +212,8 @@ RunaheadController::decideEntry(const Rob &rob, const StoreQueue &sq,
     }
 
     // Buffer-only policies (Algorithm 1, optionally with chain cache).
-    if (policy_.chainCacheEnabled) {
-        if (const DependenceChain *cached = chainCache_.lookup(head.pc)) {
-            if (checker_) {
-                checker_->onChainCacheHit(head.pc, *cached);
-                checker_->checkChain(*cached, head.pc,
-                                     policy_.chainGen.maxChainLength);
-            }
+    if (cc_ok) {
+        if (const DependenceChain *cached = lookupTrustedChain(head.pc)) {
             decision.enter = true;
             decision.mode = RunaheadMode::kBuffer;
             decision.usedCachedChain = true;
@@ -199,7 +243,7 @@ RunaheadController::decideEntry(const Rob &rob, const StoreQueue &sq,
         checker_->checkChain(result.chain, head.pc,
                              policy_.chainGen.maxChainLength);
     }
-    if (policy_.chainCacheEnabled) {
+    if (cc_ok) {
         if (checker_)
             checker_->onChainCacheInsert(head.pc, result.chain);
         chainCache_.insert(head.pc, result.chain);
@@ -256,6 +300,7 @@ RunaheadController::tickCycle()
         ++cyclesTraditional;
     else if (mode_ == RunaheadMode::kBuffer)
         ++cyclesBuffer;
+    ladder_.tick();
 }
 
 void
@@ -321,6 +366,15 @@ RunaheadController::regStats(StatGroup *parent)
                           "store queue CAM searches (chain gen)");
     statGroup_.addCounter("rob_chain_reads", &robChainReads,
                           "ROB reads during chain read-out");
+    statGroup_.addCounter("speculative_faults", &speculativeFaults,
+                          "detected faults in speculative state");
+    statGroup_.addCounter("cached_chains_rejected", &cachedChainsRejected,
+                          "corrupt cached chains discarded");
+    statGroup_.addCounter("degraded_no_entry", &degradedNoEntry,
+                          "entries blocked: ladder at no-runahead");
+    statGroup_.addCounter("degraded_traditional", &degradedTraditional,
+                          "buffer entries demoted to traditional");
+    ladder_.regStats(&statGroup_);
     runaheadCache_.regStats(&statGroup_);
     chainGen_.regStats(&statGroup_);
     chainCache_.regStats(&statGroup_);

@@ -176,5 +176,70 @@ TEST_P(FuzzDifferential, CommitsReferenceStream)
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferential,
                          ::testing::Range<std::uint64_t>(1, 25));
 
+/** Same reference-stream requirement, but with speculative-only fault
+ *  injection active (chain-cache and runahead-buffer corruption, the
+ *  checker routing violations to the degradation ladder). The commit
+ *  stream must still match the interpreter bit for bit: corrupt
+ *  speculative state may only ever cost performance. */
+class FuzzDifferentialFaults
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FuzzDifferentialFaults, SpeculativeFaultsCommitReferenceStream)
+{
+    const std::uint64_t seed = GetParam();
+    const Program program = randomProgram(seed, 24);
+    constexpr std::uint64_t kInstructions = 1'200;
+
+    ReferenceInterpreter interp(program);
+    const auto ref = interp.run(kInstructions);
+
+    for (const RunaheadConfig rc :
+         {RunaheadConfig::kRunaheadBufferCC, RunaheadConfig::kHybrid}) {
+        SimConfig config = makeConfig(rc, false);
+        config.warmupInstructions = 0;
+        config.instructions = kInstructions;
+        config.checkLevel = CheckLevel::kFull;
+        config.core.checkLevel = CheckLevel::kFull;
+        config.checkPolicy = CheckPolicy::kDegrade;
+        config.fault.enabled = true;
+        config.fault.seed = seed;
+        config.fault.chainCacheRate = 0.1;
+        config.fault.bufferUopRate = 0.1;
+        config.finalize();
+        Simulation sim(config, program);
+        std::vector<RefCommit> trace;
+        sim.core().setCommitHook([&](const DynUop &uop) {
+            RefCommit c;
+            c.pc = uop.pc;
+            c.result =
+                uop.sop.hasDest() || uop.isStore() ? uop.result : 0;
+            c.addr = uop.sop.isMem() ? uop.effAddr : kNoAddr;
+            c.taken = uop.isControl() && uop.actualTaken;
+            trace.push_back(c);
+        });
+        sim.run();
+        trace.resize(std::min<std::size_t>(trace.size(), kInstructions));
+
+        ASSERT_EQ(trace.size(), ref.size())
+            << "seed " << seed << " config " << runaheadConfigName(rc);
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+            ASSERT_EQ(ref[i].pc, trace[i].pc)
+                << "seed " << seed << " " << runaheadConfigName(rc)
+                << " uop " << i;
+            ASSERT_EQ(ref[i].result, trace[i].result)
+                << "seed " << seed << " " << runaheadConfigName(rc)
+                << " uop " << i << " pc " << ref[i].pc;
+            ASSERT_EQ(ref[i].addr, trace[i].addr)
+                << "seed " << seed << " " << runaheadConfigName(rc)
+                << " uop " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferentialFaults,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
 } // namespace
 } // namespace rab
