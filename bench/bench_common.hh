@@ -6,11 +6,8 @@
 #ifndef RAB_BENCH_BENCH_COMMON_HH
 #define RAB_BENCH_BENCH_COMMON_HH
 
-#include <algorithm>
 #include <cstdio>
-#include <map>
 #include <string>
-#include <vector>
 
 #include "common/logging.hh"
 #include "core/experiment.hh"
@@ -38,46 +35,20 @@ num(double v, const char *fmt = "%.2f")
     return strprintf(fmt, v);
 }
 
-/** Run (workload x config) once per cell with a small cache so several
- *  figures computed by one binary don't re-simulate. */
-class CellRunner
-{
-  public:
-    explicit CellRunner(const BenchOptions &options)
-        : options_(options)
-    {
-    }
-
-    const SimResult &
-    get(const WorkloadSpec &spec, RunaheadConfig config, bool prefetch)
-    {
-        const std::string key = spec.params.name + "/"
-            + runaheadConfigName(config) + (prefetch ? "+PF" : "");
-        auto it = cache_.find(key);
-        if (it == cache_.end()) {
-            it = cache_.emplace(key,
-                                runCell(spec, config, prefetch, options_))
-                     .first;
-        }
-        return it->second;
-    }
-
-    const BenchOptions &options() const { return options_; }
-
-  private:
-    BenchOptions options_;
-    std::map<std::string, SimResult> cache_;
-};
+// CellRunner (the cached grid executor, now sweep-engine backed) lives
+// in core/experiment.hh so rabsweep and the tests share it.
 
 /** Print the standard bench banner. */
 inline void
 banner(const char *figure, const char *title, const BenchOptions &opts)
 {
     std::printf("=== %s: %s ===\n", figure, title);
-    std::printf("(%llu instructions/workload after %llu warmup; override "
-                "with RAB_INSTRUCTIONS / RAB_WARMUP / RAB_WORKLOADS)\n\n",
+    std::printf("(%llu instructions/workload after %llu warmup on %d "
+                "thread%s; override with RAB_INSTRUCTIONS / RAB_WARMUP "
+                "/ RAB_WORKLOADS / RAB_THREADS)\n\n",
                 (unsigned long long)opts.instructions,
-                (unsigned long long)opts.warmup);
+                (unsigned long long)opts.warmup, opts.threads,
+                opts.threads == 1 ? "" : "s");
 }
 
 } // namespace rab::bench

@@ -21,12 +21,18 @@ main()
     banner("Figure 10", "cache misses per runahead interval", options);
 
     CellRunner runner(options);
+    const std::vector<WorkloadSpec> workloads =
+        selectWorkloads(mediumHighSuite(), options.workloadFilter);
+    runner.prefill(workloads,
+                   {{RunaheadConfig::kRunahead, false},
+                    {RunaheadConfig::kRunaheadBufferCC, false},
+                    {RunaheadConfig::kRunahead, true},
+                    {RunaheadConfig::kRunaheadBufferCC, true}});
     TextTable table({"workload", "Runahead", "RA-Buffer", "Runahead+PF",
                      "RA-Buffer+PF"});
     double sums[4] = {};
     int count = 0;
-    for (const WorkloadSpec &spec :
-         selectWorkloads(mediumHighSuite(), options.workloadFilter)) {
+    for (const WorkloadSpec &spec : workloads) {
         const double ra =
             runner.get(spec, RunaheadConfig::kRunahead, false)
                 .missesPerInterval;

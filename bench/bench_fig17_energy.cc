@@ -28,11 +28,16 @@ main()
     static const double kPaper[] = {44.0, 9.0, -4.4, -6.7, -2.3};
 
     CellRunner runner(options);
+    const std::vector<WorkloadSpec> workloads =
+        selectWorkloads(mediumHighSuite(), options.workloadFilter);
+    std::vector<CellVariant> grid{{RunaheadConfig::kBaseline, false}};
+    for (const RunaheadConfig config : kConfigs)
+        grid.emplace_back(config, false);
+    runner.prefill(workloads, grid);
     TextTable table({"workload", "Runahead", "RA-Enhanced", "RA-Buffer",
                      "RAB+CC", "Hybrid"});
     std::map<int, std::vector<double>> ratios;
-    for (const WorkloadSpec &spec :
-         selectWorkloads(mediumHighSuite(), options.workloadFilter)) {
+    for (const WorkloadSpec &spec : workloads) {
         const SimResult &base =
             runner.get(spec, RunaheadConfig::kBaseline, false);
         std::vector<std::string> row{spec.params.name};

@@ -34,11 +34,16 @@ main()
                                     -19.9};
 
     CellRunner runner(options);
+    const std::vector<WorkloadSpec> workloads =
+        selectWorkloads(mediumHighSuite(), options.workloadFilter);
+    std::vector<CellVariant> grid{{RunaheadConfig::kBaseline, false}};
+    for (const RunaheadConfig config : kConfigs)
+        grid.emplace_back(config, true);
+    runner.prefill(workloads, grid);
     TextTable table({"workload", "PF", "Runahead+PF", "RA-Enhanced+PF",
                      "RA-Buffer+PF", "RAB+CC+PF", "Hybrid+PF"});
     std::map<int, std::vector<double>> ratios;
-    for (const WorkloadSpec &spec :
-         selectWorkloads(mediumHighSuite(), options.workloadFilter)) {
+    for (const WorkloadSpec &spec : workloads) {
         const SimResult &base =
             runner.get(spec, RunaheadConfig::kBaseline, false);
         std::vector<std::string> row{spec.params.name};

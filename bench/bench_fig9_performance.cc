@@ -27,11 +27,18 @@ main()
     };
 
     CellRunner runner(options);
+    const std::vector<WorkloadSpec> workloads =
+        selectWorkloads(spec06Suite(), options.workloadFilter);
+    runner.prefill(workloads,
+                   {{RunaheadConfig::kBaseline, false},
+                    {RunaheadConfig::kRunahead, false},
+                    {RunaheadConfig::kRunaheadBuffer, false},
+                    {RunaheadConfig::kRunaheadBufferCC, false},
+                    {RunaheadConfig::kHybrid, false}});
     TextTable table({"workload", "class", "Runahead", "RA-Buffer",
                      "RAB+CC", "Hybrid"});
     std::map<RunaheadConfig, std::vector<double>> speedups;
-    for (const WorkloadSpec &spec :
-         selectWorkloads(spec06Suite(), options.workloadFilter)) {
+    for (const WorkloadSpec &spec : workloads) {
         const SimResult &base =
             runner.get(spec, RunaheadConfig::kBaseline, false);
         std::vector<std::string> row{spec.params.name,

@@ -1,0 +1,375 @@
+/**
+ * @file
+ * rabsweep — parallel sweep-campaign driver.
+ *
+ * Declares a workloads x configs x seeds grid (explicitly or via a
+ * named preset), executes it on the src/sweep thread-pool engine, and
+ * emits the machine-readable rab-sweep-manifest-v1 JSON report
+ * (BENCH_sweep.json) that CI archives and the perf-regression gate
+ * consumes.
+ *
+ *   rabsweep --preset fig9 --threads 8 --out BENCH_sweep.json
+ *   rabsweep --workloads mcf,libq --configs baseline,hybrid+pf \
+ *            --seeds 1,2,3 --instructions 50000
+ *   rabsweep --preset smoke --gate bench/baseline.json
+ *   rabsweep --preset smoke --threads 2 --write-baseline \
+ *            bench/baseline.json
+ *
+ * Exit codes: 0 success, 2 usage error, 5 some points failed (the
+ * campaign itself still completed and the manifest was written),
+ * 6 perf gate failed.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/experiment.hh"
+#include "sweep/campaign.hh"
+#include "sweep/report.hh"
+#include "workloads/suite.hh"
+
+using namespace rab;
+
+namespace
+{
+
+struct Options
+{
+    std::string preset;
+    std::vector<std::string> workloads;
+    std::vector<std::string> configs;
+    std::vector<std::uint64_t> seeds;
+    std::uint64_t instructions = 0; ///< 0: preset/default sizing.
+    std::uint64_t warmup = 0;
+    int threads = 0; ///< 0: RAB_THREADS or hardware.
+    std::string outPath = "BENCH_sweep.json";
+    bool toStdout = false;
+    bool canonical = false;
+    std::string gatePath;
+    double gateThreshold = 0.25;
+    std::string baselineOutPath;
+    bool listPresets = false;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::fputs(
+        "rabsweep - parallel sweep campaigns with JSON manifests\n"
+        "\n"
+        "  --preset NAME       fig9 | fig10 | fig17 | smoke\n"
+        "  --workloads A,B     explicit workload axis (suite names)\n"
+        "  --configs A,B       config axis: baseline | runahead |\n"
+        "                      runahead-enhanced | buffer | buffer-cc |\n"
+        "                      hybrid, each optionally with a +pf\n"
+        "                      suffix (e.g. hybrid+pf)\n"
+        "  --seeds N,M         seed axis (0 = workload default)\n"
+        "  --instructions N    measured instructions per point\n"
+        "  --warmup N          warmup instructions per point\n"
+        "  --threads N         worker threads (default: RAB_THREADS or\n"
+        "                      all hardware threads; 1 = serial)\n"
+        "  --out FILE          manifest path (default BENCH_sweep.json)\n"
+        "  --stdout            print the manifest instead of writing\n"
+        "  --canonical         omit volatile fields (host, git, wall\n"
+        "                      times) so output is byte-stable\n"
+        "  --gate FILE         perf-regression gate against a baseline\n"
+        "  --gate-threshold F  max relative throughput drop (def 0.25)\n"
+        "  --write-baseline F  write a new baseline and exit\n"
+        "  --list-presets      describe the presets and exit\n",
+        code == 0 ? stdout : stderr);
+    std::exit(code);
+}
+
+std::vector<std::string>
+splitList(const std::string &list)
+{
+    std::vector<std::string> items;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string item =
+            list.substr(start, comma == std::string::npos
+                                   ? std::string::npos
+                                   : comma - start);
+        if (!item.empty())
+            items.push_back(item);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return items;
+}
+
+ConfigVariant
+parseVariant(std::string name)
+{
+    bool prefetch = false;
+    const std::size_t suffix = name.rfind("+pf");
+    if (suffix != std::string::npos && suffix == name.size() - 3) {
+        prefetch = true;
+        name.resize(suffix);
+    }
+    RunaheadConfig config = RunaheadConfig::kBaseline;
+    if (name == "baseline")
+        config = RunaheadConfig::kBaseline;
+    else if (name == "runahead")
+        config = RunaheadConfig::kRunahead;
+    else if (name == "runahead-enhanced")
+        config = RunaheadConfig::kRunaheadEnhanced;
+    else if (name == "buffer")
+        config = RunaheadConfig::kRunaheadBuffer;
+    else if (name == "buffer-cc")
+        config = RunaheadConfig::kRunaheadBufferCC;
+    else if (name == "hybrid")
+        config = RunaheadConfig::kHybrid;
+    else
+        fatal("unknown config '%s'", name.c_str());
+    return makeVariant(config, prefetch);
+}
+
+void
+describePresets()
+{
+    std::fputs(
+        "fig9   full 29-workload suite x {baseline, runahead, buffer,\n"
+        "       buffer-cc, hybrid}, no prefetching; 40k/10k sizing\n"
+        "fig10  medium+high suite x {runahead, buffer-cc} x {no-PF,\n"
+        "       PF}; 40k/10k sizing\n"
+        "fig17  medium+high suite x {baseline, runahead,\n"
+        "       runahead-enhanced, buffer, buffer-cc, hybrid}; 40k/10k\n"
+        "smoke  pinned CI campaign: {mcf, libq, omnetpp} x {baseline,\n"
+        "       hybrid}; 20k/5k sizing — do not change without\n"
+        "       regenerating bench/baseline.json\n",
+        stdout);
+}
+
+CampaignSpec
+buildPreset(const std::string &preset)
+{
+    CampaignSpec spec;
+    spec.name = preset;
+    const auto add_suite = [&spec](const std::vector<WorkloadSpec> &s) {
+        for (const WorkloadSpec &w : s)
+            spec.workloads.push_back(w.params.name);
+    };
+    if (preset == "fig9") {
+        add_suite(spec06Suite());
+        for (const RunaheadConfig config :
+             {RunaheadConfig::kBaseline, RunaheadConfig::kRunahead,
+              RunaheadConfig::kRunaheadBuffer,
+              RunaheadConfig::kRunaheadBufferCC,
+              RunaheadConfig::kHybrid})
+            spec.variants.push_back(makeVariant(config, false));
+        spec.instructions = 40'000;
+        spec.warmup = 10'000;
+    } else if (preset == "fig10") {
+        add_suite(mediumHighSuite());
+        for (const bool prefetch : {false, true}) {
+            spec.variants.push_back(
+                makeVariant(RunaheadConfig::kRunahead, prefetch));
+            spec.variants.push_back(makeVariant(
+                RunaheadConfig::kRunaheadBufferCC, prefetch));
+        }
+        spec.instructions = 40'000;
+        spec.warmup = 10'000;
+    } else if (preset == "fig17") {
+        add_suite(mediumHighSuite());
+        for (const RunaheadConfig config :
+             {RunaheadConfig::kBaseline, RunaheadConfig::kRunahead,
+              RunaheadConfig::kRunaheadEnhanced,
+              RunaheadConfig::kRunaheadBuffer,
+              RunaheadConfig::kRunaheadBufferCC,
+              RunaheadConfig::kHybrid})
+            spec.variants.push_back(makeVariant(config, false));
+        spec.instructions = 40'000;
+        spec.warmup = 10'000;
+    } else if (preset == "smoke") {
+        // Pinned: the CI perf gate's throughput baseline
+        // (bench/baseline.json) is measured on exactly this grid.
+        spec.workloads = {"mcf", "libq", "omnetpp"};
+        spec.variants = {makeVariant(RunaheadConfig::kBaseline, false),
+                         makeVariant(RunaheadConfig::kHybrid, false)};
+        // Sized so the campaign takes O(seconds): long enough that
+        // throughput is not timing noise, short enough for every CI
+        // run.
+        spec.instructions = 150'000;
+        spec.warmup = 25'000;
+    } else {
+        fatal("unknown preset '%s' (try --list-presets)",
+              preset.c_str());
+    }
+    return spec;
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    const auto next = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(2);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--preset")
+            opts.preset = next(i);
+        else if (arg == "--workloads")
+            opts.workloads = splitList(next(i));
+        else if (arg == "--configs")
+            opts.configs = splitList(next(i));
+        else if (arg == "--seeds") {
+            for (const std::string &s : splitList(next(i)))
+                opts.seeds.push_back(
+                    std::strtoull(s.c_str(), nullptr, 10));
+        } else if (arg == "--instructions")
+            opts.instructions = std::strtoull(next(i), nullptr, 10);
+        else if (arg == "--warmup")
+            opts.warmup = std::strtoull(next(i), nullptr, 10);
+        else if (arg == "--threads")
+            opts.threads = std::atoi(next(i));
+        else if (arg == "--out")
+            opts.outPath = next(i);
+        else if (arg == "--stdout")
+            opts.toStdout = true;
+        else if (arg == "--canonical")
+            opts.canonical = true;
+        else if (arg == "--gate")
+            opts.gatePath = next(i);
+        else if (arg == "--gate-threshold")
+            opts.gateThreshold = std::atof(next(i));
+        else if (arg == "--write-baseline")
+            opts.baselineOutPath = next(i);
+        else if (arg == "--list-presets")
+            opts.listPresets = true;
+        else if (arg == "--help" || arg == "-h")
+            usage(0);
+        else
+            usage(2);
+    }
+    return opts;
+}
+
+CampaignSpec
+buildSpec(const Options &opts)
+{
+    CampaignSpec spec;
+    if (!opts.preset.empty())
+        spec = buildPreset(opts.preset);
+    else
+        spec.name = "custom";
+    if (!opts.workloads.empty()) {
+        spec.workloads = opts.workloads;
+        for (const std::string &name : spec.workloads) {
+            if (!findWorkload(name))
+                fatal("unknown workload '%s'", name.c_str());
+        }
+    }
+    if (!opts.configs.empty()) {
+        spec.variants.clear();
+        for (const std::string &name : opts.configs)
+            spec.variants.push_back(parseVariant(name));
+    }
+    if (!opts.seeds.empty())
+        spec.seeds = opts.seeds;
+    if (opts.instructions > 0)
+        spec.instructions = opts.instructions;
+    if (opts.warmup > 0)
+        spec.warmup = opts.warmup;
+    if (spec.workloads.empty() || spec.variants.empty())
+        fatal("empty grid: give --preset or --workloads/--configs");
+    return spec;
+}
+
+void
+printSummary(const CampaignResult &campaign)
+{
+    TextTable table(
+        {"#", "workload", "variant", "seed", "status", "IPC", "wall s"});
+    for (const PointResult &p : campaign.points) {
+        table.addRow({std::to_string(p.point.index), p.point.workload,
+                      p.point.variant, std::to_string(p.point.seed),
+                      p.ok ? "ok" : "FAILED",
+                      p.ok ? strprintf("%.3f", p.result.ipc) : "-",
+                      strprintf("%.2f", p.wallSeconds)});
+    }
+    table.print();
+    std::printf("\n%zu point(s), %zu failed; %d thread(s); "
+                "wall %.2f s; %.3g simulated cycles/s\n",
+                campaign.points.size(), campaign.failedCount(),
+                campaign.threads, campaign.wallSeconds,
+                campaignCyclesPerSecond(campaign));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    const Options opts = parseArgs(argc, argv);
+    if (opts.listPresets) {
+        describePresets();
+        return 0;
+    }
+
+    const CampaignSpec spec = buildSpec(opts);
+    const int threads =
+        opts.threads > 0 ? opts.threads : defaultBenchThreads();
+
+    std::fprintf(stderr,
+                 "rabsweep: campaign '%s', %zu points on %d "
+                 "thread(s)\n",
+                 spec.name.c_str(), spec.pointCount(), threads);
+    const CampaignResult campaign = runCampaign(spec, threads);
+
+    if (!opts.baselineOutPath.empty()) {
+        if (campaign.failedCount() > 0) {
+            std::fprintf(stderr,
+                         "rabsweep: refusing to write a baseline from "
+                         "a campaign with failed points\n");
+            return 5;
+        }
+        if (!writeJsonFile(opts.baselineOutPath,
+                           makeBaseline(campaign))) {
+            fatal("cannot write '%s'", opts.baselineOutPath.c_str());
+        }
+        std::printf("baseline (%.3g simulated cycles/s) -> %s\n",
+                    campaignCyclesPerSecond(campaign),
+                    opts.baselineOutPath.c_str());
+        return 0;
+    }
+
+    const Json manifest = campaignManifest(campaign, opts.canonical);
+    if (opts.toStdout) {
+        std::fputs(manifest.dump().c_str(), stdout);
+    } else {
+        if (!writeJsonFile(opts.outPath, manifest))
+            fatal("cannot write '%s'", opts.outPath.c_str());
+        printSummary(campaign);
+        std::printf("manifest -> %s\n", opts.outPath.c_str());
+    }
+
+    int code = campaign.failedCount() > 0 ? 5 : 0;
+    if (!opts.gatePath.empty()) {
+        GateResult gate;
+        try {
+            gate = perfGate(campaign, readJsonFile(opts.gatePath),
+                            opts.gateThreshold);
+        } catch (const JsonError &e) {
+            std::fprintf(stderr, "rabsweep: gate error: %s\n",
+                         e.what());
+            return 6;
+        }
+        std::printf("perf gate: %s — %s\n",
+                    gate.pass ? "PASS" : "FAIL",
+                    gate.message.c_str());
+        if (!gate.pass)
+            code = 6;
+    }
+    return code;
+}

@@ -5,8 +5,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
+#include <thread>
 
 #include "common/logging.hh"
+#include "sweep/campaign.hh"
 
 namespace rab
 {
@@ -31,6 +33,16 @@ envU64(const char *name, std::uint64_t fallback)
 
 } // namespace
 
+int
+defaultBenchThreads()
+{
+    const auto hardware =
+        static_cast<std::uint64_t>(std::thread::hardware_concurrency());
+    const std::uint64_t threads =
+        envU64("RAB_THREADS", hardware ? hardware : 1);
+    return threads < 1 ? 1 : static_cast<int>(threads);
+}
+
 BenchOptions
 BenchOptions::fromEnv(std::uint64_t default_instructions,
                       std::uint64_t default_warmup)
@@ -39,6 +51,7 @@ BenchOptions::fromEnv(std::uint64_t default_instructions,
     options.instructions = envU64("RAB_INSTRUCTIONS",
                                   default_instructions);
     options.warmup = envU64("RAB_WARMUP", default_warmup);
+    options.threads = defaultBenchThreads();
     if (const char *list = std::getenv("RAB_WORKLOADS")) {
         std::stringstream ss(list);
         std::string item;
@@ -149,6 +162,70 @@ runCell(const WorkloadSpec &spec, RunaheadConfig config, bool prefetch,
     sim_config.warmupInstructions = options.warmup;
     Simulation sim(sim_config, buildWorkload(spec.params));
     return sim.run();
+}
+
+std::string
+CellRunner::cellKey(const std::string &workload, RunaheadConfig config,
+                    bool prefetch)
+{
+    return workload + "/" + runaheadConfigName(config)
+        + (prefetch ? "+PF" : "");
+}
+
+const SimResult &
+CellRunner::get(const WorkloadSpec &spec, RunaheadConfig config,
+                bool prefetch)
+{
+    const std::string key = cellKey(spec.params.name, config, prefetch);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+        it = cache_.emplace(key,
+                            runCell(spec, config, prefetch, options_))
+                 .first;
+    }
+    return it->second;
+}
+
+void
+CellRunner::prefill(const std::vector<WorkloadSpec> &specs,
+                    const std::vector<CellVariant> &variants)
+{
+    CampaignSpec spec;
+    spec.name = "bench-prefill";
+    spec.instructions = options_.instructions;
+    spec.warmup = options_.warmup;
+    for (const WorkloadSpec &w : specs) {
+        // Keep a workload only if some requested cell is still
+        // missing; repeat prefills (multi-figure binaries) stay cheap.
+        const bool missing = std::any_of(
+            variants.begin(), variants.end(),
+            [&](const CellVariant &v) {
+                return cache_.count(cellKey(w.params.name, v.first,
+                                            v.second))
+                    == 0;
+            });
+        if (missing)
+            spec.workloads.push_back(w.params.name);
+    }
+    for (const CellVariant &v : variants)
+        spec.variants.push_back(makeVariant(v.first, v.second));
+    if (spec.workloads.empty() || spec.variants.empty())
+        return;
+
+    const CampaignResult campaign =
+        runCampaign(spec, options_.threads);
+    for (const PointResult &p : campaign.points) {
+        if (!p.ok) {
+            warn("prefill: point %s/%s failed (%s); figures will "
+                 "re-run it serially",
+                 p.point.workload.c_str(), p.point.variant.c_str(),
+                 p.error.c_str());
+            continue;
+        }
+        cache_.emplace(cellKey(p.point.workload, p.point.runahead,
+                               p.point.prefetch),
+                       p.result);
+    }
 }
 
 } // namespace rab

@@ -40,6 +40,19 @@ Simulation::Simulation(const SimConfig &config, Program program)
         mem_->setFaultInjector(faults_.get());
         core_->setFaultInjector(faults_.get());
     }
+    // Fresh-group assertion: this run owns its stat trees outright.
+    core_->stats().claimExclusive(this);
+    mem_->stats().claimExclusive(this);
+    if (faults_)
+        faults_->stats().claimExclusive(this);
+}
+
+Simulation::~Simulation()
+{
+    core_->stats().releaseExclusive(this);
+    mem_->stats().releaseExclusive(this);
+    if (faults_)
+        faults_->stats().releaseExclusive(this);
 }
 
 SimResult

@@ -72,8 +72,19 @@ struct SimResult
 class Simulation
 {
   public:
-    /** @p config must be finalize()d. */
+    /**
+     * @p config must be finalize()d.
+     *
+     * The constructor claims exclusive ownership of every component
+     * stat tree (StatGroup::claimExclusive): components are built
+     * fresh per Simulation, and this assertion guarantees it, so
+     * concurrent sweep points can never alias counters.
+     */
     Simulation(const SimConfig &config, Program program);
+    ~Simulation();
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
 
     /** Run warmup + measured region and collect the result. */
     SimResult run();

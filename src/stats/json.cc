@@ -1,0 +1,471 @@
+#include "stats/json.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rab
+{
+
+Json
+Json::object()
+{
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+}
+
+std::size_t
+Json::size() const
+{
+    if (type_ == Type::kArray)
+        return elements_.size();
+    if (type_ == Type::kObject)
+        return members_.size();
+    return 0;
+}
+
+bool
+Json::asBool() const
+{
+    if (type_ != Type::kBool)
+        throw JsonError("Json: not a bool");
+    return bool_;
+}
+
+double
+Json::asDouble() const
+{
+    if (type_ != Type::kNumber)
+        throw JsonError("Json: not a number");
+    return number_;
+}
+
+std::uint64_t
+Json::asU64() const
+{
+    const double v = asDouble();
+    if (v < 0)
+        throw JsonError("Json: negative value read as u64");
+    return static_cast<std::uint64_t>(v);
+}
+
+const std::string &
+Json::asString() const
+{
+    if (type_ != Type::kString)
+        throw JsonError("Json: not a string");
+    return string_;
+}
+
+Json &
+Json::operator[](const std::string &key)
+{
+    if (type_ == Type::kNull)
+        type_ = Type::kObject;
+    if (type_ != Type::kObject)
+        throw JsonError("Json: operator[] on a non-object");
+    for (auto &[name, value] : members_) {
+        if (name == key)
+            return value;
+    }
+    members_.emplace_back(key, Json());
+    return members_.back().second;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (type_ != Type::kObject)
+        return nullptr;
+    for (const auto &[name, value] : members_) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    const Json *found = find(key);
+    if (!found)
+        throw JsonError("Json: missing key '" + key + "'");
+    return *found;
+}
+
+const Json &
+Json::at(std::size_t index) const
+{
+    if (type_ != Type::kArray || index >= elements_.size())
+        throw JsonError("Json: array index out of range");
+    return elements_[index];
+}
+
+void
+Json::push(Json value)
+{
+    if (type_ == Type::kNull)
+        type_ = Type::kArray;
+    if (type_ != Type::kArray)
+        throw JsonError("Json: push on a non-array");
+    elements_.push_back(std::move(value));
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::members() const
+{
+    if (type_ != Type::kObject)
+        throw JsonError("Json: members() on a non-object");
+    return members_;
+}
+
+const std::vector<Json> &
+Json::elements() const
+{
+    if (type_ != Type::kArray)
+        throw JsonError("Json: elements() on a non-array");
+    return elements_;
+}
+
+namespace
+{
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendNumber(std::string &out, double v)
+{
+    if (!std::isfinite(v)) {
+        // JSON has no inf/nan; null is the conventional stand-in.
+        out += "null";
+        return;
+    }
+    // Integral values within the exactly-representable range print as
+    // integers (cycle and instruction counts dominate the manifests).
+    if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+        const auto as_int = static_cast<long long>(v);
+        char buf[32];
+        const auto [end, ec] =
+            std::to_chars(buf, buf + sizeof(buf), as_int);
+        out.append(buf, end);
+        return;
+    }
+    char buf[64];
+    const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    out.append(buf, end);
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string &out, int depth) const
+{
+    const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+    const std::string pad_in(static_cast<std::size_t>(depth + 1) * 2,
+                             ' ');
+    switch (type_) {
+      case Type::kNull:
+        out += "null";
+        break;
+      case Type::kBool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Type::kNumber:
+        appendNumber(out, number_);
+        break;
+      case Type::kString:
+        appendEscaped(out, string_);
+        break;
+      case Type::kArray:
+        if (elements_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += "[\n";
+        for (std::size_t i = 0; i < elements_.size(); ++i) {
+            out += pad_in;
+            elements_[i].dumpTo(out, depth + 1);
+            if (i + 1 < elements_.size())
+                out += ',';
+            out += '\n';
+        }
+        out += pad + "]";
+        break;
+      case Type::kObject:
+        if (members_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += "{\n";
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            out += pad_in;
+            appendEscaped(out, members_[i].first);
+            out += ": ";
+            members_[i].second.dumpTo(out, depth + 1);
+            if (i + 1 < members_.size())
+                out += ',';
+            out += '\n';
+        }
+        out += pad + "}";
+        break;
+    }
+}
+
+std::string
+Json::dump() const
+{
+    std::string out;
+    dumpTo(out, 0);
+    out += '\n';
+    return out;
+}
+
+namespace
+{
+
+/** Recursive-descent parser over a string view. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Json parse()
+    {
+        Json value = parseValue();
+        skipSpace();
+        if (pos_ != text_.size())
+            fail("trailing characters");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &why) const
+    {
+        throw JsonError("Json parse error at offset "
+                        + std::to_string(pos_) + ": " + why);
+    }
+
+    void skipSpace()
+    {
+        while (pos_ < text_.size()
+               && std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char peek()
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consumeLiteral(const char *literal)
+    {
+        const std::size_t len = std::char_traits<char>::length(literal);
+        if (text_.compare(pos_, len, literal) == 0) {
+            pos_ += len;
+            return true;
+        }
+        return false;
+    }
+
+    Json parseValue()
+    {
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return Json(parseString());
+          case 't':
+            if (consumeLiteral("true"))
+                return Json(true);
+            fail("bad literal");
+          case 'f':
+            if (consumeLiteral("false"))
+                return Json(false);
+            fail("bad literal");
+          case 'n':
+            if (consumeLiteral("null"))
+                return Json();
+            fail("bad literal");
+          default: return parseNumber();
+        }
+    }
+
+    Json parseObject()
+    {
+        expect('{');
+        Json obj = Json::object();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        while (true) {
+            if (peek() != '"')
+                fail("expected object key");
+            std::string key = parseString();
+            expect(':');
+            obj[key] = parseValue();
+            const char c = peek();
+            ++pos_;
+            if (c == '}')
+                return obj;
+            if (c != ',')
+                fail("expected ',' or '}'");
+        }
+    }
+
+    Json parseArray()
+    {
+        expect('[');
+        Json arr = Json::array();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        while (true) {
+            arr.push(parseValue());
+            const char c = peek();
+            ++pos_;
+            if (c == ']')
+                return arr;
+            if (c != ',')
+                fail("expected ',' or ']'");
+        }
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code += static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code += static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code += static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                // The writer only emits \u for control characters;
+                // decode the BMP subset as UTF-8 for completeness.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default: fail("unknown escape");
+            }
+        }
+    }
+
+    Json parseNumber()
+    {
+        skipSpace();
+        const std::size_t start = pos_;
+        while (pos_ < text_.size()
+               && (std::isdigit(static_cast<unsigned char>(text_[pos_]))
+                   || text_[pos_] == '-' || text_[pos_] == '+'
+                   || text_[pos_] == '.' || text_[pos_] == 'e'
+                   || text_[pos_] == 'E'))
+            ++pos_;
+        if (start == pos_)
+            fail("expected a value");
+        const std::string token = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        const double v = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            fail("bad number '" + token + "'");
+        return Json(v);
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace rab

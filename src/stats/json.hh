@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Minimal JSON value type for machine-readable reports.
+ *
+ * The sweep engine's campaign manifests (BENCH_sweep.json) must be
+ * byte-stable: two runs of the same grid — serial or parallel, any
+ * thread count — have to serialise identically so CI can diff them and
+ * the determinism test can byte-compare them. That rules out
+ * std::map's sorted-only ordering tricks and locale-dependent number
+ * formatting, so this class keeps object keys in insertion order and
+ * formats numbers with std::to_chars (shortest round-trip form).
+ *
+ * parse() inverts dump() exactly: parse(dump(v)).dump() == dump(v).
+ * Errors throw JsonError rather than panic() so a malformed baseline
+ * file fails a perf gate gracefully instead of aborting the driver.
+ */
+
+#ifndef RAB_STATS_JSON_HH
+#define RAB_STATS_JSON_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rab
+{
+
+/** Malformed document or wrong-type access. */
+class JsonError : public std::runtime_error
+{
+  public:
+    explicit JsonError(const std::string &what) : std::runtime_error(what)
+    {
+    }
+};
+
+/** One JSON value: null, bool, number, string, array or object. */
+class Json
+{
+  public:
+    enum class Type
+    {
+        kNull,
+        kBool,
+        kNumber,
+        kString,
+        kArray,
+        kObject,
+    };
+
+    Json() = default; ///< null
+    Json(bool value) : type_(Type::kBool), bool_(value) {}
+    Json(double value) : type_(Type::kNumber), number_(value) {}
+    Json(int value) : Json(static_cast<double>(value)) {}
+    Json(std::uint64_t value) : Json(static_cast<double>(value)) {}
+    Json(std::string value)
+        : type_(Type::kString), string_(std::move(value))
+    {
+    }
+    Json(const char *value) : Json(std::string(value)) {}
+
+    static Json object();
+    static Json array();
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::kNull; }
+    bool isObject() const { return type_ == Type::kObject; }
+    bool isArray() const { return type_ == Type::kArray; }
+
+    /** Array/object element count (0 for scalars). */
+    std::size_t size() const;
+
+    /** @{ Typed accessors; throw JsonError on a type mismatch. */
+    bool asBool() const;
+    double asDouble() const;
+    std::uint64_t asU64() const;
+    const std::string &asString() const;
+    /** @} */
+
+    /** Object lookup; inserts a null member when absent. Converts a
+     *  null value into an object (so `j["a"]["b"] = 1` works). */
+    Json &operator[](const std::string &key);
+
+    /** Object lookup without insertion; nullptr when absent. */
+    const Json *find(const std::string &key) const;
+
+    /** Object lookup; throws JsonError when absent. */
+    const Json &at(const std::string &key) const;
+
+    /** Array element; throws JsonError when out of range. */
+    const Json &at(std::size_t index) const;
+
+    /** Append to an array. Converts a null value into an array. */
+    void push(Json value);
+
+    /** Members in insertion order (object only). */
+    const std::vector<std::pair<std::string, Json>> &members() const;
+
+    /** Elements (array only). */
+    const std::vector<Json> &elements() const;
+
+    /** Serialise. Deterministic: insertion-ordered keys, to_chars
+     *  numbers, 2-space indentation. */
+    std::string dump() const;
+
+    /** Parse a document; throws JsonError with an offset on error. */
+    static Json parse(const std::string &text);
+
+  private:
+    void dumpTo(std::string &out, int depth) const;
+
+    Type type_ = Type::kNull;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<Json> elements_;
+    std::vector<std::pair<std::string, Json>> members_;
+};
+
+} // namespace rab
+
+#endif // RAB_STATS_JSON_HH

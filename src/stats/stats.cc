@@ -150,6 +150,29 @@ StatGroup::get(const std::string &dotted_name) const
 }
 
 void
+StatGroup::claimExclusive(const void *owner)
+{
+    if (owner_ && owner_ != owner) {
+        panic("StatGroup '%s' is already claimed by another "
+              "simulation: stat storage may not be shared between "
+              "live runs",
+              name_.c_str());
+    }
+    owner_ = owner;
+    for (auto *child : children_)
+        child->claimExclusive(owner);
+}
+
+void
+StatGroup::releaseExclusive(const void *owner)
+{
+    if (owner_ == owner)
+        owner_ = nullptr;
+    for (auto *child : children_)
+        child->releaseExclusive(owner);
+}
+
+void
 StatGroup::resetCounters()
 {
     for (auto &e : entries_) {

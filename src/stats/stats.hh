@@ -75,6 +75,15 @@ class Distribution
  * A named collection of statistics. Values are registered by pointer and
  * read live at dump time, so components keep plain members and register
  * them once in their constructor.
+ *
+ * Reset-or-fresh semantics: a group is either freshly constructed with
+ * its owning component (the normal case — every Simulation builds new
+ * components, hence new groups), or explicitly wiped between runs with
+ * resetCounters(). There is no implicit carry-over, and a group tree
+ * may never be shared between two live Simulations: each Simulation
+ * claims its trees via claimExclusive(), which panics on aliasing, so
+ * concurrent sweep points can never read or reset each other's
+ * counters.
  */
 class StatGroup
 {
@@ -107,6 +116,21 @@ class StatGroup
 
     void resetCounters();
 
+    /**
+     * Assert exclusive ownership of this subtree for @p owner (one
+     * running Simulation). Panics if any group in the subtree is
+     * already claimed by a different owner — i.e. the same stat
+     * storage was wired into two simulations, which would silently
+     * alias counters across concurrent sweep points.
+     */
+    void claimExclusive(const void *owner);
+
+    /** Release a claimExclusive() claim (no-op for other owners). */
+    void releaseExclusive(const void *owner);
+
+    /** The current exclusive owner, or nullptr. */
+    const void *exclusiveOwner() const { return owner_; }
+
   private:
     struct Entry
     {
@@ -122,6 +146,7 @@ class StatGroup
     std::string name_;
     std::vector<Entry> entries_;
     std::vector<StatGroup *> children_;
+    const void *owner_ = nullptr;
 };
 
 } // namespace rab

@@ -1,0 +1,234 @@
+#include "sweep/campaign.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "checker/invariant_checker.hh"
+#include "common/logging.hh"
+#include "fault/watchdog.hh"
+#include "workloads/suite.hh"
+
+namespace rab
+{
+
+ConfigVariant
+makeVariant(RunaheadConfig config, bool prefetch)
+{
+    ConfigVariant v;
+    v.label = std::string(runaheadConfigName(config))
+        + (prefetch ? "+PF" : "");
+    v.runahead = config;
+    v.prefetch = prefetch;
+    return v;
+}
+
+std::size_t
+CampaignSpec::pointCount() const
+{
+    return workloads.size() * variants.size() * seeds.size();
+}
+
+std::vector<SweepPoint>
+expandGrid(const CampaignSpec &spec)
+{
+    std::vector<SweepPoint> points;
+    points.reserve(spec.pointCount());
+    for (const std::string &workload : spec.workloads) {
+        for (const ConfigVariant &variant : spec.variants) {
+            for (const std::uint64_t seed : spec.seeds) {
+                SweepPoint p;
+                p.index = points.size();
+                p.workload = workload;
+                p.variant = variant.label;
+                p.runahead = variant.runahead;
+                p.prefetch = variant.prefetch;
+                p.seed = seed;
+                points.push_back(std::move(p));
+            }
+        }
+    }
+    return points;
+}
+
+std::size_t
+CampaignResult::failedCount() const
+{
+    std::size_t failed = 0;
+    for (const PointResult &p : points)
+        failed += p.ok ? 0 : 1;
+    return failed;
+}
+
+std::uint64_t
+CampaignResult::simulatedCycles() const
+{
+    std::uint64_t cycles = 0;
+    for (const PointResult &p : points) {
+        if (p.ok)
+            cycles += p.result.cycles;
+    }
+    return cycles;
+}
+
+PointResult
+runPoint(const CampaignSpec &spec, const SweepPoint &point)
+{
+    PointResult pr;
+    pr.point = point;
+    const auto start = std::chrono::steady_clock::now();
+    try {
+        const WorkloadSpec *workload = findWorkload(point.workload);
+        if (!workload) {
+            throw std::runtime_error("unknown workload '"
+                                     + point.workload + "'");
+        }
+        SimConfig config = makeConfig(point.runahead, point.prefetch);
+        config.instructions = spec.instructions;
+        config.warmupInstructions = spec.warmup;
+        config.checkLevel = spec.checkLevel;
+        config.checkPolicy = spec.checkPolicy;
+        config.finalize();
+        if (spec.configHook)
+            spec.configHook(point.index, config);
+
+        WorkloadParams params = workload->params;
+        if (point.seed != 0)
+            params.seed = point.seed;
+
+        Simulation sim(config, buildWorkload(params));
+        pr.result = sim.run();
+        pr.stats = sim.core().stats().collect();
+        for (const auto &[name, value] : sim.memory().stats().collect())
+            pr.stats.emplace(name, value);
+        pr.ok = true;
+    } catch (const WatchdogTimeout &e) {
+        pr.error = strprintf(
+            "WatchdogTimeout: forward progress lost at cycle %llu "
+            "after %d recoveries",
+            (unsigned long long)e.cycle(), e.recoveries());
+    } catch (const InvariantViolation &e) {
+        pr.error = strprintf("InvariantViolation in '%s': %s",
+                             e.module().c_str(), e.what());
+    } catch (const std::exception &e) {
+        pr.error = std::string("error: ") + e.what();
+    }
+    pr.wallSeconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    return pr;
+}
+
+namespace
+{
+
+/**
+ * Lock-per-deque work-stealing queue of point indices. Points are
+ * coarse (milliseconds to seconds each), so simple mutexes cost
+ * nothing measurable; what matters is that a worker that drains its
+ * own deque steals from the tail of its neighbours' instead of going
+ * idle while a long workload hogs one lane.
+ */
+class WorkStealingQueue
+{
+  public:
+    WorkStealingQueue(std::size_t workers, std::size_t items)
+        : lanes_(workers)
+    {
+        // Round-robin seeding spreads each workload's variants (which
+        // have correlated runtimes) across lanes.
+        for (std::size_t i = 0; i < items; ++i)
+            lanes_[i % workers].items.push_back(i);
+    }
+
+    /** Pop own front, else steal a neighbour's tail. */
+    bool pop(std::size_t worker, std::size_t &out)
+    {
+        if (popFront(worker, out))
+            return true;
+        for (std::size_t k = 1; k < lanes_.size(); ++k) {
+            const std::size_t victim = (worker + k) % lanes_.size();
+            if (stealBack(victim, out))
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    struct Lane
+    {
+        std::mutex mutex;
+        std::deque<std::size_t> items;
+    };
+
+    bool popFront(std::size_t lane, std::size_t &out)
+    {
+        std::lock_guard<std::mutex> lock(lanes_[lane].mutex);
+        if (lanes_[lane].items.empty())
+            return false;
+        out = lanes_[lane].items.front();
+        lanes_[lane].items.pop_front();
+        return true;
+    }
+
+    bool stealBack(std::size_t lane, std::size_t &out)
+    {
+        std::lock_guard<std::mutex> lock(lanes_[lane].mutex);
+        if (lanes_[lane].items.empty())
+            return false;
+        out = lanes_[lane].items.back();
+        lanes_[lane].items.pop_back();
+        return true;
+    }
+
+    std::vector<Lane> lanes_;
+};
+
+} // namespace
+
+CampaignResult
+runCampaign(const CampaignSpec &spec, int threads)
+{
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<SweepPoint> grid = expandGrid(spec);
+
+    CampaignResult campaign;
+    campaign.spec = spec;
+    campaign.threads = threads < 1 ? 1 : threads;
+    campaign.points.resize(grid.size());
+
+    if (campaign.threads <= 1 || grid.size() <= 1) {
+        // Serial reference path: no threads, same per-point code.
+        for (const SweepPoint &point : grid)
+            campaign.points[point.index] = runPoint(spec, point);
+    } else {
+        const std::size_t workers =
+            std::min<std::size_t>(campaign.threads, grid.size());
+        WorkStealingQueue queue(workers, grid.size());
+        // Each worker writes only campaign.points[index] slots it
+        // popped — disjoint, so the joins below are the only sync.
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w) {
+            pool.emplace_back([&, w] {
+                std::size_t index = 0;
+                while (queue.pop(w, index)) {
+                    campaign.points[index] =
+                        runPoint(spec, grid[index]);
+                }
+            });
+        }
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    campaign.wallSeconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    return campaign;
+}
+
+} // namespace rab

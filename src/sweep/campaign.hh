@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Parallel sweep-campaign engine.
+ *
+ * Every paper figure is a grid of independent (workload x SimConfig x
+ * seed) simulation points — embarrassingly parallel work the serial
+ * bench loops left on the table. A CampaignSpec declares such a grid;
+ * runCampaign() expands it in deterministic grid order, executes each
+ * point as an isolated Simulation on a fixed-size thread pool with a
+ * work-stealing queue, and merges the results back in grid order
+ * regardless of completion order. The merged output is certified
+ * byte-identical across thread counts by tests/test_sweep.cc.
+ *
+ * Failure isolation: each point runs under its own try/catch, so one
+ * point that dies (WatchdogTimeout under fault injection, an escaped
+ * InvariantViolation, a bad spec entry) is marked failed with a
+ * diagnostic string while the rest of the campaign completes.
+ *
+ * Thread safety: a Simulation is self-contained (per-instance RNGs,
+ * freshly constructed components, stat groups asserted un-aliased via
+ * StatGroup::claimExclusive), so points share nothing but read-only
+ * spec data. The optional configHook must itself be thread-safe.
+ */
+
+#ifndef RAB_SWEEP_CAMPAIGN_HH
+#define RAB_SWEEP_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/sim_config.hh"
+#include "core/simulation.hh"
+
+namespace rab
+{
+
+/** One named runahead/prefetch configuration axis entry. */
+struct ConfigVariant
+{
+    std::string label; ///< e.g. "Hybrid+PF"; unique within a campaign.
+    RunaheadConfig runahead = RunaheadConfig::kBaseline;
+    bool prefetch = false;
+};
+
+/** Label a (config, prefetch) pair the way the benches do. */
+ConfigVariant makeVariant(RunaheadConfig config, bool prefetch);
+
+/** A declarative workloads x variants x seeds grid. */
+struct CampaignSpec
+{
+    std::string name = "campaign";
+
+    std::vector<std::string> workloads;   ///< Suite workload names.
+    std::vector<ConfigVariant> variants;  ///< Config axis.
+    std::vector<std::uint64_t> seeds{0};  ///< 0: workload default seed.
+
+    std::uint64_t instructions = 40'000;
+    std::uint64_t warmup = 10'000;
+    CheckLevel checkLevel = CheckLevel::kOff;
+    CheckPolicy checkPolicy = CheckPolicy::kThrow;
+
+    /**
+     * Optional per-point SimConfig override, applied after the
+     * variant's base config is built and finalized. Runs on worker
+     * threads: must be thread-safe (pure index-based decisions are).
+     */
+    std::function<void(std::size_t point_index, SimConfig &config)>
+        configHook;
+
+    std::size_t pointCount() const;
+};
+
+/** One expanded grid point. */
+struct SweepPoint
+{
+    std::size_t index = 0; ///< Position in grid order.
+    std::string workload;
+    std::string variant;
+    RunaheadConfig runahead = RunaheadConfig::kBaseline;
+    bool prefetch = false;
+    std::uint64_t seed = 0;
+};
+
+/**
+ * Expand the grid in deterministic order: workload-major, then
+ * variant, then seed. This order defines point indices, result order
+ * and the manifest layout, independent of execution schedule.
+ */
+std::vector<SweepPoint> expandGrid(const CampaignSpec &spec);
+
+/** Outcome of one point. */
+struct PointResult
+{
+    SweepPoint point;
+    bool ok = false;
+    std::string error; ///< Diagnostic when !ok.
+    SimResult result;  ///< Valid only when ok.
+    /** Flattened core+memory StatGroup payload (dotted names). */
+    std::map<std::string, double> stats;
+    double wallSeconds = 0;
+};
+
+/** A finished campaign: points in grid order, always complete. */
+struct CampaignResult
+{
+    CampaignSpec spec;
+    int threads = 1;
+    double wallSeconds = 0;
+    std::vector<PointResult> points;
+
+    std::size_t failedCount() const;
+    /** Sum of simulated cycles over successful points. */
+    std::uint64_t simulatedCycles() const;
+};
+
+/**
+ * Run every point of @p spec. @p threads <= 1 runs serially on the
+ * calling thread (the reference the determinism test compares
+ * against); otherwise a pool of min(threads, points) workers drains a
+ * work-stealing queue. Results are merged in grid order either way.
+ */
+CampaignResult runCampaign(const CampaignSpec &spec, int threads);
+
+/** Run one point in isolation (also the serial path's worker). */
+PointResult runPoint(const CampaignSpec &spec, const SweepPoint &point);
+
+} // namespace rab
+
+#endif // RAB_SWEEP_CAMPAIGN_HH

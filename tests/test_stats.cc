@@ -133,5 +133,50 @@ TEST(StatGroup, GetUnknownPanics)
     EXPECT_DEATH(root.get("nope"), "unknown stat");
 }
 
+TEST(StatGroup, ClaimExclusiveIsPerOwnerAndRecursive)
+{
+    StatGroup root("root");
+    StatGroup child("child", &root);
+    const int owner_a = 0;
+
+    EXPECT_EQ(root.exclusiveOwner(), nullptr);
+    root.claimExclusive(&owner_a);
+    EXPECT_EQ(root.exclusiveOwner(), &owner_a);
+    EXPECT_EQ(child.exclusiveOwner(), &owner_a);
+
+    // Re-claiming with the same owner is idempotent.
+    root.claimExclusive(&owner_a);
+
+    // Releasing frees the whole subtree for the next run.
+    root.releaseExclusive(&owner_a);
+    EXPECT_EQ(root.exclusiveOwner(), nullptr);
+    EXPECT_EQ(child.exclusiveOwner(), nullptr);
+    const int owner_b = 0;
+    root.claimExclusive(&owner_b);
+    EXPECT_EQ(child.exclusiveOwner(), &owner_b);
+}
+
+TEST(StatGroup, AliasedClaimPanics)
+{
+    // Two live owners over the same stat storage is exactly the
+    // counter-aliasing bug the sweep engine must never hit; the claim
+    // turns it from silent corruption into an immediate panic.
+    StatGroup root("root");
+    const int owner_a = 0;
+    const int owner_b = 0;
+    root.claimExclusive(&owner_a);
+    EXPECT_DEATH(root.claimExclusive(&owner_b), "already claimed");
+}
+
+TEST(StatGroup, AliasedChildClaimPanics)
+{
+    StatGroup root("root");
+    StatGroup child("child", &root);
+    const int owner_a = 0;
+    const int owner_b = 0;
+    child.claimExclusive(&owner_a);
+    EXPECT_DEATH(root.claimExclusive(&owner_b), "already claimed");
+}
+
 } // namespace
 } // namespace rab
