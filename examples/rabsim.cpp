@@ -54,6 +54,7 @@ struct Options
     CheckPolicy checkPolicy = CheckPolicy::kThrow;
     FaultConfig fault{};
     std::uint64_t watchdogCycles = 0;
+    bool fastForward = true;
 
     // Table 1 overrides.
     int robEntries = 0;
@@ -93,6 +94,8 @@ usage(int code)
         "  --fault-stall-rate P       memory-queue stall-window rate\n"
         "  --watchdog N        forward-progress watchdog bound in\n"
         "                      cycles (default: auto when faults on)\n"
+        "  --no-fast-forward   tick every cycle instead of skipping\n"
+        "                      quiescent stall windows (debugging)\n"
         "  --rob N | --rs N | --buffer N | --chain-cache N |\n"
         "  --mem-queue N | --llc BYTES     Table 1 overrides\n"
         "  --print-config      show the simulated system and exit\n"
@@ -175,6 +178,8 @@ parseArgs(int argc, char **argv)
             opts.fault.memStallRate = std::atof(next(i));
         } else if (arg == "--watchdog")
             opts.watchdogCycles = std::strtoull(next(i), nullptr, 10);
+        else if (arg == "--no-fast-forward")
+            opts.fastForward = false;
         else if (arg == "--rob")
             opts.robEntries = std::atoi(next(i));
         else if (arg == "--rs")
@@ -209,6 +214,7 @@ makeSimConfig(const Options &opts)
     config.core.checkLevel = opts.checkLevel;
     config.checkPolicy = opts.checkPolicy;
     config.fault = opts.fault;
+    config.fastForward = opts.fastForward;
     if (opts.watchdogCycles > 0)
         config.core.watchdog.cycles = opts.watchdogCycles;
     config.finalize();

@@ -50,9 +50,10 @@ struct Options
     bool toStdout = false;
     bool canonical = false;
     std::string gatePath;
-    double gateThreshold = 0.25;
+    double gateThreshold = 0.15;
     std::string baselineOutPath;
     bool listPresets = false;
+    bool fastForward = true;
 };
 
 [[noreturn]] void
@@ -77,8 +78,10 @@ usage(int code)
         "  --canonical         omit volatile fields (host, git, wall\n"
         "                      times) so output is byte-stable\n"
         "  --gate FILE         perf-regression gate against a baseline\n"
-        "  --gate-threshold F  max relative throughput drop (def 0.25)\n"
+        "  --gate-threshold F  max relative throughput drop (def 0.15)\n"
         "  --write-baseline F  write a new baseline and exit\n"
+        "  --no-fast-forward   disable the cycle-loop fast-forward\n"
+        "                      engine in every point (debugging)\n"
         "  --list-presets      describe the presets and exit\n",
         code == 0 ? stdout : stderr);
     std::exit(code);
@@ -142,7 +145,7 @@ describePresets()
         "fig17  medium+high suite x {baseline, runahead,\n"
         "       runahead-enhanced, buffer, buffer-cc, hybrid}; 40k/10k\n"
         "smoke  pinned CI campaign: {mcf, libq, omnetpp} x {baseline,\n"
-        "       hybrid}; 20k/5k sizing — do not change without\n"
+        "       hybrid}; 150k/25k sizing — do not change without\n"
         "       regenerating bench/baseline.json\n",
         stdout);
 }
@@ -244,6 +247,8 @@ parseArgs(int argc, char **argv)
             opts.gateThreshold = std::atof(next(i));
         else if (arg == "--write-baseline")
             opts.baselineOutPath = next(i);
+        else if (arg == "--no-fast-forward")
+            opts.fastForward = false;
         else if (arg == "--list-presets")
             opts.listPresets = true;
         else if (arg == "--help" || arg == "-h")
@@ -280,6 +285,7 @@ buildSpec(const Options &opts)
         spec.instructions = opts.instructions;
     if (opts.warmup > 0)
         spec.warmup = opts.warmup;
+    spec.fastForward = opts.fastForward;
     if (spec.workloads.empty() || spec.variants.empty())
         fatal("empty grid: give --preset or --workloads/--configs");
     return spec;
@@ -318,8 +324,9 @@ main(int argc, char **argv)
     }
 
     const CampaignSpec spec = buildSpec(opts);
-    const int threads =
-        opts.threads > 0 ? opts.threads : defaultBenchThreads();
+    // Same precedence as BenchOptions::fromEnv: explicit --threads,
+    // then RAB_THREADS, then all hardware threads.
+    const int threads = resolveThreads(opts.threads);
 
     std::fprintf(stderr,
                  "rabsweep: campaign '%s', %zu points on %d "

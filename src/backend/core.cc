@@ -20,7 +20,8 @@ Core::Core(const CoreConfig &config, const Program *program,
       ports_(config.issueWidth, config.memPorts),
       runaheadCtrl_(config.runahead),
       watchdog_(config.watchdog),
-      statGroup_("core")
+      statGroup_("core"),
+      ffStatGroup_("fastforward")
 {
     if (!program_ || program_->empty())
         fatal("core: empty program");
@@ -43,6 +44,9 @@ Core::Core(const CoreConfig &config, const Program *program,
     checker_ctx.runahead = &runaheadCtrl_;
     checker_ctx.program = program_;
     checker_ctx.archValues = &archValues_;
+    checker_ctx.wbq = &wbq_;
+    checker_ctx.frontend = frontend_.get();
+    checker_ctx.rs = &rs_;
     checker_ = std::make_unique<InvariantChecker>(
         checkLevelFromEnv(config_.checkLevel), checker_ctx);
     checker_->setPolicy(checkPolicyFromEnv(config_.checkPolicy));
@@ -100,6 +104,11 @@ Core::Core(const CoreConfig &config, const Program *program,
                           "store queue forwards");
     statGroup_.addCounter("sq_searches", &sq_.searches,
                           "store queue CAM searches");
+    ffStatGroup_.addCounter("windows", &ffWindows,
+                            "quiescent windows fast-forwarded");
+    ffStatGroup_.addCounter("skipped_cycles", &ffSkippedCycles,
+                            "cycles covered by fast-forward windows");
+    statGroup_.addChild(&ffStatGroup_);
 
     bp_.regStats(&statGroup_);
     frontend_->regStats(&statGroup_);
@@ -115,10 +124,18 @@ Core::resetArchState()
     for (ArchReg r = 0; r < kNumArchRegs; ++r) {
         const std::uint64_t value = program_->initialReg(r);
         const PhysReg pdst = prf_.alloc();
-        prf_.write(pdst, value, /*poisoned=*/false, /*off_chip=*/false);
+        writePhysReg(pdst, value, /*poisoned=*/false, /*off_chip=*/false);
         rat_.setMap(r, pdst);
         archValues_[r] = value;
     }
+}
+
+void
+Core::writePhysReg(PhysReg reg, std::uint64_t value, bool poisoned,
+                   bool off_chip)
+{
+    prf_.write(reg, value, poisoned, off_chip);
+    rs_.notifyWritten(reg);
 }
 
 std::uint64_t
@@ -140,6 +157,7 @@ void
 Core::tick()
 {
     const Cycle now = cycle_;
+    pipelineActivity_ = false;
     doWriteback(now);
     doCommit(now);
     doRunaheadControl(now);
@@ -149,6 +167,12 @@ Core::tick()
     runaheadCtrl_.tickCycle();
     checker_->onCycle(now);
     ++cycle_;
+
+    // Any stage progress can change the runahead controller's entry
+    // inputs (ROB/SQ contents, readiness), so the denial memo only
+    // survives fully-stalled ticks.
+    if (pipelineActivity_)
+        entryDenied_ = false;
 
     // Forward-progress watchdog (fault recovery layer 1): bounded
     // recovery before the hard deadlock panic below can trigger.
@@ -176,8 +200,202 @@ Core::run(std::uint64_t max_instructions, std::uint64_t max_cycles)
 {
     const std::uint64_t target = retired_ + max_instructions;
     const Cycle cycle_limit = cycle_ + max_cycles;
-    while (retired_ < target && cycle_ < cycle_limit)
+    while (retired_ < target && cycle_ < cycle_limit) {
         tick();
+        if (!config_.fastForward)
+            continue;
+        Cycle horizon = fastForwardHorizon();
+        if (horizon > cycle_limit)
+            horizon = cycle_limit;
+        if (horizon > cycle_ + 1) {
+            checker_->onFastForward(cycle_, horizon);
+            fastForwardTo(horizon);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fast-forward engine
+// ---------------------------------------------------------------------
+
+Cycle
+Core::fastForwardHorizon()
+{
+    const Cycle now = cycle_;
+
+    // --- Quiescence: if any stage can do work at the very next tick,
+    // --- there is nothing to skip.
+    if (!rob_.empty()) {
+        const DynUop &head = rob_.head();
+        // Commit possible (including store commit-retry loops: those
+        // touch the memory system every cycle and must tick normally).
+        if (head.completed)
+            return 0;
+        // Runahead pseudo-retires blocked miss loads immediately.
+        if (inRunahead() && head.isLoad() && head.memIssued
+            && head.offChipWait) {
+            return 0;
+        }
+    }
+    if (!wbq_.empty() && wbq_.nextEventCycle() <= now)
+        return 0;
+    if (rs_.hasReady())
+        return 0;
+
+    // --- Horizon: earliest cycle at which any pipeline event can
+    // --- occur. Every cap below is exact or conservative (too small
+    // --- only costs a shorter skip, never correctness).
+
+    // Deadlock panic and watchdog both fire at the tick that raises
+    // (cycle - lastCommit) strictly above their bound; executing that
+    // tick for real reproduces tick-by-tick behaviour exactly.
+    Cycle horizon = lastCommitCycle_ + config_.deadlockCycles;
+    if (watchdog_.enabled()) {
+        const Cycle wd = lastCommitCycle_ + watchdog_.config().cycles;
+        if (wd < horizon)
+            horizon = wd;
+    }
+
+    if (!wbq_.empty()) {
+        const Cycle wb = wbq_.nextEventCycle();
+        if (wb < horizon)
+            horizon = wb;
+    }
+
+    const bool structural_block =
+        rob_.full() || rs_.full() || !prf_.canAlloc();
+
+    // Rename source. Structural blocks (ROB/RS/PRF, store with a full
+    // SQ) can only clear through commit or writeback events, which the
+    // caps above already bound.
+    if (mode() == RunaheadMode::kBuffer) {
+        if (runaheadCtrl_.buffer().hasOp()) {
+            const Cycle start = runaheadCtrl_.bufferIssueStart();
+            if (now < start) {
+                if (start < horizon)
+                    horizon = start;
+            } else if (!structural_block) {
+                return 0;
+            }
+        }
+    } else if (!frontend_->queueEmpty() && !structural_block
+               && !(frontend_->peek().sop.isStore() && sq_.full())) {
+        if (frontend_->hasReady(now))
+            return 0;
+        const Cycle fr = frontend_->frontReadyCycle();
+        if (fr < horizon)
+            horizon = fr;
+    }
+
+    // Fetch source: every fetch-capable cycle touches the I-cache, so
+    // it is only skippable while gated, stalled, or queue-full (the
+    // queue cannot drain during the window: rename is blocked above).
+    if (!frontend_->gated()) {
+        const Cycle stalled = frontend_->stalledUntil();
+        if (stalled > now) {
+            if (stalled < horizon)
+                horizon = stalled;
+        } else if (!frontend_->queueFull()) {
+            return 0;
+        }
+    }
+
+    if (inRunahead()) {
+        // Exit fires at the first tick at or past blockingReady_.
+        const Cycle exit_at = runaheadCtrl_.exitReadyAt();
+        if (exit_at <= now)
+            return 0;
+        if (exit_at < horizon)
+            horizon = exit_at;
+    } else if (config_.runahead.anyRunahead() && !rob_.empty()) {
+        // Entry eligibility: never skip past the tick where
+        // decideEntry would run — its per-episode counters (and
+        // fault-RNG draws) must match tick-by-tick execution.
+        const DynUop &head = rob_.head();
+        if (head.isLoad() && head.memIssued && head.offChipWait
+            && !entryDenialValid()) {
+            if (rob_.full() || rs_.full()) {
+                if (head.readyAt > now + config_.minRunaheadDistance)
+                    return 0;
+                // Too close to the fill: entry declined before
+                // decideEntry is consulted — no event to protect.
+            } else {
+                // Stall-counter path: doCommit increments the stall
+                // counter before doRunaheadControl reads it, so the
+                // tick at cycle c sees stallCyclesSinceCommit_ + (c -
+                // now + 1).
+                const int need = config_.stallEntryCycles
+                    - stallCyclesSinceCommit_ - 1;
+                Cycle fire = now + (need > 0 ? (Cycle)need : 0);
+                // renameProgress_ still holds last tick's value at the
+                // first skipped tick only (doRename clears it later in
+                // the same tick).
+                if (fire == now && renameProgress_)
+                    fire = now + 1;
+                if (fire == now)
+                    return 0;
+                if (head.readyAt > fire + config_.minRunaheadDistance
+                    && fire < horizon) {
+                    horizon = fire;
+                }
+            }
+        }
+    }
+
+    // Degradation-ladder probation: a re-enable step inside the window
+    // would change controller behaviour; cap the skip below it so the
+    // transition happens in a real tick.
+    const std::uint64_t max_skip =
+        runaheadCtrl_.ladder().maxSkippableCycles();
+    if (max_skip < horizon - now)
+        horizon = now + max_skip;
+
+    // Memory-system events (fills, DRAM bank/bus frees) are consumed
+    // lazily by later accesses, but bound the skip at the next one so
+    // no window ever straddles a memory state change.
+    const Cycle mem_next = mem_->nextEventCycle(now);
+    if (mem_next > now && mem_next < horizon)
+        horizon = mem_next;
+
+    return horizon;
+}
+
+void
+Core::fastForwardTo(Cycle target)
+{
+    const std::uint64_t delta = target - cycle_;
+
+    // Replicate exactly what `delta` fully-stalled ticks would have
+    // accumulated. The stall classification is frozen for the whole
+    // window: nothing can complete, commit, issue or rename inside it.
+    stallCyclesSinceCommit_ += static_cast<int>(delta);
+    if (rob_.empty()) {
+        stallEmptyRob += delta;
+    } else if (!inRunahead()) {
+        const DynUop &head = rob_.head();
+        if (!head.completed && head.isLoad() && head.memIssued
+            && head.offChipWait) {
+            memStallCycles += delta;
+        } else if (!head.completed && head.isLoad()) {
+            stallLoadOther += delta;
+        } else if (!head.completed) {
+            stallExec += delta;
+        }
+    }
+    if (rob_.full())
+        robFullCycles += delta;
+
+    // selectReady() counts one wakeup per resident entry per cycle
+    // even when nothing issues.
+    rs_.wakeups += static_cast<std::uint64_t>(rs_.size()) * delta;
+
+    frontend_->accountSkippedCycles(cycle_, delta);
+    runaheadCtrl_.accountSkippedCycles(delta);
+
+    renameProgress_ = false;
+    ++ffWindows;
+    ffSkippedCycles += delta;
+    cycle_ = target;
 }
 
 // ---------------------------------------------------------------------
@@ -188,6 +406,7 @@ void
 Core::doWriteback(Cycle now)
 {
     for (const WbEvent &ev : wbq_.popReady(now)) {
+        pipelineActivity_ = true;
         if (!rob_.validSlot(ev.robSlot, ev.seq))
             continue; // Squashed or already pseudo-retired.
         DynUop &uop = rob_.slot(ev.robSlot);
@@ -198,7 +417,7 @@ Core::doWriteback(Cycle now)
             const bool off_chip = uop.isLoad()
                 ? (uop.llcMiss || uop.poisoned)
                 : (uop.srcFromOffChip || uop.poisoned);
-            prf_.write(uop.pdst, uop.result, uop.poisoned, off_chip);
+            writePhysReg(uop.pdst, uop.result, uop.poisoned, off_chip);
             ++prfWrites;
         }
 
@@ -281,8 +500,8 @@ Core::doCommit(Cycle now)
                 // Runahead pseudo-retires miss loads with a poisoned
                 // destination instead of waiting for the data.
                 if (head.pdst != kNoPhysReg) {
-                    prf_.write(head.pdst, 0, /*poisoned=*/true,
-                               /*off_chip=*/true);
+                    writePhysReg(head.pdst, 0, /*poisoned=*/true,
+                                 /*off_chip=*/true);
                     ++prfWrites;
                 }
                 head.poisoned = true;
@@ -336,6 +555,7 @@ Core::doCommit(Cycle now)
     }
 
     if (commits > 0) {
+        pipelineActivity_ = true;
         lastCommitCycle_ = now;
         stallCyclesSinceCommit_ = 0;
     } else {
@@ -387,15 +607,42 @@ Core::doRunaheadControl(Cycle now)
     if (!back_pressure)
         return;
 
+    // While the pipeline is fully stalled the controller sees frozen
+    // inputs, so a denied entry decision is memoised instead of being
+    // re-evaluated every cycle (see entryDenialValid()).
+    if (entryDenialValid())
+        return;
+
     const EntryDecision decision = runaheadCtrl_.decideEntry(
         rob_, sq_, head, fetchedInstrNum_, retired_);
-    if (decision.enter)
+    if (decision.enter) {
         enterRunahead(decision, now);
+    } else {
+        entryDenied_ = true;
+        entryDeniedSeq_ = head.seq;
+        entryDeniedLadderSteps_ = ladderTransitions();
+    }
+}
+
+bool
+Core::entryDenialValid() const
+{
+    return entryDenied_ && !rob_.empty()
+        && rob_.head().seq == entryDeniedSeq_
+        && ladderTransitions() == entryDeniedLadderSteps_;
+}
+
+std::uint64_t
+Core::ladderTransitions() const
+{
+    const DegradationLadder &ladder = runaheadCtrl_.ladder();
+    return ladder.degradeSteps.value() + ladder.reenableSteps.value();
 }
 
 void
 Core::enterRunahead(const EntryDecision &decision, Cycle now)
 {
+    pipelineActivity_ = true;
     const DynUop &head = rob_.head();
 
     checkpoint_.values = archValues_;
@@ -415,8 +662,8 @@ Core::enterRunahead(const EntryDecision &decision, Cycle now)
         if (u.isLoad() && u.memIssued && !u.completed
             && u.offChipWait) {
             if (u.pdst != kNoPhysReg) {
-                prf_.write(u.pdst, 0, /*poisoned=*/true,
-                           /*off_chip=*/true);
+                writePhysReg(u.pdst, 0, /*poisoned=*/true,
+                             /*off_chip=*/true);
                 ++prfWrites;
             }
             u.poisoned = true;
@@ -439,6 +686,7 @@ Core::enterRunahead(const EntryDecision &decision, Cycle now)
 void
 Core::exitRunahead(Cycle now)
 {
+    pipelineActivity_ = true;
     const RunaheadMode exit_mode = mode();
     if (exit_mode == RunaheadMode::kTraditional
         && config_.collectChainAnalysis) {
@@ -458,8 +706,8 @@ Core::exitRunahead(Cycle now)
     prf_.resetAll();
     for (ArchReg r = 0; r < kNumArchRegs; ++r) {
         const PhysReg pdst = prf_.alloc();
-        prf_.write(pdst, checkpoint_.values[r], /*poisoned=*/false,
-                   /*off_chip=*/false);
+        writePhysReg(pdst, checkpoint_.values[r], /*poisoned=*/false,
+                     /*off_chip=*/false);
         rat_.setMap(r, pdst);
         archValues_[r] = checkpoint_.values[r];
     }
@@ -479,6 +727,7 @@ Core::exitRunahead(Cycle now)
 void
 Core::recoverFromWatchdog(Cycle now)
 {
+    pipelineActivity_ = true;
     ++watchdogFlushes;
     if (inRunahead()) {
         // Runahead exit is already a full flush-and-restore to the
@@ -510,8 +759,8 @@ Core::flushToArchState(Cycle now)
     prf_.resetAll();
     for (ArchReg r = 0; r < kNumArchRegs; ++r) {
         const PhysReg pdst = prf_.alloc();
-        prf_.write(pdst, archValues_[r], /*poisoned=*/false,
-                   /*off_chip=*/false);
+        writePhysReg(pdst, archValues_[r], /*poisoned=*/false,
+                     /*off_chip=*/false);
         rat_.setMap(r, pdst);
     }
     frontend_->setGated(false);
@@ -527,12 +776,14 @@ Core::doIssue(Cycle now)
 {
     ports_.newCycle();
     const std::vector<int> selected =
-        rs_.selectReady(rob_, prf_, config_.issueWidth);
+        rs_.selectReady(config_.issueWidth);
+    if (!selected.empty())
+        pipelineActivity_ = true;
     for (const int slot : selected) {
         DynUop &uop = rob_.slot(slot);
         const bool is_mem = uop.sop.isMem();
         if (is_mem ? !ports_.takeMem() : !ports_.takeAlu()) {
-            rs_.reinsert(slot, uop.seq);
+            rs_.reinsert(slot, uop.seq, uop.psrc1, uop.psrc2, prf_);
             continue;
         }
 
@@ -594,7 +845,7 @@ Core::issueLoad(int slot, DynUop &uop, Cycle now)
     const SqSearch search = sq_.searchForLoad(uop.seq, uop.effAddr);
     if (search.kind == SqSearch::Kind::kUnknownAddr
         || search.kind == SqSearch::Kind::kNotReady) {
-        rs_.reinsert(slot, uop.seq);
+        rs_.reinsert(slot, uop.seq, uop.psrc1, uop.psrc2, prf_);
         return;
     }
     if (search.kind == SqSearch::Kind::kForward) {
@@ -626,7 +877,7 @@ Core::issueLoad(int slot, DynUop &uop, Cycle now)
         ++loadQueueRetries;
         if (res.faulted)
             ++memFaultRetries;
-        rs_.reinsert(slot, uop.seq);
+        rs_.reinsert(slot, uop.seq, uop.psrc1, uop.psrc2, prf_);
         return;
     }
     uop.memIssued = true;
@@ -757,12 +1008,15 @@ Core::doRename(Cycle now)
 
         const SeqNum seq = du.seq;
         const bool is_store = du.sop.isStore();
+        const PhysReg psrc1 = du.psrc1;
+        const PhysReg psrc2 = du.psrc2;
         const int slot = rob_.push(std::move(du));
         ++robWrites;
         if (is_store)
             sq_.allocate(seq, slot);
-        rs_.insert(slot, seq);
+        rs_.insert(slot, seq, psrc1, psrc2, prf_);
         renameProgress_ = true;
+        pipelineActivity_ = true;
     }
 }
 

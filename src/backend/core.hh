@@ -62,6 +62,12 @@ struct CoreConfig
     std::uint64_t deadlockCycles = 2'000'000;
     bool collectChainAnalysis = false;
 
+    /** Skip fully-stalled cycle windows in run() by jumping straight
+     *  to the next pipeline event (see Core::fastForwardHorizon).
+     *  Certified behaviour-preserving by tests/test_fastforward.cc;
+     *  disable (--no-fast-forward) for differential debugging. */
+    bool fastForward = true;
+
     /** Invariant checking effort; the RAB_CHECK_LEVEL environment
      *  variable overrides this (the test suite forces "full"). */
     CheckLevel checkLevel = CheckLevel::kOff;
@@ -168,6 +174,14 @@ class Core
     Counter watchdogFlushes;   ///< Watchdog-driven recovery flushes.
     /** @} */
 
+    /** @{ Fast-forward engine statistics. Registered under their own
+     *  "fastforward" child group: these are the only counters allowed
+     *  to differ between fast-forwarded and tick-by-tick runs, and the
+     *  differential test excludes exactly that subtree. */
+    Counter ffWindows;       ///< Quiescent windows skipped.
+    Counter ffSkippedCycles; ///< Cycles covered by those windows.
+    /** @} */
+
   private:
     /** @{ Pipeline stages, called by tick() in this order. */
     void doWriteback(Cycle now);
@@ -186,6 +200,12 @@ class Core
     void resolveBranch(int slot, DynUop &uop, Cycle now);
     void squashYoungerThan(int slot, SeqNum seq);
 
+    /** Write @p reg and wake reservation-station entries waiting on
+     *  it. Every PhysRegFile::write() in the core goes through here so
+     *  the event-driven wakeup list stays exact. */
+    void writePhysReg(PhysReg reg, std::uint64_t value, bool poisoned,
+                      bool off_chip);
+
     void enterRunahead(const EntryDecision &decision, Cycle now);
     void exitRunahead(Cycle now);
     void resetArchState();
@@ -198,6 +218,25 @@ class Core
 
     bool inRunahead() const { return runaheadCtrl_.inRunahead(); }
     RunaheadMode mode() const { return runaheadCtrl_.mode(); }
+
+    /** @{ Fast-forward engine (see run()). The horizon query proves
+     *  the core quiescent at cycle_ and returns the earliest cycle at
+     *  which any pipeline event can occur (0: not quiescent, tick
+     *  normally); fastForwardTo() jumps there, bulk-replicating every
+     *  per-cycle statistic the skipped ticks would have produced. */
+    Cycle fastForwardHorizon();
+    void fastForwardTo(Cycle target);
+    /** @} */
+
+    /** decideEntry denial memo: while the pipeline is fully stalled
+     *  the controller's inputs are frozen, so a refused runahead entry
+     *  stays refused until the ROB head changes, any stage makes
+     *  progress, or the degradation ladder moves. Skipping the
+     *  re-evaluation keeps per-episode counters (CAM searches,
+     *  suppression/no-chain counts, fault-RNG draws) identical between
+     *  fast-forwarded and tick-by-tick runs. */
+    bool entryDenialValid() const;
+    std::uint64_t ladderTransitions() const;
 
     CoreConfig config_;
     const Program *program_;
@@ -234,11 +273,19 @@ class Core
     Cycle lastCommitCycle_ = 0;
     int stallCyclesSinceCommit_ = 0;
     bool renameProgress_ = false;
+
+    /** @{ decideEntry denial memo (see entryDenialValid()). */
+    bool entryDenied_ = false;
+    SeqNum entryDeniedSeq_ = kNoSeqNum;
+    std::uint64_t entryDeniedLadderSteps_ = 0;
+    /** @} */
+    bool pipelineActivity_ = false; ///< Any stage progressed this tick.
     Pc resumePc_ = 0; ///< Next-to-commit PC; watchdog restart point
                       ///< when the ROB has already drained.
 
     CommitHook commitHook_;
     StatGroup statGroup_;
+    StatGroup ffStatGroup_; ///< "fastforward" child (see ffWindows).
 };
 
 } // namespace rab

@@ -13,34 +13,132 @@ ReservationStation::ReservationStation(int capacity)
     if (capacity <= 0)
         fatal("ReservationStation: bad capacity %d", capacity);
     entries_.assign(capacity, Entry{});
+    freeSlots_.reserve(capacity);
+    for (int i = capacity - 1; i >= 0; --i)
+        freeSlots_.push_back(i);
+    readyList_.reserve(capacity);
 }
 
 void
-ReservationStation::insert(int rob_slot, SeqNum seq)
+ReservationStation::registerWait(PhysReg reg, int idx)
+{
+    if (reg >= waiters_.size())
+        waiters_.resize(reg + 1);
+    waiters_[reg].push_back(idx);
+}
+
+void
+ReservationStation::insert(int rob_slot, SeqNum seq, PhysReg src1,
+                           PhysReg src2, const PhysRegFile &prf)
 {
     if (full())
         panic("ReservationStation: insert when full");
-    for (Entry &e : entries_) {
-        if (!e.valid) {
-            e.valid = true;
-            e.robSlot = rob_slot;
-            e.seq = seq;
-            ++size_;
-            ++inserts;
-            return;
+    const int idx = freeSlots_.back();
+    freeSlots_.pop_back();
+    Entry &e = entries_[idx];
+    e.valid = true;
+    e.robSlot = rob_slot;
+    e.seq = seq;
+    e.src1 = src1;
+    e.src2 = src2;
+    e.wait1 = src1 != kNoPhysReg && !prf.ready(src1);
+    e.wait2 = src2 != kNoPhysReg && !prf.ready(src2);
+    if (e.wait1)
+        registerWait(src1, idx);
+    if (e.wait2)
+        registerWait(src2, idx);
+    if (!e.wait1 && !e.wait2)
+        readyList_.push_back(idx);
+    ++size_;
+    ++inserts;
+}
+
+void
+ReservationStation::notifyWritten(PhysReg reg)
+{
+    if (reg >= waiters_.size())
+        return;
+    std::vector<int> &list = waiters_[reg];
+    if (list.empty())
+        return;
+    for (const int idx : list) {
+        Entry &e = entries_[idx];
+        // Guards make stale registrations harmless: the entry may have
+        // left the window (or its slot been reused) since it enlisted.
+        if (!e.valid)
+            continue;
+        bool cleared = false;
+        if (e.wait1 && e.src1 == reg) {
+            e.wait1 = false;
+            cleared = true;
         }
+        if (e.wait2 && e.src2 == reg) {
+            e.wait2 = false;
+            cleared = true;
+        }
+        // `cleared` keeps duplicate registrations (src1 == src2, or a
+        // reused slot re-enlisting on the same register) from pushing
+        // the entry twice.
+        if (cleared && !e.wait1 && !e.wait2)
+            readyList_.push_back(idx);
     }
-    panic("ReservationStation: inconsistent size");
+    list.clear();
 }
 
 std::vector<int>
-ReservationStation::selectReady(const Rob &rob, const PhysRegFile &prf,
-                                int width)
+ReservationStation::selectReady(int width)
 {
-    // Gather ready entries, oldest first.
-    std::vector<Entry *> ready;
-    ready.reserve(size_);
-    for (Entry &e : entries_) {
+    if (width > kMaxSelectWidth)
+        panic("ReservationStation: select width %d > %d", width,
+              kMaxSelectWidth);
+
+    // One wakeup (source-ready check) per resident entry per cycle:
+    // the energy model charges the CAM broadcast whether or not the
+    // event-driven ready list short-circuits the actual comparison.
+    wakeups += static_cast<std::uint64_t>(size_);
+
+    if (readyList_.empty())
+        return {};
+
+    // Bounded insertion sort over the ready list: keep the `width`
+    // oldest ready entries, ascending by seq. The ready list is the
+    // exact ready set (see the wakeup invariant in the header), so
+    // this selects the same uops a full scan would.
+    int best[kMaxSelectWidth];
+    int nbest = 0;
+    for (const int idx : readyList_) {
+        const Entry &e = entries_[idx];
+        if (nbest == width && entries_[best[nbest - 1]].seq < e.seq)
+            continue; // Younger than every kept entry.
+        // Shift larger seqs up (discarding the current maximum when
+        // already at width) and slot this entry in seq order.
+        int pos = nbest < width ? nbest : nbest - 1;
+        while (pos > 0 && entries_[best[pos - 1]].seq > e.seq) {
+            best[pos] = best[pos - 1];
+            --pos;
+        }
+        best[pos] = idx;
+        if (nbest < width)
+            ++nbest;
+    }
+
+    std::vector<int> selected;
+    selected.reserve(nbest);
+    for (int i = 0; i < nbest; ++i) {
+        Entry &e = entries_[best[i]];
+        selected.push_back(e.robSlot);
+        e.valid = false;
+        freeSlots_.push_back(best[i]);
+        --size_;
+    }
+    compactReadyList();
+    return selected;
+}
+
+bool
+ReservationStation::anyReady(const Rob &rob, const PhysRegFile &prf) const
+{
+    for (const Entry &e : entries_) {
         if (!e.valid)
             continue;
         const DynUop &uop = rob.slot(e.robSlot);
@@ -48,34 +146,37 @@ ReservationStation::selectReady(const Rob &rob, const PhysRegFile &prf,
             uop.psrc1 == kNoPhysReg || prf.ready(uop.psrc1);
         const bool s2_ok =
             uop.psrc2 == kNoPhysReg || prf.ready(uop.psrc2);
-        ++wakeups;
         if (s1_ok && s2_ok)
-            ready.push_back(&e);
+            return true;
     }
-    std::sort(ready.begin(), ready.end(),
-              [](const Entry *a, const Entry *b) { return a->seq < b->seq; });
+    return false;
+}
 
-    std::vector<int> selected;
-    selected.reserve(std::min<std::size_t>(ready.size(), width));
-    for (Entry *e : ready) {
-        if (static_cast<int>(selected.size()) >= width)
-            break;
-        selected.push_back(e->robSlot);
-        e->valid = false;
-        --size_;
-    }
-    return selected;
+void
+ReservationStation::compactReadyList()
+{
+    readyList_.erase(
+        std::remove_if(readyList_.begin(), readyList_.end(),
+                       [this](int idx) { return !entries_[idx].valid; }),
+        readyList_.end());
 }
 
 void
 ReservationStation::squashAfter(SeqNum seq)
 {
-    for (Entry &e : entries_) {
+    const int n = static_cast<int>(entries_.size());
+    int removed = 0;
+    for (int idx = 0; idx < n; ++idx) {
+        Entry &e = entries_[idx];
         if (e.valid && e.seq > seq) {
             e.valid = false;
+            freeSlots_.push_back(idx);
             --size_;
+            ++removed;
         }
     }
+    if (removed > 0)
+        compactReadyList();
 }
 
 void
@@ -83,6 +184,12 @@ ReservationStation::clear()
 {
     entries_.assign(capacity_, Entry{});
     size_ = 0;
+    freeSlots_.clear();
+    for (int i = capacity_ - 1; i >= 0; --i)
+        freeSlots_.push_back(i);
+    readyList_.clear();
+    for (std::vector<int> &w : waiters_)
+        w.clear();
 }
 
 } // namespace rab

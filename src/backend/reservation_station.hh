@@ -2,9 +2,20 @@
  * @file
  * Reservation station: a 92-entry (Table 1) unified scheduler window.
  *
- * Entries reference ROB slots. Wakeup is evaluated against the physical
- * register file's ready bits; select picks the oldest ready entries up
- * to the issue width each cycle.
+ * Entries reference ROB slots. Wakeup is event-driven: each entry
+ * records which of its source registers were pending at insert, and
+ * the core forwards every physical-register write through
+ * notifyWritten(), which moves entries whose last pending source just
+ * completed onto a ready list. Select picks the oldest ready entries
+ * up to the issue width each cycle.
+ *
+ * This bookkeeping is exact, not approximate, because of two register
+ * file invariants (see PhysRegFile): write() is the only transition
+ * from pending to ready, and alloc() — the only transition back — can
+ * target just free-list registers, which no resident entry references
+ * (a source register is freed only after every consumer has left the
+ * window). The checker cross-validates the ready list against a full
+ * register-file scan (anyReady) at every fast-forward window.
  */
 
 #ifndef RAB_BACKEND_RESERVATION_STATION_HH
@@ -30,16 +41,39 @@ class ReservationStation
     int size() const { return size_; }
     bool full() const { return size_ == capacity_; }
 
-    /** Insert the uop in @p rob_slot. */
-    void insert(int rob_slot, SeqNum seq);
+    /**
+     * Insert the uop in @p rob_slot. Sources that are not ready in
+     * @p prf (kNoPhysReg means "no source") are registered for wakeup;
+     * an entry with no pending source is immediately selectable.
+     */
+    void insert(int rob_slot, SeqNum seq, PhysReg src1, PhysReg src2,
+                const PhysRegFile &prf);
 
     /**
-     * Select up to @p width oldest entries whose sources are ready in
-     * @p prf (poisoned sources count as ready — poison propagates at
-     * execute). Selected entries are removed. Returns ROB slots.
+     * Wake entries waiting on @p reg. Must be called for every
+     * PhysRegFile::write() while entries are resident — the core
+     * routes all writes through Core::writePhysReg() to guarantee
+     * this.
      */
-    std::vector<int> selectReady(const Rob &rob, const PhysRegFile &prf,
-                                 int width);
+    void notifyWritten(PhysReg reg);
+
+    /**
+     * Select up to @p width oldest ready entries (poisoned sources
+     * count as ready — poison propagates at execute). Selected
+     * entries are removed. Returns ROB slots.
+     */
+    std::vector<int> selectReady(int width);
+
+    /** True when the next selectReady() call would select something.
+     *  O(1) query on the event-driven ready list; the fast-forward
+     *  quiescence predicate polls it every cycle. */
+    bool hasReady() const { return !readyList_.empty(); }
+
+    /** Scan-based equivalent of hasReady(), re-derived from the
+     *  register file's ready bits. The invariant checker uses this
+     *  independent form so a wakeup bookkeeping bug in the ready list
+     *  is caught rather than silently trusted. */
+    bool anyReady(const Rob &rob, const PhysRegFile &prf) const;
 
     /** Remove every entry younger than @p seq (squash). */
     void squashAfter(SeqNum seq);
@@ -48,7 +82,15 @@ class ReservationStation
     void clear();
 
     /** Re-insert a uop whose memory access was rejected (retry). */
-    void reinsert(int rob_slot, SeqNum seq) { insert(rob_slot, seq); }
+    void reinsert(int rob_slot, SeqNum seq, PhysReg src1, PhysReg src2,
+                  const PhysRegFile &prf)
+    {
+        insert(rob_slot, seq, src1, src2, prf);
+    }
+
+    /** Upper bound on the selectReady width (sized well above any
+     *  realistic issue width; selection uses a stack buffer). */
+    static constexpr int kMaxSelectWidth = 16;
 
     /** @{ Statistics. */
     Counter inserts;
@@ -59,13 +101,32 @@ class ReservationStation
     struct Entry
     {
         bool valid = false;
+        bool wait1 = false; ///< src1 pending (registered in waiters_).
+        bool wait2 = false; ///< src2 pending.
         int robSlot = -1;
         SeqNum seq = kNoSeqNum;
+        PhysReg src1 = kNoPhysReg;
+        PhysReg src2 = kNoPhysReg;
     };
+
+    void registerWait(PhysReg reg, int idx);
+    /** Drop entries invalidated by select/squash from the ready
+     *  list. */
+    void compactReadyList();
 
     int capacity_;
     int size_ = 0;
     std::vector<Entry> entries_;
+    std::vector<int> freeSlots_; ///< Stack of invalid entry indices
+                                 ///< (placement does not affect
+                                 ///< selection: picks are seq-ordered).
+    std::vector<int> readyList_; ///< Entries with no pending source.
+    /** Per-physical-register wakeup lists (entry indices), indexed by
+     *  register and grown lazily. A write drains the register's list;
+     *  entries that left the window while waiting go stale in place
+     *  and are skipped via the valid/wait/src guards in
+     *  notifyWritten(). */
+    std::vector<std::vector<int>> waiters_;
 };
 
 } // namespace rab

@@ -1,11 +1,15 @@
 #include "checker/invariant_checker.hh"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "backend/dyn_uop.hh"
+#include "backend/execute.hh"
 #include "backend/lsq.hh"
+#include "backend/reservation_station.hh"
 #include "backend/rob.hh"
 #include "common/logging.hh"
+#include "frontend/frontend.hh"
 #include "isa/program.hh"
 #include "runahead/runahead_controller.hh"
 
@@ -167,6 +171,109 @@ InvariantChecker::onCycle(Cycle now)
             checkArchStateFrozen();
         if (now % kFullScanPeriod == 0)
             fullScan();
+    }
+}
+
+void
+InvariantChecker::onFastForward(Cycle from, Cycle to)
+{
+    now_ = from;
+    if (!enabled() || to <= from)
+        return;
+
+    // Legality invariant: every event source must be provably idle for
+    // the whole window [from, to). Each condition is re-derived here
+    // from the watched structures, independently of the core's own
+    // horizon computation, so a bug in either is caught by the other.
+    if (ctx_.rob && !ctx_.rob->empty() && ctx_.rob->head().completed) {
+        violate("fastforward", "head-committable",
+                strprintf("skip of [%llu, %llu) with a completed ROB "
+                          "head (seq %llu)",
+                          (unsigned long long)from,
+                          (unsigned long long)to,
+                          (unsigned long long)ctx_.rob->head().seq));
+    }
+    if (ctx_.wbq && !ctx_.wbq->empty()
+        && ctx_.wbq->nextEventCycle() < to) {
+        violate("fastforward", "writeback-in-window",
+                strprintf("writeback at %llu inside skip [%llu, %llu)",
+                          (unsigned long long)ctx_.wbq->nextEventCycle(),
+                          (unsigned long long)from,
+                          (unsigned long long)to));
+    }
+    if (ctx_.rs && ctx_.rob && ctx_.prf
+        && ctx_.rs->anyReady(*ctx_.rob, *ctx_.prf)) {
+        violate("fastforward", "issue-ready",
+                strprintf("issue-ready RS entry at the start of skip "
+                          "[%llu, %llu)",
+                          (unsigned long long)from,
+                          (unsigned long long)to));
+    }
+    if (ctx_.runahead && ctx_.runahead->inRunahead()
+        && ctx_.runahead->exitReadyAt() < to) {
+        violate("fastforward", "runahead-exit-in-window",
+                strprintf("runahead exit at %llu inside skip "
+                          "[%llu, %llu)",
+                          (unsigned long long)ctx_.runahead->exitReadyAt(),
+                          (unsigned long long)from,
+                          (unsigned long long)to));
+    }
+    if (ctx_.frontend) {
+        const Frontend &fe = *ctx_.frontend;
+        if (!fe.gated() && !fe.queueFull()
+            && std::max(from, fe.stalledUntil()) < to) {
+            violate("fastforward", "fetch-in-window",
+                    strprintf("fetch possible at %llu inside skip "
+                              "[%llu, %llu)",
+                              (unsigned long long)std::max(
+                                  from, fe.stalledUntil()),
+                              (unsigned long long)from,
+                              (unsigned long long)to));
+        }
+        // Rename feasibility: a decoded uop becoming rename-ready
+        // inside the window is an event unless rename is structurally
+        // blocked for the whole window.
+        const bool buffer_mode = ctx_.runahead
+            && ctx_.runahead->mode() == RunaheadMode::kBuffer;
+        const bool structural_block =
+            (ctx_.rob && ctx_.rob->full()) || (ctx_.rs && ctx_.rs->full())
+            || (ctx_.prf && !ctx_.prf->canAlloc());
+        if (!buffer_mode && !fe.queueEmpty() && !structural_block
+            && fe.frontReadyCycle() < to
+            && !(fe.peek().sop.isStore() && ctx_.sq && ctx_.sq->full())) {
+            violate("fastforward", "rename-in-window",
+                    strprintf("front-end uop rename-ready at %llu "
+                              "inside skip [%llu, %llu)",
+                              (unsigned long long)fe.frontReadyCycle(),
+                              (unsigned long long)from,
+                              (unsigned long long)to));
+        }
+        if (buffer_mode && ctx_.runahead->buffer().hasOp()
+            && !structural_block
+            && std::max(from, ctx_.runahead->bufferIssueStart()) < to) {
+            violate("fastforward", "buffer-rename-in-window",
+                    strprintf("runahead-buffer rename possible inside "
+                              "skip [%llu, %llu)",
+                              (unsigned long long)from,
+                              (unsigned long long)to));
+        }
+    }
+
+    // Replicate the accounting tick-by-tick onCycle() calls would have
+    // produced over the window: the state is frozen, so one spot check
+    // (and one full scan when the window covers any) audits the same
+    // state every skipped cycle would have.
+    spotChecks();
+    if (level_ == CheckLevel::kFull) {
+        if (inRunahead_)
+            checkArchStateFrozen();
+        const Cycle period = kFullScanPeriod;
+        const std::uint64_t scans = (to + period - 1) / period
+            - (from + period - 1) / period;
+        if (scans > 0) {
+            fullScan();
+            checksRun += scans - 1;
+        }
     }
 }
 

@@ -47,6 +47,9 @@ class Rob;
 class StoreQueue;
 class RunaheadController;
 class Program;
+class WritebackQueue;
+class Frontend;
+class ReservationStation;
 struct DynUop;
 
 /** Thrown (after logging a state dump) when an invariant fails. */
@@ -80,6 +83,12 @@ struct CheckerContext
     const RunaheadController *runahead = nullptr;
     const Program *program = nullptr;
     const std::array<std::uint64_t, kNumArchRegs> *archValues = nullptr;
+    /** @{ Fast-forward legality inputs: the event sources the core's
+     *  quiescence predicate reasons about. */
+    const WritebackQueue *wbq = nullptr;
+    const Frontend *frontend = nullptr;
+    const ReservationStation *rs = nullptr;
+    /** @} */
 };
 
 /** The checker. One instance per Core; also constructible standalone
@@ -117,6 +126,20 @@ class InvariantChecker
 
     /** End of every simulated cycle. */
     void onCycle(Cycle now);
+
+    /**
+     * The core is about to fast-forward from cycle @p from directly to
+     * cycle @p to (ticks at cycles [from, to) are skipped). Verifies
+     * the legality invariant — no pipeline event (writeback, commit,
+     * issue, rename, fetch, runahead transition) may fall inside the
+     * skipped window — by re-deriving quiescence independently from
+     * the context structures, then replicates the per-cycle check
+     * accounting (spot checks, periodic full scans) the skipped ticks
+     * would have performed, so checker statistics stay identical to
+     * tick-by-tick execution. Violations here are simulator bugs and
+     * throw under every policy.
+     */
+    void onFastForward(Cycle from, Cycle to);
 
     /** Immediately before the ROB pops @p uop for (pseudo-)retirement:
      *  retirement happens at the head only, oldest first, completed. */

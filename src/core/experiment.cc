@@ -34,13 +34,21 @@ envU64(const char *name, std::uint64_t fallback)
 } // namespace
 
 int
+resolveThreads(int cli_threads)
+{
+    if (cli_threads > 0)
+        return cli_threads;
+    const std::uint64_t env = envU64("RAB_THREADS", 0);
+    if (env > 0)
+        return static_cast<int>(env);
+    const unsigned hardware = std::thread::hardware_concurrency();
+    return hardware > 0 ? static_cast<int>(hardware) : 1;
+}
+
+int
 defaultBenchThreads()
 {
-    const auto hardware =
-        static_cast<std::uint64_t>(std::thread::hardware_concurrency());
-    const std::uint64_t threads =
-        envU64("RAB_THREADS", hardware ? hardware : 1);
-    return threads < 1 ? 1 : static_cast<int>(threads);
+    return resolveThreads(0);
 }
 
 BenchOptions
@@ -82,12 +90,26 @@ selectWorkloads(const std::vector<WorkloadSpec> &base,
 double
 geomean(const std::vector<double> &values)
 {
-    if (values.empty())
-        return 0.0;
+    // A geometric mean is only defined over positive values. Zeros or
+    // negatives (failed points, empty cells) used to be silently
+    // clamped to 1e-12, dragging the mean to ~0 and masking the bad
+    // point; skip them with a warning instead so the mean reflects the
+    // points that actually ran.
     double log_sum = 0.0;
-    for (const double v : values)
-        log_sum += std::log(std::max(v, 1e-12));
-    return std::exp(log_sum / static_cast<double>(values.size()));
+    std::size_t used = 0;
+    for (const double v : values) {
+        if (v > 0.0) {
+            log_sum += std::log(v);
+            ++used;
+        }
+    }
+    if (used < values.size()) {
+        warn("geomean: skipped %zu non-positive value(s) of %zu",
+             values.size() - used, values.size());
+    }
+    if (used == 0)
+        return 0.0;
+    return std::exp(log_sum / static_cast<double>(used));
 }
 
 double

@@ -22,8 +22,13 @@
 namespace rab
 {
 
-/** Default bench parallelism: RAB_THREADS, else every hardware
- *  thread. Always >= 1. */
+/** Resolve sweep parallelism with one precedence rule shared by every
+ *  driver: an explicit CLI value (> 0) wins, then a positive
+ *  RAB_THREADS, then all hardware threads. Always >= 1. */
+int resolveThreads(int cli_threads);
+
+/** Default bench parallelism: resolveThreads(0) — RAB_THREADS, else
+ *  every hardware thread. Always >= 1. */
 int defaultBenchThreads();
 
 /** Run sizing, overridable from the environment. */
@@ -52,7 +57,9 @@ selectWorkloads(const std::vector<WorkloadSpec> &base,
  *  Matches the paper's "GMean" of percentage speedups. */
 double geomeanSpeedup(const std::vector<double> &speedups);
 
-/** Plain geometric mean of positive values. */
+/** Plain geometric mean of the positive values; non-positive entries
+ *  (failed/empty points) are skipped with a warning rather than being
+ *  clamped. Returns 0 when no positive value remains. */
 double geomean(const std::vector<double> &values);
 
 /** Aligned monospace table printer. */

@@ -45,6 +45,7 @@ SimConfig::finalize()
         break;
     }
     mem.prefetcher.enabled = prefetch;
+    core.fastForward = fastForward;
     core.checkLevel = checkLevel;
     core.checkPolicy = checkPolicy;
     // Fault campaigns need the recovery layer armed: default the

@@ -42,6 +42,11 @@ struct SimConfig
     RunaheadConfig runahead = RunaheadConfig::kBaseline;
     bool prefetch = false; ///< Enable the Table 1 stream prefetcher.
 
+    /** Cycle-loop fast-forward engine (behaviour-preserving; see
+     *  Core::fastForwardHorizon). --no-fast-forward disables it for
+     *  differential debugging. */
+    bool fastForward = true;
+
     /** Invariant-checking effort (see src/checker). RAB_CHECK_LEVEL in
      *  the environment overrides it. */
     CheckLevel checkLevel = CheckLevel::kOff;

@@ -113,6 +113,24 @@ Frontend::pop()
 }
 
 void
+Frontend::accountSkippedCycles(Cycle now, std::uint64_t count)
+{
+    // Mirror tick()'s no-work branches, in tick()'s priority order.
+    // The gating / stall / queue-full condition is frozen across the
+    // window (nothing renames, redirects or changes mode during a
+    // skipped window), so one classification covers every cycle.
+    if (gated_) {
+        gatedCycles += count;
+    } else if (now < stalledUntil_) {
+        idleCycles += count;
+        icacheStallCycles += count;
+    } else {
+        // Fetch queue full: the loop breaks before any I-cache access.
+        idleCycles += count;
+    }
+}
+
+void
 Frontend::redirect(Pc pc, Cycle when)
 {
     queue_.clear();

@@ -73,6 +73,27 @@ class Frontend
 
     Pc fetchPc() const { return fetchPc_; }
 
+    /** @{ Fast-forward queries: expose the conditions under which
+     *  tick() performs no work, so the core can prove a cycle window
+     *  is quiescent before skipping it. */
+    bool queueEmpty() const { return queue_.empty(); }
+    bool queueFull() const
+    {
+        return queue_.size()
+            >= static_cast<std::size_t>(config_.fetchQueueEntries);
+    }
+    /** Cycle the current I-cache stall / redirect bubble ends. */
+    Cycle stalledUntil() const { return stalledUntil_; }
+    /** Decode-ready cycle of the oldest queued uop (queue nonempty). */
+    Cycle frontReadyCycle() const { return peek().readyCycle; }
+    /** @} */
+
+    /** Bulk-account @p count skipped cycles starting at @p now exactly
+     *  as that many no-work tick() calls would have: the caller (the
+     *  core's fast-forward engine) guarantees no fetch could occur and
+     *  that the whole window falls in a single idle class. */
+    void accountSkippedCycles(Cycle now, std::uint64_t count);
+
     /** @{ Statistics / energy events. */
     Counter fetchedUops;     ///< Uops fetched+decoded (dynamic energy).
     Counter activeCycles;    ///< Cycles with fetch activity.

@@ -41,22 +41,34 @@ Dram::channelOf(Addr addr) const
     return static_cast<int>((addr / config_.lineBytes) % config_.channels);
 }
 
+std::uint64_t
+Dram::rowSequence(Addr addr) const
+{
+    // Compress the address to this channel's private space (channels
+    // interleave on lines), then index by row-sized blocks. The low
+    // log2(banksPerChannel) digits of this sequence select the bank;
+    // they MUST be stripped before forming the per-bank row index, or
+    // consecutive rows of different banks would alias onto the same
+    // open-row tag and corrupt hit/conflict accounting.
+    const Addr chan_addr = addr / config_.lineBytes / config_.channels
+        * config_.lineBytes;
+    return chan_addr / config_.rowBytes;
+}
+
 int
 Dram::bankOf(Addr addr) const
 {
     // Interleave banks on row granularity within a channel.
-    const Addr chan_addr = addr / config_.lineBytes / config_.channels
-        * config_.lineBytes;
-    return static_cast<int>((chan_addr / config_.rowBytes)
-                            % config_.banksPerChannel);
+    return static_cast<int>(rowSequence(addr) % config_.banksPerChannel);
 }
 
 std::uint64_t
 Dram::rowOf(Addr addr) const
 {
-    const Addr chan_addr = addr / config_.lineBytes / config_.channels
-        * config_.lineBytes;
-    return chan_addr / config_.rowBytes / config_.banksPerChannel;
+    // Bank bits stripped: rows are indexed within their bank, so
+    // (channel, bank, row) is a bijective decomposition of the line
+    // address and distinct rows never share an open-row tag.
+    return rowSequence(addr) / config_.banksPerChannel;
 }
 
 Cycle
@@ -65,6 +77,21 @@ Dram::bankFreeAt(Addr addr) const
     const int channel = channelOf(addr);
     const int bank = bankOf(addr);
     return banks_[channel * config_.banksPerChannel + bank].freeAt;
+}
+
+Cycle
+Dram::nextBankFreeCycle(Cycle now) const
+{
+    Cycle next = 0;
+    const auto consider = [&](Cycle free_at) {
+        if (free_at > now && (next == 0 || free_at < next))
+            next = free_at;
+    };
+    for (const Bank &bank : banks_)
+        consider(bank.freeAt);
+    for (const Cycle bus_free : busFreeAt_)
+        consider(bus_free);
+    return next;
 }
 
 DramResult

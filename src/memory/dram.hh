@@ -68,6 +68,11 @@ class Dram
     /** Earliest cycle the bank serving @p addr is free. */
     Cycle bankFreeAt(Addr addr) const;
 
+    /** Earliest future cycle (> @p now) at which any bank or channel
+     *  bus becomes free, or 0 when everything is already free. The
+     *  fast-forward next-event query. */
+    Cycle nextBankFreeCycle(Cycle now) const;
+
     const DramConfig &config() const { return config_; }
 
     /** Unloaded read latency (row hit, idle bank) in core cycles. */
@@ -98,6 +103,10 @@ class Dram
     };
 
     Cycle nsToCycles(double ns) const;
+
+    /** Row-sized block index within the channel's compressed address
+     *  space; bank and row indices both derive from it. */
+    std::uint64_t rowSequence(Addr addr) const;
 
     DramConfig config_;
     Cycle casCycles_;

@@ -112,6 +112,17 @@ MemorySystem::outstandingMisses(Cycle now)
     return outstanding_.size();
 }
 
+Cycle
+MemorySystem::nextEventCycle(Cycle now)
+{
+    pruneOutstanding(now);
+    Cycle next = outstanding_.empty() ? 0 : outstanding_.top();
+    const Cycle bank_free = dram_.nextBankFreeCycle(now);
+    if (bank_free > now && (next == 0 || bank_free < next))
+        next = bank_free;
+    return next;
+}
+
 bool
 MemorySystem::dataOnChip(Addr addr, Cycle now) const
 {

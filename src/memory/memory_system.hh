@@ -90,6 +90,12 @@ class MemorySystem
     /** Number of LLC misses currently in flight. */
     std::size_t outstandingMisses(Cycle now);
 
+    /** Earliest future cycle (> @p now) at which memory-side state
+     *  changes: the next in-flight LLC-miss fill completing or a DRAM
+     *  bank/bus freeing up. Returns 0 when nothing is pending. The
+     *  fast-forward engine bounds its skip horizon with this. */
+    Cycle nextEventCycle(Cycle now);
+
     /** True if the line holding @p addr is present in L1D or LLC tags
      *  and its fill (if any) has completed by @p now. */
     bool dataOnChip(Addr addr, Cycle now) const;

@@ -69,6 +69,10 @@ ChainCache::clear()
 {
     for (Slot &slot : slots_)
         slot = Slot{};
+    // Restart LRU time: replacement order after a clear (e.g. a
+    // DegradationLadder re-enable) must not depend on pre-clear
+    // history.
+    lruCounter_ = 0;
 }
 
 void

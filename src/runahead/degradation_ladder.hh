@@ -85,6 +85,26 @@ class DegradationLadder
     /** Advance one cycle; drives probation-based re-enable. */
     void tick();
 
+    /** Advance @p n cycles at once without evaluating probation; the
+     *  caller must keep @p n within maxSkippableCycles() so no stepUp
+     *  is jumped over (the core's fast-forward engine caps its skip
+     *  horizon accordingly and lets a real tick() perform the step). */
+    void advance(std::uint64_t n) { cycle_ += n; }
+
+    /** Largest cycle count advance() may take right now without
+     *  skipping past a probationary stepUp(). */
+    std::uint64_t maxSkippableCycles() const
+    {
+        if (!config_.enabled || level_ == DegradeLevel::kFull
+            || config_.probationCycles == 0) {
+            return ~std::uint64_t{0};
+        }
+        const std::uint64_t elapsed = cycle_ - lastFaultCycle_;
+        return elapsed + 1 >= config_.probationCycles
+            ? 0
+            : config_.probationCycles - elapsed - 1;
+    }
+
     /** @{ Statistics. */
     Counter faultsObserved;  ///< noteFault() calls.
     Counter degradeSteps;    ///< Downward transitions.

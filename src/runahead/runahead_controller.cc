@@ -304,6 +304,16 @@ RunaheadController::tickCycle()
 }
 
 void
+RunaheadController::accountSkippedCycles(std::uint64_t n)
+{
+    if (mode_ == RunaheadMode::kTraditional)
+        cyclesTraditional += n;
+    else if (mode_ == RunaheadMode::kBuffer)
+        cyclesBuffer += n;
+    ladder_.advance(n);
+}
+
+void
 RunaheadController::noteRunaheadMiss()
 {
     ++runaheadMisses;

@@ -91,6 +91,7 @@ runPoint(const CampaignSpec &spec, const SweepPoint &point)
         config.warmupInstructions = spec.warmup;
         config.checkLevel = spec.checkLevel;
         config.checkPolicy = spec.checkPolicy;
+        config.fastForward = spec.fastForward;
         config.finalize();
         if (spec.configHook)
             spec.configHook(point.index, config);

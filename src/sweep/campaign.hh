@@ -61,6 +61,7 @@ struct CampaignSpec
     std::uint64_t warmup = 10'000;
     CheckLevel checkLevel = CheckLevel::kOff;
     CheckPolicy checkPolicy = CheckPolicy::kThrow;
+    bool fastForward = true; ///< Cycle-loop fast-forward engine.
 
     /**
      * Optional per-point SimConfig override, applied after the

@@ -199,12 +199,64 @@ TEST(ReservationStation, SelectsOnlyReady)
     const int slot_b = rob.push(std::move(b));
 
     ReservationStation rs(4);
-    rs.insert(slot_a, 1);
-    rs.insert(slot_b, 2);
-    const auto selected = rs.selectReady(rob, prf, 4);
+    rs.insert(slot_a, 1, ready_reg, kNoPhysReg, prf);
+    rs.insert(slot_b, 2, pending_reg, kNoPhysReg, prf);
+    const auto selected = rs.selectReady(4);
     ASSERT_EQ(selected.size(), 1u);
     EXPECT_EQ(selected[0], slot_a);
     EXPECT_EQ(rs.size(), 1);
+}
+
+TEST(ReservationStation, WakeupOnWrite)
+{
+    Rob rob(8);
+    PhysRegFile prf(64);
+    const PhysReg src = prf.alloc(); // not ready
+
+    DynUop a = makeUop(1, 0, 1, 2);
+    a.psrc1 = src;
+    const int slot = rob.push(std::move(a));
+
+    ReservationStation rs(4);
+    rs.insert(slot, 1, src, kNoPhysReg, prf);
+    EXPECT_FALSE(rs.hasReady());
+    EXPECT_FALSE(rs.anyReady(rob, prf));
+    EXPECT_TRUE(rs.selectReady(4).empty());
+
+    prf.write(src, 7, false, false);
+    rs.notifyWritten(src);
+    EXPECT_TRUE(rs.hasReady());
+    EXPECT_TRUE(rs.anyReady(rob, prf));
+    const auto selected = rs.selectReady(4);
+    ASSERT_EQ(selected.size(), 1u);
+    EXPECT_EQ(selected[0], slot);
+    EXPECT_FALSE(rs.hasReady());
+}
+
+TEST(ReservationStation, WakeupBothSourcesSameRegister)
+{
+    // src1 == src2: the entry enlists twice on the same register but
+    // must wake exactly once and stay selectable exactly once.
+    Rob rob(8);
+    PhysRegFile prf(64);
+    const PhysReg src = prf.alloc(); // not ready
+
+    DynUop a = makeUop(1, 0, 1, 2);
+    a.psrc1 = src;
+    a.psrc2 = src;
+    const int slot = rob.push(std::move(a));
+
+    ReservationStation rs(4);
+    rs.insert(slot, 1, src, src, prf);
+    EXPECT_FALSE(rs.hasReady());
+
+    prf.write(src, 7, false, false);
+    rs.notifyWritten(src);
+    const auto selected = rs.selectReady(4);
+    ASSERT_EQ(selected.size(), 1u);
+    EXPECT_EQ(selected[0], slot);
+    EXPECT_EQ(rs.size(), 0);
+    EXPECT_FALSE(rs.hasReady());
 }
 
 TEST(ReservationStation, OldestFirstWithinWidth)
@@ -215,9 +267,9 @@ TEST(ReservationStation, OldestFirstWithinWidth)
     std::vector<int> slots;
     for (SeqNum s = 1; s <= 4; ++s) {
         slots.push_back(rob.push(makeUop(s, s)));
-        rs.insert(slots.back(), s);
+        rs.insert(slots.back(), s, kNoPhysReg, kNoPhysReg, prf);
     }
-    const auto selected = rs.selectReady(rob, prf, 2);
+    const auto selected = rs.selectReady(2);
     ASSERT_EQ(selected.size(), 2u);
     EXPECT_EQ(rob.slot(selected[0]).seq, 1u);
     EXPECT_EQ(rob.slot(selected[1]).seq, 2u);
@@ -226,20 +278,51 @@ TEST(ReservationStation, OldestFirstWithinWidth)
 TEST(ReservationStation, SquashAfterRemovesYounger)
 {
     Rob rob(8);
+    PhysRegFile prf(64);
     ReservationStation rs(8);
     for (SeqNum s = 1; s <= 4; ++s)
-        rs.insert(rob.push(makeUop(s, s)), s);
+        rs.insert(rob.push(makeUop(s, s)), s, kNoPhysReg, kNoPhysReg,
+                  prf);
     rs.squashAfter(2);
     EXPECT_EQ(rs.size(), 2);
+    // Squashed entries must also leave the ready list: only the two
+    // surviving (source-less, hence ready) entries may issue.
+    EXPECT_EQ(rs.selectReady(8).size(), 2u);
+}
+
+TEST(ReservationStation, StaleWakeupAfterSquashIsHarmless)
+{
+    // An entry squashed while waiting leaves a stale registration in
+    // the register's wakeup list; a later write must not revive it or
+    // corrupt the ready list.
+    Rob rob(8);
+    PhysRegFile prf(64);
+    const PhysReg src = prf.alloc(); // not ready
+
+    DynUop a = makeUop(5, 0, 1, 2);
+    a.psrc1 = src;
+    const int slot = rob.push(std::move(a));
+
+    ReservationStation rs(4);
+    rs.insert(slot, 5, src, kNoPhysReg, prf);
+    rs.squashAfter(2); // removes seq 5
+    EXPECT_EQ(rs.size(), 0);
+
+    prf.write(src, 7, false, false);
+    rs.notifyWritten(src);
+    EXPECT_FALSE(rs.hasReady());
+    EXPECT_TRUE(rs.selectReady(4).empty());
 }
 
 TEST(ReservationStation, FullInsertPanics)
 {
     Rob rob(8);
+    PhysRegFile prf(64);
     ReservationStation rs(1);
-    rs.insert(rob.push(makeUop(1, 1)), 1);
+    rs.insert(rob.push(makeUop(1, 1)), 1, kNoPhysReg, kNoPhysReg, prf);
     const int slot = rob.push(makeUop(2, 2));
-    EXPECT_DEATH(rs.insert(slot, 2), "full");
+    EXPECT_DEATH(rs.insert(slot, 2, kNoPhysReg, kNoPhysReg, prf),
+                 "full");
 }
 
 // --------------------------------------------------------------------

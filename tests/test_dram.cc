@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <tuple>
+
 #include "memory/dram.hh"
 
 namespace rab
@@ -100,6 +103,66 @@ TEST(Dram, ResetClearsBankState)
     EXPECT_EQ(dram.reads.value(), 0u);
     const DramResult r = dram.access(0x100000, 0, false);
     EXPECT_FALSE(r.rowHit); // rows closed again
+}
+
+TEST(Dram, BankBoundaryWalkPreservesOpenRows)
+{
+    // Walk one channel line by line across a row-block boundary: the
+    // crossing activates the *next* bank (rows interleave across banks
+    // within a channel) and must leave the first bank's open row
+    // untouched, so returning to it is a CAS-only row hit.
+    Dram dram(defaultConfig());
+    const DramConfig &cfg = dram.config();
+    const Addr line_step =
+        static_cast<Addr>(cfg.lineBytes) * cfg.channels; // same channel
+    const Addr lines_per_row = cfg.rowBytes / cfg.lineBytes;
+
+    const Addr first = 0;                              // bank 0, row 0
+    const Addr last = (lines_per_row - 1) * line_step; // bank 0, row 0
+    const Addr crossed = lines_per_row * line_step;    // bank 1, row 0
+    ASSERT_EQ(dram.channelOf(first), dram.channelOf(crossed));
+    ASSERT_EQ(dram.bankOf(first), dram.bankOf(last));
+    ASSERT_EQ(dram.rowOf(first), dram.rowOf(last));
+    ASSERT_EQ(dram.bankOf(crossed), dram.bankOf(first) + 1);
+    ASSERT_EQ(dram.rowOf(crossed), dram.rowOf(first));
+
+    // Space the accesses far apart so bank/bus occupancy can't mask a
+    // row-buffer bug as extra latency.
+    Cycle now = 0;
+    const Cycle gap = 100 * dram.idleConflictLatency();
+    EXPECT_FALSE(dram.access(first, now, false).rowHit); // activate b0
+    now += gap;
+    EXPECT_TRUE(dram.access(last, now, false).rowHit); // still open
+    now += gap;
+    EXPECT_FALSE(dram.access(crossed, now, false).rowHit); // activate b1
+    now += gap;
+    const DramResult back = dram.access(first, now, false);
+    EXPECT_TRUE(back.rowHit); // bank 0's row survived the crossing
+    EXPECT_EQ(back.readyCycle - now, dram.idleHitLatency());
+}
+
+TEST(Dram, AddressSlicingIsBijective)
+{
+    // (channel, bank, row) must decompose the line address uniquely:
+    // one line per row block, every channel, several row wraps.
+    Dram dram(defaultConfig());
+    const DramConfig &cfg = dram.config();
+    const Addr lines_per_row = cfg.rowBytes / cfg.lineBytes;
+    const int blocks = cfg.banksPerChannel * 3; // 3 row wraps per bank
+
+    std::set<std::tuple<int, int, std::uint64_t>> seen;
+    for (int c = 0; c < cfg.channels; ++c) {
+        for (int k = 0; k < blocks; ++k) {
+            const Addr addr =
+                (static_cast<Addr>(k) * lines_per_row * cfg.channels + c)
+                * cfg.lineBytes;
+            EXPECT_EQ(dram.channelOf(addr), c);
+            seen.emplace(dram.channelOf(addr), dram.bankOf(addr),
+                         dram.rowOf(addr));
+        }
+    }
+    EXPECT_EQ(seen.size(),
+              static_cast<std::size_t>(cfg.channels) * blocks);
 }
 
 TEST(Dram, BankOccupancySerializesBursts)

@@ -22,6 +22,29 @@ TEST(Geomean, PlainValues)
     EXPECT_DOUBLE_EQ(geomean({}), 0.0);
 }
 
+TEST(Geomean, SkipsNonPositiveValues)
+{
+    // Zeros and negatives (failed points) are excluded from the mean,
+    // not clamped: the result over {4, 0, 9} is the mean of {4, 9}.
+    EXPECT_DOUBLE_EQ(geomean({4.0, 0.0, 9.0}), 6.0);
+    EXPECT_DOUBLE_EQ(geomean({-3.0, 5.0}), 5.0);
+    // Nothing positive left: 0, never NaN or a clamped epsilon mean.
+    EXPECT_DOUBLE_EQ(geomean({0.0, -1.0}), 0.0);
+}
+
+TEST(ResolveThreads, CliOverridesEnvOverridesHardware)
+{
+    ::setenv("RAB_THREADS", "3", 1);
+    EXPECT_EQ(resolveThreads(5), 5); // explicit CLI value wins
+    EXPECT_EQ(resolveThreads(0), 3); // then RAB_THREADS
+    ::unsetenv("RAB_THREADS");
+    EXPECT_GE(resolveThreads(0), 1); // then hardware, always >= 1
+    // BenchOptions::fromEnv shares the same precedence chain.
+    ::setenv("RAB_THREADS", "2", 1);
+    EXPECT_EQ(BenchOptions::fromEnv().threads, 2);
+    ::unsetenv("RAB_THREADS");
+}
+
 TEST(Geomean, SpeedupsMatchPaperConvention)
 {
     // GMean of +10% and +10% is +10%.

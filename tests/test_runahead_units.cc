@@ -124,6 +124,29 @@ TEST(ChainCache, ClearEmpties)
     EXPECT_EQ(cc.lookup(1), nullptr);
 }
 
+TEST(ChainCache, LruRestartsAfterClear)
+{
+    // Regression: clear() used to keep the LRU counter running, so
+    // slots refilled after a clear (a DegradationLadder re-enable)
+    // inherited replacement order from pre-clear history. Victim
+    // selection must depend only on post-clear accesses.
+    ChainCache cc(2);
+    // Age the counter well past anything the post-clear phase reaches.
+    for (Pc pc = 1; pc <= 50; ++pc) {
+        cc.insert(pc, chainOfLength(1));
+        cc.lookup(pc);
+    }
+    cc.clear();
+
+    cc.insert(100, chainOfLength(1));
+    cc.insert(200, chainOfLength(2));
+    cc.lookup(100); // 200 becomes LRU
+    cc.insert(300, chainOfLength(3));
+    EXPECT_NE(cc.lookup(100), nullptr);
+    EXPECT_EQ(cc.lookup(200), nullptr); // victim, not a stale stamp
+    EXPECT_NE(cc.lookup(300), nullptr);
+}
+
 TEST(Chain, SignatureAndEquality)
 {
     const DependenceChain a = chainOfLength(4);
