@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Chain-generation latency microbenchmark: Algorithm 1 against a full
+ * 192-entry ROB, timed per call through the incremental PC/producer
+ * indexes ("indexed", the default) and through the retained
+ * linear-scan reference paths ("scan", the pre-indexing behaviour).
+ * Reports the latency distribution of each and the mean speedup; the
+ * same measurement is embedded in every rabsweep manifest.
+ */
+
+#include <cstdlib>
+
+#include "bench_common.hh"
+#include "runahead/chain_microbench.hh"
+
+using namespace rab;
+using namespace rab::bench;
+
+int
+main()
+{
+    setVerbose(false);
+    int iterations = 4000;
+    if (const char *env = std::getenv("RAB_ITERATIONS"))
+        iterations = std::atoi(env);
+    if (iterations <= 0)
+        iterations = 4000;
+
+    std::printf("=== chain generation: per-call latency, indexed vs "
+                "scan ===\n");
+    std::printf("(%d timed generate() calls per variant against a full "
+                "Table 1 ROB;\noverride with RAB_ITERATIONS)\n\n",
+                iterations);
+
+    const ChainGenMicrobench r = runChainGenMicrobench(192, iterations);
+
+    TextTable table({"variant", "calls", "min ns", "p50 ns", "p90 ns",
+                     "p99 ns", "max ns", "mean ns"});
+    const auto row = [&](const char *name,
+                         const ChainGenLatencyDist &d) {
+        table.addRow({name, num(double(d.calls), "%.0f"),
+                      num(d.minNs, "%.0f"), num(d.p50Ns, "%.0f"),
+                      num(d.p90Ns, "%.0f"), num(d.p99Ns, "%.0f"),
+                      num(d.maxNs, "%.0f"), num(d.meanNs, "%.1f")});
+    };
+    row("indexed", r.indexed);
+    row("scan", r.scan);
+    table.print();
+
+    std::printf("\nrob entries: %d, generated chain length: %d ops\n",
+                r.robEntries, r.chainLength);
+    std::printf("mean speedup (scan/indexed): %.2fx\n", r.speedup);
+    std::printf("\nThe indexed and scan paths are certified identical "
+                "in results by\ntests/test_rob_index.cc; this bench "
+                "quantifies the latency difference.\n");
+    return 0;
+}

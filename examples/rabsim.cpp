@@ -27,6 +27,7 @@
 
 #include "checker/invariant_checker.hh"
 #include "common/logging.hh"
+#include "common/profiler.hh"
 #include "core/simulation.hh"
 #include "fault/watchdog.hh"
 #include "trace/trace.hh"
@@ -96,6 +97,8 @@ usage(int code)
         "                      cycles (default: auto when faults on)\n"
         "  --no-fast-forward   tick every cycle instead of skipping\n"
         "                      quiescent stall windows (debugging)\n"
+        "  --profile           per-stage wall-time profile at exit\n"
+        "                      (RAB_PROFILE=1 equivalent)\n"
         "  --rob N | --rs N | --buffer N | --chain-cache N |\n"
         "  --mem-queue N | --llc BYTES     Table 1 overrides\n"
         "  --print-config      show the simulated system and exit\n"
@@ -180,6 +183,8 @@ parseArgs(int argc, char **argv)
             opts.watchdogCycles = std::strtoull(next(i), nullptr, 10);
         else if (arg == "--no-fast-forward")
             opts.fastForward = false;
+        else if (arg == "--profile")
+            Profiler::setEnabled(true);
         else if (arg == "--rob")
             opts.robEntries = std::atoi(next(i));
         else if (arg == "--rs")

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/profiler.hh"
 #include "fault/fault_injector.hh"
 #include "isa/functional.hh"
 
@@ -30,6 +31,8 @@ Core::Core(const CoreConfig &config, const Program *program,
 
     if (program_->memoryImage())
         funcMem_.setBackground(program_->memoryImage());
+
+    rob_.setIndexed(!config_.referenceScans);
 
     frontend_ = std::make_unique<Frontend>(config_.frontend, program_,
                                            &bp_, mem_);
@@ -158,14 +161,35 @@ Core::tick()
 {
     const Cycle now = cycle_;
     pipelineActivity_ = false;
-    doWriteback(now);
-    doCommit(now);
-    doRunaheadControl(now);
-    doIssue(now);
-    doRename(now);
-    frontend_->tick(now);
+    {
+        ProfScope prof(ProfPhase::kWriteback);
+        doWriteback(now);
+    }
+    {
+        ProfScope prof(ProfPhase::kCommit);
+        doCommit(now);
+    }
+    {
+        ProfScope prof(ProfPhase::kRunaheadCtl);
+        doRunaheadControl(now);
+    }
+    {
+        ProfScope prof(ProfPhase::kIssue);
+        doIssue(now);
+    }
+    {
+        ProfScope prof(ProfPhase::kRename);
+        doRename(now);
+    }
+    {
+        ProfScope prof(ProfPhase::kFetch);
+        frontend_->tick(now);
+    }
     runaheadCtrl_.tickCycle();
-    checker_->onCycle(now);
+    {
+        ProfScope prof(ProfPhase::kChecker);
+        checker_->onCycle(now);
+    }
     ++cycle_;
 
     // Any stage progress can change the runahead controller's entry
@@ -175,8 +199,11 @@ Core::tick()
         entryDenied_ = false;
 
     // Forward-progress watchdog (fault recovery layer 1): bounded
-    // recovery before the hard deadlock panic below can trigger.
-    if (watchdog_.enabled()
+    // recovery before the hard deadlock panic below can trigger. The
+    // expired() pre-check keeps the diagnostic state dump (a multi-line
+    // string build) off the per-cycle path: it is only materialized in
+    // the rare cycle where the stall bound has actually been exceeded.
+    if (watchdog_.expired(cycle_, lastCommitCycle_)
         && watchdog_.shouldRecover(cycle_, lastCommitCycle_, retired_,
                                    checker_->stateDump())) {
         recoverFromWatchdog(cycle_);
@@ -202,12 +229,19 @@ Core::run(std::uint64_t max_instructions, std::uint64_t max_cycles)
     const Cycle cycle_limit = cycle_ + max_cycles;
     while (retired_ < target && cycle_ < cycle_limit) {
         tick();
-        if (!config_.fastForward)
+        // Only look for a skippable window from a fully-stalled tick:
+        // an active tick is near-certain to fail the quiescence checks
+        // anyway, and running one extra real tick at a window boundary
+        // is exact by the engine's own contract (fastForwardTo
+        // replicates stalled ticks verbatim), so this gate can shorten
+        // a window by at most that one tick, never change behaviour.
+        if (!config_.fastForward || pipelineActivity_)
             continue;
         Cycle horizon = fastForwardHorizon();
         if (horizon > cycle_limit)
             horizon = cycle_limit;
         if (horizon > cycle_ + 1) {
+            ProfScope prof(ProfPhase::kFastForward);
             checker_->onFastForward(cycle_, horizon);
             fastForwardTo(horizon);
         }
@@ -775,7 +809,7 @@ void
 Core::doIssue(Cycle now)
 {
     ports_.newCycle();
-    const std::vector<int> selected =
+    const std::vector<int> &selected =
         rs_.selectReady(config_.issueWidth);
     if (!selected.empty())
         pipelineActivity_ = true;
@@ -962,7 +996,10 @@ Core::doRename(Cycle now)
         if (rob_.full() || rs_.full() || !prf_.canAlloc())
             break;
 
-        DynUop du;
+        // Fill the ROB's tail entry in place: a DynUop is a couple of
+        // cache lines, so a stack temporary moved in afterwards would
+        // double the stores on the hottest loop in the simulator.
+        DynUop &du = rob_.beginPush();
         if (buffer_mode) {
             const ChainOp &cop = runaheadCtrl_.buffer().peek();
             du.pc = cop.pc;
@@ -980,7 +1017,7 @@ Core::doRename(Cycle now)
             du.historySnapshot = fu.historySnapshot;
         }
         if (du.sop.isStore() && sq_.full())
-            break;
+            break; // Abandons the begun push; the slot stays dead.
 
         if (buffer_mode)
             runaheadCtrl_.buffer().advance();
@@ -1010,7 +1047,7 @@ Core::doRename(Cycle now)
         const bool is_store = du.sop.isStore();
         const PhysReg psrc1 = du.psrc1;
         const PhysReg psrc2 = du.psrc2;
-        const int slot = rob_.push(std::move(du));
+        const int slot = rob_.finishPush();
         ++robWrites;
         if (is_store)
             sq_.allocate(seq, slot);

@@ -14,7 +14,13 @@
 namespace rab
 {
 
-/** One dynamic instance of a uop, as stored in the ROB. */
+/** One dynamic instance of a uop, as stored in the ROB.
+ *
+ *  Field order is deliberate: a 192-entry ROB of these does not fit in
+ *  L1d, so the members every per-event pipeline touch reads — seq, pc,
+ *  the decoded uop, rename tags and the status bits — are packed into
+ *  the first cache line; colder branch / memory / value state follows.
+ */
 struct DynUop
 {
     /** Fetch-order sequence number (unique, monotonic). */
@@ -27,36 +33,11 @@ struct DynUop
      *  to keep decoded uops until retirement; we keep the whole uop). */
     Uop sop;
 
-    /** Dynamic count of instructions fetched before this one in normal
-     *  mode; used by the runahead enhancement policies. */
-    std::uint64_t instrNum = 0;
-
     /** @{ Rename state. */
     PhysReg pdst = kNoPhysReg;
     PhysReg psrc1 = kNoPhysReg;
     PhysReg psrc2 = kNoPhysReg;
     PhysReg prevPdst = kNoPhysReg; ///< For undo-walk recovery.
-    /** @} */
-
-    /** @{ Branch state. */
-    bool predTaken = false;
-    Pc predTarget = 0;
-    std::uint64_t historySnapshot = 0; ///< BHR before this branch.
-    bool actualTaken = false;
-    Pc nextPc = 0;      ///< Resolved next PC.
-    bool mispredicted = false;
-    /** @} */
-
-    /** @{ Memory state. */
-    Addr effAddr = kNoAddr;
-    bool memIssued = false;   ///< Memory request sent (or forwarded).
-    std::uint64_t missIssueInstrNum = 0; ///< Fetched-instruction count
-                                         ///< when the access issued.
-    bool llcMiss = false;     ///< The demand access missed the LLC.
-    bool offChipWait = false; ///< Waiting off-chip-long: a new LLC
-                              ///< miss OR a merge into one in flight.
-    int sqIndex = -1;         ///< Store queue slot for stores.
-    bool forwarded = false;   ///< Load got its value from the SQ.
     /** @} */
 
     /** @{ Status. */
@@ -65,7 +46,30 @@ struct DynUop
     bool executed = false;    ///< Result (or address) computed.
     bool completed = false;   ///< Eligible for (pseudo-)retirement.
     bool poisoned = false;    ///< Runahead poison bit.
-    Cycle readyAt = 0;        ///< Cycle the result becomes available.
+    /** @} */
+
+    /** @{ Memory status bits. */
+    bool memIssued = false;   ///< Memory request sent (or forwarded).
+    bool llcMiss = false;     ///< The demand access missed the LLC.
+    bool offChipWait = false; ///< Waiting off-chip-long: a new LLC
+                              ///< miss OR a merge into one in flight.
+    /** @} */
+
+    // ---- first cache line ends here (64 B) ----
+
+    Cycle readyAt = 0; ///< Cycle the result becomes available.
+
+    /** Value-level state (for the value-based timing model). */
+    std::uint64_t v1 = 0;
+    std::uint64_t v2 = 0;
+    std::uint64_t result = 0;
+
+    /** @{ Memory state. */
+    Addr effAddr = kNoAddr;
+    std::uint64_t missIssueInstrNum = 0; ///< Fetched-instruction count
+                                         ///< when the access issued.
+    int sqIndex = -1;         ///< Store queue slot for stores.
+    bool forwarded = false;   ///< Load got its value from the SQ.
     /** @} */
 
     /** @{ Runahead provenance. */
@@ -73,14 +77,22 @@ struct DynUop
     bool fromRunaheadBuffer = false;///< Issued by the runahead buffer.
     /** @} */
 
-    /** Value-level state (for the value-based timing model). */
-    std::uint64_t v1 = 0;
-    std::uint64_t v2 = 0;
-    std::uint64_t result = 0;
-
     /** Fig. 2 instrumentation: some transitive source of this value was
      *  produced by an off-chip (LLC-miss) load within the window. */
     bool srcFromOffChip = false;
+
+    /** @{ Branch state. */
+    bool predTaken = false;
+    bool actualTaken = false;
+    bool mispredicted = false;
+    Pc predTarget = 0;
+    Pc nextPc = 0;      ///< Resolved next PC.
+    std::uint64_t historySnapshot = 0; ///< BHR before this branch.
+    /** @} */
+
+    /** Dynamic count of instructions fetched before this one in normal
+     *  mode; used by the runahead enhancement policies. */
+    std::uint64_t instrNum = 0;
 
     bool isLoad() const { return sop.isLoad(); }
     bool isStore() const { return sop.isStore(); }

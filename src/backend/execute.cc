@@ -11,15 +11,15 @@ WritebackQueue::schedule(Cycle when, int rob_slot, SeqNum seq)
     heap_.push(WbEvent{when, rob_slot, seq});
 }
 
-std::vector<WbEvent>
+const std::vector<WbEvent> &
 WritebackQueue::popReady(Cycle now)
 {
-    std::vector<WbEvent> ready;
+    readyBuf_.clear();
     while (!heap_.empty() && heap_.top().when <= now) {
-        ready.push_back(heap_.top());
+        readyBuf_.push_back(heap_.top());
         heap_.pop();
     }
-    return ready;
+    return readyBuf_;
 }
 
 Cycle

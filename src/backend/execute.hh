@@ -35,8 +35,10 @@ class WritebackQueue
   public:
     void schedule(Cycle when, int rob_slot, SeqNum seq);
 
-    /** Pop every event with when <= now. */
-    std::vector<WbEvent> popReady(Cycle now);
+    /** Pop every event with when <= now. The returned buffer is owned
+     *  by the queue and reused across calls (no per-cycle allocation);
+     *  it stays valid until the next popReady(). */
+    const std::vector<WbEvent> &popReady(Cycle now);
 
     /** Cycle of the next pending event, or kNoSeqNum when empty. */
     Cycle nextEventCycle() const;
@@ -47,6 +49,7 @@ class WritebackQueue
   private:
     std::priority_queue<WbEvent, std::vector<WbEvent>, std::greater<>>
         heap_;
+    std::vector<WbEvent> readyBuf_; ///< popReady() scratch, reused.
 };
 
 /** Issue-port budget for one cycle: total width plus D-cache ports. */

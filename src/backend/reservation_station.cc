@@ -85,7 +85,7 @@ ReservationStation::notifyWritten(PhysReg reg)
     list.clear();
 }
 
-std::vector<int>
+const std::vector<int> &
 ReservationStation::selectReady(int width)
 {
     if (width > kMaxSelectWidth)
@@ -97,8 +97,9 @@ ReservationStation::selectReady(int width)
     // event-driven ready list short-circuits the actual comparison.
     wakeups += static_cast<std::uint64_t>(size_);
 
+    selectedBuf_.clear();
     if (readyList_.empty())
-        return {};
+        return selectedBuf_;
 
     // Bounded insertion sort over the ready list: keep the `width`
     // oldest ready entries, ascending by seq. The ready list is the
@@ -122,17 +123,15 @@ ReservationStation::selectReady(int width)
             ++nbest;
     }
 
-    std::vector<int> selected;
-    selected.reserve(nbest);
     for (int i = 0; i < nbest; ++i) {
         Entry &e = entries_[best[i]];
-        selected.push_back(e.robSlot);
+        selectedBuf_.push_back(e.robSlot);
         e.valid = false;
         freeSlots_.push_back(best[i]);
         --size_;
     }
     compactReadyList();
-    return selected;
+    return selectedBuf_;
 }
 
 bool

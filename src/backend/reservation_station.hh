@@ -60,9 +60,11 @@ class ReservationStation
     /**
      * Select up to @p width oldest ready entries (poisoned sources
      * count as ready — poison propagates at execute). Selected
-     * entries are removed. Returns ROB slots.
+     * entries are removed. Returns ROB slots in a buffer owned by the
+     * station and reused across calls (valid until the next
+     * selectReady(); insert/reinsert during iteration is safe).
      */
-    std::vector<int> selectReady(int width);
+    const std::vector<int> &selectReady(int width);
 
     /** True when the next selectReady() call would select something.
      *  O(1) query on the event-driven ready list; the fast-forward
@@ -121,6 +123,7 @@ class ReservationStation
                                  ///< (placement does not affect
                                  ///< selection: picks are seq-ordered).
     std::vector<int> readyList_; ///< Entries with no pending source.
+    std::vector<int> selectedBuf_; ///< selectReady() scratch, reused.
     /** Per-physical-register wakeup lists (entry indices), indexed by
      *  register and grown lazily. A write drains the register's list;
      *  entries that left the window while waiting go stale in place

@@ -322,6 +322,7 @@ void
 InvariantChecker::fullScan()
 {
     checkRobOrder();
+    checkRobIndexes();
     checkStoreQueue();
     checkRenameState();
     ++checksRun;
@@ -354,6 +355,64 @@ InvariantChecker::checkRobOrder()
                               (unsigned long long)seq));
         }
         prev = seq;
+    }
+}
+
+void
+InvariantChecker::checkRobIndexes()
+{
+    if (!ctx_.rob)
+        return;
+    const Rob &rob = *ctx_.rob;
+
+    // Cross-validate the incremental PC / producer indexes against the
+    // retained linear scans (the RS hasReady/anyReady pattern): for
+    // every live entry, the indexed PC CAM queried just below its seq
+    // must return that entry, and the producer CAM must agree with the
+    // scan for each register the entry reads or writes.
+    for (int i = 0; i < rob.size(); ++i) {
+        const int slot = rob.logicalToSlot(i);
+        const DynUop &uop = rob.slot(slot);
+
+        const int by_pc = uop.seq == 0
+            ? slot // seq 0 has no "just below" query; core seqs start at 1.
+            : rob.findOldestByPcIndexed(uop.pc, uop.seq - 1);
+        if (by_pc != slot) {
+            violate("rob", "index-coherence",
+                    strprintf("pc index finds slot %d for pc %llu "
+                              "after seq %llu, expected slot %d",
+                              by_pc, (unsigned long long)uop.pc,
+                              (unsigned long long)(uop.seq - 1), slot));
+        }
+
+        const ArchReg regs[3] = {uop.sop.src1, uop.sop.src2,
+                                 uop.sop.dest};
+        for (const ArchReg reg : regs) {
+            if (reg == kNoArchReg)
+                continue;
+            const int indexed = rob.findProducerIndexed(reg, uop.seq);
+            const int scanned = rob.findProducerScan(reg, uop.seq);
+            if (indexed != scanned) {
+                violate("rob", "index-coherence",
+                        strprintf("producer index finds slot %d for "
+                                  "r%d before seq %llu, scan finds %d",
+                                  indexed, (int)reg,
+                                  (unsigned long long)uop.seq, scanned));
+            }
+        }
+    }
+
+    // Absence agreement past the tail: a query younger than everything
+    // must come back empty from both forms.
+    if (!rob.empty()) {
+        const DynUop &tail = rob.slot(rob.tailSlot());
+        if (rob.findOldestByPcIndexed(tail.pc, tail.seq) >= 0) {
+            violate("rob", "index-coherence",
+                    strprintf("pc index finds an entry for pc %llu "
+                              "younger than the tail seq %llu",
+                              (unsigned long long)tail.pc,
+                              (unsigned long long)tail.seq));
+        }
     }
 }
 

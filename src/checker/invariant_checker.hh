@@ -174,6 +174,7 @@ class InvariantChecker
      *  invariant at a time). Each throws InvariantViolation on
      *  failure. */
     void checkRobOrder();
+    void checkRobIndexes();
     void checkStoreQueue();
     void checkRenameState();
     void checkArchStateFrozen();

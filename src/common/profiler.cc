@@ -1,0 +1,108 @@
+#include "common/profiler.hh"
+
+#include <cstdlib>
+
+namespace rab
+{
+
+std::atomic<bool> Profiler::enabled_{false};
+
+namespace
+{
+
+void
+reportAtExit()
+{
+    if (Profiler::enabled())
+        Profiler::instance().report(stderr);
+}
+
+bool atexitRegistered = false;
+
+/** Honor RAB_PROFILE at static-initialization time: ProfScope only
+ *  reads the enabled flag, so the env var must be applied before any
+ *  simulation starts, not lazily on first instance() use. */
+struct ProfilerEnvInit
+{
+    ProfilerEnvInit()
+    {
+        const char *env = std::getenv("RAB_PROFILE");
+        if (env && env[0] != '\0' && env[0] != '0')
+            Profiler::setEnabled(true);
+    }
+} profilerEnvInit;
+
+} // namespace
+
+const char *
+profPhaseName(ProfPhase phase)
+{
+    switch (phase) {
+      case ProfPhase::kFetch: return "fetch";
+      case ProfPhase::kRename: return "rename";
+      case ProfPhase::kIssue: return "issue";
+      case ProfPhase::kWriteback: return "writeback";
+      case ProfPhase::kCommit: return "commit";
+      case ProfPhase::kRunaheadCtl: return "runahead_ctl";
+      case ProfPhase::kChainGen: return "chain_gen";
+      case ProfPhase::kMemAccess: return "mem_access";
+      case ProfPhase::kFastForward: return "fast_forward";
+      case ProfPhase::kChecker: return "checker";
+      case ProfPhase::kNumPhases: break;
+    }
+    return "?";
+}
+
+Profiler &
+Profiler::instance()
+{
+    static Profiler profiler;
+    return profiler;
+}
+
+void
+Profiler::setEnabled(bool on)
+{
+    enabled_.store(on, std::memory_order_relaxed);
+    if (on && !atexitRegistered) {
+        atexitRegistered = true;
+        std::atexit(reportAtExit);
+    }
+}
+
+void
+Profiler::report(std::FILE *out) const
+{
+    std::uint64_t total_ns = 0;
+    for (const Slot &s : slots_)
+        total_ns += s.ns.load(std::memory_order_relaxed);
+
+    std::fprintf(out, "--- phase profile (RAB_PROFILE)\n");
+    std::fprintf(out, "%-14s %12s %14s %10s %7s\n", "phase", "calls",
+                 "total_ms", "ns/call", "share");
+    for (int i = 0; i < kNumPhases; ++i) {
+        const std::uint64_t ns =
+            slots_[i].ns.load(std::memory_order_relaxed);
+        const std::uint64_t calls =
+            slots_[i].calls.load(std::memory_order_relaxed);
+        if (calls == 0)
+            continue;
+        std::fprintf(out, "%-14s %12llu %14.3f %10.1f %6.1f%%\n",
+                     profPhaseName(static_cast<ProfPhase>(i)),
+                     (unsigned long long)calls, ns / 1e6,
+                     static_cast<double>(ns) / calls,
+                     total_ns ? 100.0 * ns / total_ns : 0.0);
+    }
+    std::fprintf(out, "%-14s %12s %14.3f\n", "total", "", total_ns / 1e6);
+}
+
+void
+Profiler::reset()
+{
+    for (Slot &s : slots_) {
+        s.ns.store(0, std::memory_order_relaxed);
+        s.calls.store(0, std::memory_order_relaxed);
+    }
+}
+
+} // namespace rab

@@ -29,7 +29,7 @@ ForwardProgressWatchdog::shouldRecover(Cycle now, Cycle last_commit,
                                        std::uint64_t retired,
                                        const std::string &state_dump)
 {
-    if (!enabled() || now - last_commit <= config_.cycles)
+    if (!expired(now, last_commit))
         return false;
 
     ++fires;

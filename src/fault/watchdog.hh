@@ -72,6 +72,15 @@ class ForwardProgressWatchdog
     bool enabled() const { return config_.cycles > 0; }
     int consecutiveFires() const { return consecutive_; }
 
+    /** Pure stall-bound predicate (no state change): true when a
+     *  shouldRecover() call right now would fire. Lets the caller skip
+     *  building the diagnostic state dump on the per-cycle path —
+     *  shouldRecover() needs it only when this is true. */
+    bool expired(Cycle now, Cycle last_commit) const
+    {
+        return enabled() && now - last_commit > config_.cycles;
+    }
+
     /**
      * Poll once per cycle. Returns true when the stall bound is
      * exceeded and the caller should attempt a recovery flush; throws

@@ -12,6 +12,14 @@ Frontend::Frontend(const FrontendConfig &config, const Program *program,
 {
     if (!program_ || program_->empty())
         fatal("frontend: empty program");
+    if (config_.fetchQueueEntries <= 0)
+        fatal("frontend: bad fetch queue size %d",
+              config_.fetchQueueEntries);
+    queue_.resize(config_.fetchQueueEntries);
+    // The cache model validates line sizes as powers of two, so the
+    // per-uop line-boundary test in tick() can mask instead of divide.
+    lineMask_ =
+        static_cast<Addr>(mem_->config().l1i.lineBytes) - 1;
 }
 
 void
@@ -27,18 +35,21 @@ Frontend::tick(Cycle now)
         return;
     }
 
+    // fetchPc_ stays in [0, program size) (constructor, redirect() and
+    // the wrap at the bottom of the loop maintain it), so the fetch
+    // loop needs no per-uop modulo reduction — integer division was a
+    // measurable slice of the per-cycle profile.
+    const Pc prog_size = program_->size();
     int fetched = 0;
     for (int slot = 0; slot < config_.fetchWidth; ++slot) {
-        if (queue_.size()
-                >= static_cast<std::size_t>(config_.fetchQueueEntries)) {
+        if (queueFull())
             break;
-        }
 
         // Model the I-cache access for the line holding this uop. A
         // miss stalls fetch until the line arrives.
-        const Addr inst_addr = config_.instBase
-            + (fetchPc_ % program_->size()) * config_.uopBytes;
-        if (slot == 0 || (inst_addr % mem_->config().l1i.lineBytes) == 0) {
+        const Addr inst_addr =
+            config_.instBase + fetchPc_ * config_.uopBytes;
+        if (slot == 0 || (inst_addr & lineMask_) == 0) {
             const AccessResult res =
                 mem_->access(AccessType::kInstFetch, inst_addr, now);
             if (res.rejected) {
@@ -52,8 +63,8 @@ Frontend::tick(Cycle now)
         }
 
         FetchedUop fu;
-        fu.pc = fetchPc_ % program_->size();
-        fu.sop = program_->fetch(fetchPc_);
+        fu.pc = fetchPc_;
+        fu.sop = program_->at(fetchPc_);
         fu.historySnapshot = bp_->history();
         fu.readyCycle = now + 1 + config_.decodeDepth;
 
@@ -73,10 +84,20 @@ Frontend::tick(Cycle now)
             next_pc = fu.sop.target;
         }
 
-        queue_.push_back(fu);
+        int enq = queueHead_ + queueCount_;
+        if (enq >= config_.fetchQueueEntries)
+            enq -= config_.fetchQueueEntries;
+        queue_[enq] = fu;
+        ++queueCount_;
         ++fetchedUops;
         ++fetched;
-        fetchPc_ = next_pc % program_->size();
+        // Sequential fall-through reaches prog_size exactly; control
+        // targets are validated in range, so a subtract suffices (the
+        // modulo stays as a cold fallback for a corrupted predictor
+        // target).
+        if (next_pc >= prog_size)
+            next_pc = next_pc == prog_size ? 0 : next_pc % prog_size;
+        fetchPc_ = next_pc;
 
         if (taken)
             break; // At most one taken control transfer per fetch cycle.
@@ -91,24 +112,26 @@ Frontend::tick(Cycle now)
 bool
 Frontend::hasReady(Cycle now) const
 {
-    return !queue_.empty() && queue_.front().readyCycle <= now;
+    return queueCount_ > 0 && queue_[queueHead_].readyCycle <= now;
 }
 
 const FetchedUop &
 Frontend::peek() const
 {
-    if (queue_.empty())
+    if (queueCount_ == 0)
         panic("frontend: peek at empty queue");
-    return queue_.front();
+    return queue_[queueHead_];
 }
 
 FetchedUop
 Frontend::pop()
 {
-    if (queue_.empty())
+    if (queueCount_ == 0)
         panic("frontend: pop from empty queue");
-    FetchedUop fu = queue_.front();
-    queue_.pop_front();
+    FetchedUop fu = queue_[queueHead_];
+    if (++queueHead_ >= config_.fetchQueueEntries)
+        queueHead_ = 0;
+    --queueCount_;
     return fu;
 }
 
@@ -133,7 +156,8 @@ Frontend::accountSkippedCycles(Cycle now, std::uint64_t count)
 void
 Frontend::redirect(Pc pc, Cycle when)
 {
-    queue_.clear();
+    queueHead_ = 0;
+    queueCount_ = 0;
     fetchPc_ = pc % program_->size();
     stalledUntil_ = when;
 }

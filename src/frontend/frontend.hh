@@ -13,7 +13,7 @@
 #define RAB_FRONTEND_FRONTEND_HH
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "common/types.hh"
 #include "frontend/branch_predictor.hh"
@@ -76,12 +76,8 @@ class Frontend
     /** @{ Fast-forward queries: expose the conditions under which
      *  tick() performs no work, so the core can prove a cycle window
      *  is quiescent before skipping it. */
-    bool queueEmpty() const { return queue_.empty(); }
-    bool queueFull() const
-    {
-        return queue_.size()
-            >= static_cast<std::size_t>(config_.fetchQueueEntries);
-    }
+    bool queueEmpty() const { return queueCount_ == 0; }
+    bool queueFull() const { return queueCount_ >= config_.fetchQueueEntries; }
     /** Cycle the current I-cache stall / redirect bubble ends. */
     Cycle stalledUntil() const { return stalledUntil_; }
     /** Decode-ready cycle of the oldest queued uop (queue nonempty). */
@@ -111,10 +107,17 @@ class Frontend
     BranchPredictor *bp_;
     MemorySystem *mem_;
 
-    Pc fetchPc_ = 0;
+    Pc fetchPc_ = 0; ///< Invariant: always in [0, program size).
+    Addr lineMask_ = 0; ///< I-cache line size - 1 (power of two).
     bool gated_ = false;
     Cycle stalledUntil_ = 0; ///< I-cache miss or redirect bubble.
-    std::deque<FetchedUop> queue_;
+    /** @{ Decoded-uop queue: a fixed ring sized at construction
+     *  (fetchQueueEntries), replacing a deque whose block allocation
+     *  churned on the fetch/rename hot path. */
+    std::vector<FetchedUop> queue_;
+    int queueHead_ = 0;
+    int queueCount_ = 0;
+    /** @} */
     StatGroup statGroup_;
 };
 

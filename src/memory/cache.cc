@@ -36,6 +36,37 @@ Cache::Cache(const CacheConfig &config)
     numSets_ = static_cast<int>(lines / config_.associativity);
     log2Exact(numSets_, "set count");
     lines_.assign(lines, Line{});
+    mruWay_.assign(numSets_, -1);
+    validMask_.assign(numSets_, 0);
+    wideSets_ = config_.associativity > 64;
+    if (!wideSets_) {
+        fullMask_ = config_.associativity == 64
+            ? ~std::uint64_t(0)
+            : (std::uint64_t(1) << config_.associativity) - 1;
+    }
+}
+
+int
+Cache::findWay(const Line *base, std::size_t set, Addr tag) const
+{
+    // MRU fast path: most references re-touch the way hit last.
+    const int mru = mruWay_[set];
+    if (mru >= 0 && base[mru].valid && base[mru].tag == tag)
+        return mru;
+    if (wideSets_) {
+        for (int way = 0; way < config_.associativity; ++way) {
+            if (base[way].valid && base[way].tag == tag)
+                return way;
+        }
+        return -1;
+    }
+    // Visit only the valid ways.
+    for (std::uint64_t m = validMask_[set]; m != 0; m &= m - 1) {
+        const int way = std::countr_zero(m);
+        if (base[way].tag == tag)
+            return way;
+    }
+    return -1;
 }
 
 std::size_t
@@ -56,19 +87,19 @@ Cache::access(Addr addr, bool is_write)
     const std::size_t set = setIndex(addr);
     const Addr tag = tagOf(addr);
     Line *base = &lines_[set * config_.associativity];
-    for (int way = 0; way < config_.associativity; ++way) {
+    const int way = findWay(base, set, tag);
+    if (way >= 0) {
         Line &line = base[way];
-        if (line.valid && line.tag == tag) {
-            CacheLookup result;
-            result.hit = true;
-            result.wasPrefetched = line.prefetched;
-            line.prefetched = false;
-            line.lruStamp = ++lruCounter_;
-            if (is_write)
-                line.dirty = true;
-            ++hits;
-            return result;
-        }
+        CacheLookup result;
+        result.hit = true;
+        result.wasPrefetched = line.prefetched;
+        line.prefetched = false;
+        line.lruStamp = ++lruCounter_;
+        if (is_write)
+            line.dirty = true;
+        mruWay_[set] = way;
+        ++hits;
+        return result;
     }
     ++misses;
     return CacheLookup{};
@@ -78,13 +109,8 @@ bool
 Cache::probe(Addr addr) const
 {
     const std::size_t set = setIndex(addr);
-    const Addr tag = tagOf(addr);
     const Line *base = &lines_[set * config_.associativity];
-    for (int way = 0; way < config_.associativity; ++way) {
-        if (base[way].valid && base[way].tag == tag)
-            return true;
-    }
-    return false;
+    return findWay(base, set, tagOf(addr)) >= 0;
 }
 
 Eviction
@@ -95,30 +121,34 @@ Cache::insert(Addr addr, bool is_write, bool is_prefetch)
     Line *base = &lines_[set * config_.associativity];
 
     // Re-insertion of a resident line just updates state.
-    for (int way = 0; way < config_.associativity; ++way) {
-        Line &line = base[way];
-        if (line.valid && line.tag == tag) {
-            line.lruStamp = ++lruCounter_;
-            if (is_write)
-                line.dirty = true;
-            if (!is_prefetch)
-                line.prefetched = false;
-            return Eviction{};
-        }
+    const int resident = findWay(base, set, tag);
+    if (resident >= 0) {
+        Line &line = base[resident];
+        line.lruStamp = ++lruCounter_;
+        if (is_write)
+            line.dirty = true;
+        if (!is_prefetch)
+            line.prefetched = false;
+        mruWay_[set] = resident;
+        return Eviction{};
     }
 
-    // Pick an invalid way, else the LRU way.
+    // Pick an invalid way (lowest-numbered, as the full scan would),
+    // else the LRU way.
     int victim = 0;
-    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
-    for (int way = 0; way < config_.associativity; ++way) {
-        if (!base[way].valid) {
-            victim = way;
-            oldest = 0;
-            break;
-        }
-        if (base[way].lruStamp < oldest) {
-            oldest = base[way].lruStamp;
-            victim = way;
+    if (!wideSets_ && validMask_[set] != fullMask_) {
+        victim = std::countr_zero(~validMask_[set]);
+    } else {
+        std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+        for (int way = 0; way < config_.associativity; ++way) {
+            if (!base[way].valid) {
+                victim = way;
+                break;
+            }
+            if (base[way].lruStamp < oldest) {
+                oldest = base[way].lruStamp;
+                victim = way;
+            }
         }
     }
 
@@ -135,6 +165,9 @@ Cache::insert(Addr addr, bool is_write, bool is_prefetch)
     line.prefetched = is_prefetch;
     line.tag = tag;
     line.lruStamp = ++lruCounter_;
+    if (!wideSets_)
+        validMask_[set] |= std::uint64_t(1) << victim;
+    mruWay_[set] = victim;
     return ev;
 }
 
@@ -142,16 +175,17 @@ bool
 Cache::invalidate(Addr addr)
 {
     const std::size_t set = setIndex(addr);
-    const Addr tag = tagOf(addr);
     Line *base = &lines_[set * config_.associativity];
-    for (int way = 0; way < config_.associativity; ++way) {
-        Line &line = base[way];
-        if (line.valid && line.tag == tag) {
-            line.valid = false;
-            return line.dirty;
-        }
-    }
-    return false;
+    const int way = findWay(base, set, tagOf(addr));
+    if (way < 0)
+        return false;
+    Line &line = base[way];
+    line.valid = false;
+    if (!wideSets_)
+        validMask_[set] &= ~(std::uint64_t(1) << way);
+    if (mruWay_[set] == way)
+        mruWay_[set] = -1;
+    return line.dirty;
 }
 
 std::uint64_t
@@ -169,6 +203,8 @@ void
 Cache::flush()
 {
     lines_.assign(lines_.size(), Line{});
+    mruWay_.assign(numSets_, -1);
+    validMask_.assign(numSets_, 0);
 }
 
 void

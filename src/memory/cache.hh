@@ -111,6 +111,19 @@ class Cache
     int lineShift_;
     std::vector<Line> lines_; // numSets_ * associativity, row-major
     std::uint64_t lruCounter_ = 0;
+
+    /** @{ Set-lookup fast paths (pure acceleration; replacement and
+     *  statistics behaviour is identical to the full way scan). The
+     *  MRU way resolves the common re-reference without touching the
+     *  other ways; the valid-way bitmask narrows scans and insertions
+     *  to occupied (or the first free) ways. */
+    int findWay(const Line *base, std::size_t set, Addr tag) const;
+
+    std::vector<int> mruWay_;            ///< Last way hit per set.
+    std::vector<std::uint64_t> validMask_; ///< Valid-way bits per set.
+    std::uint64_t fullMask_ = 0;  ///< Mask value with every way valid.
+    bool wideSets_ = false; ///< associativity > 64: bitmask disabled.
+    /** @} */
     StatGroup statGroup_;
 };
 

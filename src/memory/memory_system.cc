@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/profiler.hh"
 #include "fault/fault_injector.hh"
 
 namespace rab
@@ -44,6 +45,10 @@ MemorySystem::MemorySystem(const MemSysConfig &config)
     prefetcher_.regStats(&statGroup_);
     stridePf_.regStats(&statGroup_);
     ghbPf_.regStats(&statGroup_);
+    // Sized once for the worst case any prefetcher emits per access;
+    // issuePrefetches() drains it in place, so this is the only
+    // allocation the candidate path ever performs.
+    prefetchCandidates_.reserve(64);
 }
 
 void
@@ -126,16 +131,20 @@ MemorySystem::nextEventCycle(Cycle now)
 bool
 MemorySystem::dataOnChip(Addr addr, Cycle now) const
 {
-    const Addr line = llc_.lineAddr(addr);
-    const auto it = llcPending_.find(line);
-    if (it != llcPending_.end() && it->second > now)
-        return false;
+    if (llcPendingMax_ > now) {
+        const Addr line = llc_.lineAddr(addr);
+        const auto it = llcPending_.find(line);
+        if (it != llcPending_.end() && it->second > now)
+            return false;
+    }
     return l1d_.probe(addr) || llc_.probe(addr);
 }
 
 bool
 MemorySystem::missInFlight(Addr addr, Cycle now) const
 {
+    if (llcPendingMax_ <= now)
+        return false;
     const Addr line = llc_.lineAddr(addr);
     const auto it = llcPending_.find(line);
     return it != llcPending_.end() && it->second > now;
@@ -149,11 +158,14 @@ MemorySystem::accessLlc(AccessType type, Addr line_addr, Cycle llc_time,
     rejected = false;
 
     // Merge with an in-flight LLC fill if one exists.
-    const auto pending_it = llcPending_.find(line_addr);
-    if (pending_it != llcPending_.end() && pending_it->second > now) {
-        ++mshrMerges;
-        trainPrefetcher(type, pc, line_addr, /*was_miss=*/false);
-        return std::max(pending_it->second, llc_time);
+    if (llcPendingMax_ > now) {
+        const auto pending_it = llcPending_.find(line_addr);
+        if (pending_it != llcPending_.end()
+            && pending_it->second > now) {
+            ++mshrMerges;
+            trainPrefetcher(type, pc, line_addr, /*was_miss=*/false);
+            return std::max(pending_it->second, llc_time);
+        }
     }
 
     const CacheLookup lookup =
@@ -227,6 +239,8 @@ MemorySystem::accessLlc(AccessType type, Addr line_addr, Cycle llc_time,
                      /*is_write=*/false);
     const Cycle ready = dram_result.readyCycle + fault_delay;
     llcPending_[line_addr] = ready;
+    if (ready > llcPendingMax_)
+        llcPendingMax_ = ready;
     outstanding_.push(ready);
     prunePending(llcPending_, now);
 
@@ -249,10 +263,14 @@ AccessResult
 MemorySystem::access(AccessType type, Addr addr, Cycle now,
                      bool runahead, Pc pc)
 {
+    ProfScope prof(ProfPhase::kMemAccess);
     AccessResult result;
     Cache &l1 = type == AccessType::kInstFetch ? l1i_ : l1d_;
     PendingMap &l1_pending =
         type == AccessType::kInstFetch ? l1iPending_ : l1dPending_;
+    Cycle &l1_pending_max = type == AccessType::kInstFetch
+        ? l1iPendingMax_
+        : l1dPendingMax_;
     const Addr line_addr = l1.lineAddr(addr);
 
     if (type == AccessType::kLoad)
@@ -269,9 +287,13 @@ MemorySystem::access(AccessType type, Addr addr, Cycle now,
         l1.access(addr, type == AccessType::kStore);
     if (l1_lookup.hit) {
         // The tags may hit while the fill is still in flight; that is an
-        // MSHR merge, not a completed hit.
-        const auto it = l1_pending.find(line_addr);
-        if (it != l1_pending.end() && it->second > now) {
+        // MSHR merge, not a completed hit. The watermark guard keeps
+        // the hash find off the steady-state hit path (one find per
+        // fetched uop otherwise).
+        PendingMap::const_iterator it;
+        if (l1_pending_max > now
+            && (it = l1_pending.find(line_addr)) != l1_pending.end()
+            && it->second > now) {
             ++mshrMerges;
             result.l1Miss = true;
             result.readyCycle = it->second;
@@ -306,6 +328,8 @@ MemorySystem::access(AccessType type, Addr addr, Cycle now,
         llc_.access(ev.lineAddr, /*is_write=*/true);
     }
     l1_pending[line_addr] = ready;
+    if (ready > l1_pending_max)
+        l1_pending_max = ready;
     prunePending(l1_pending, now);
     result.readyCycle = ready;
 
@@ -318,9 +342,11 @@ MemorySystem::issuePrefetches(Cycle now)
 {
     if (prefetchCandidates_.empty())
         return;
-    std::vector<Addr> candidates;
-    candidates.swap(prefetchCandidates_);
-    for (const Addr line_addr : candidates) {
+    // Drain in place: nothing in the loop body trains the prefetcher,
+    // so the candidate list cannot grow under us, and clearing (rather
+    // than the old swap-with-a-temporary) preserves the buffer's
+    // capacity across accesses instead of reallocating it every time.
+    for (const Addr line_addr : prefetchCandidates_) {
         if (llc_.probe(line_addr))
             continue;
         const auto it = llcPending_.find(line_addr);
@@ -347,6 +373,7 @@ MemorySystem::issuePrefetches(Cycle now)
                 dram_.access(ev.lineAddr, now, /*is_write=*/true);
         }
     }
+    prefetchCandidates_.clear();
 }
 
 std::uint64_t

@@ -173,6 +173,15 @@ class MemorySystem
     PendingMap l1iPending_;
     PendingMap l1dPending_;
     PendingMap llcPending_;
+    /** @{ Watermarks: the latest fill cycle ever inserted into the
+     *  matching pending map. Once `now` passes a watermark, no entry
+     *  can still be in flight, so the hit path can skip the hash find
+     *  entirely (the maps are pruned lazily and stay populated with
+     *  stale entries long after the fills land). */
+    Cycle l1iPendingMax_ = 0;
+    Cycle l1dPendingMax_ = 0;
+    Cycle llcPendingMax_ = 0;
+    /** @} */
 
     /** Ready cycles of in-flight LLC misses (memory queue occupancy). */
     std::priority_queue<Cycle, std::vector<Cycle>, std::greater<Cycle>>

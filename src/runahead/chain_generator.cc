@@ -1,10 +1,9 @@
 #include "runahead/chain_generator.hh"
 
 #include <algorithm>
-#include <deque>
-#include <set>
 
 #include "common/logging.hh"
+#include "common/profiler.hh"
 #include "isa/functional.hh"
 
 namespace rab
@@ -48,6 +47,7 @@ ChainResult
 ChainGenerator::generate(const Rob &rob, const StoreQueue &sq,
                          Pc blocking_pc, SeqNum blocking_seq)
 {
+    ProfScope prof(ProfPhase::kChainGen);
     ++attempts;
     ChainResult result;
 
@@ -62,35 +62,43 @@ ChainGenerator::generate(const Rob &rob, const StoreQueue &sq,
     }
     result.pcFound = true;
 
+    // Reset the pooled scratch: unmark only the slots the previous call
+    // touched (robust to any exit path), then size the mark array to
+    // this ROB.
+    for (const int slot : includedSlots_)
+        includedMark_[slot] = 0;
+    includedSlots_.clear();
+    srsl_.clear();
+    if (static_cast<int>(includedMark_.size()) < rob.capacity())
+        includedMark_.resize(rob.capacity(), 0);
+
     // Source register search list: (register, consumer seq) pairs. The
     // consumer seq bounds the priority CAM so we find the *youngest
     // producer older than the consumer*.
-    std::deque<std::pair<ArchReg, SeqNum>> srsl;
-    std::set<int> included;
-
     const auto enqueue_sources = [&](const DynUop &uop) {
         const auto push = [&](ArchReg reg) {
             if (reg == kNoArchReg)
                 return;
-            if (static_cast<int>(srsl.size())
+            if (static_cast<int>(srsl_.size())
                     >= config_.srslEntries) {
                 return; // SRSL full: chain becomes less exact.
             }
-            srsl.emplace_back(reg, uop.seq);
+            srsl_.emplace_back(reg, uop.seq);
         };
         push(uop.sop.src1);
         push(uop.sop.src2);
     };
 
     const auto include = [&](int slot) -> bool {
-        if (included.count(slot))
+        if (includedMark_[slot])
             return true;
-        if (static_cast<int>(included.size())
+        if (static_cast<int>(includedSlots_.size())
                 >= config_.maxChainLength) {
             result.overflow = true;
             return false;
         }
-        included.insert(slot);
+        includedMark_[slot] = 1;
+        includedSlots_.push_back(slot);
         return true;
     };
 
@@ -100,22 +108,22 @@ ChainGenerator::generate(const Rob &rob, const StoreQueue &sq,
 
     // Walk producers, up to regSearchesPerCycle CAM searches per cycle,
     // until the SRSL drains or the chain is full.
-    while (!srsl.empty() && !result.overflow) {
+    while (!srsl_.empty() && !result.overflow) {
         ++result.generationCycles;
         for (int port = 0;
-             port < config_.regSearchesPerCycle && !srsl.empty();
+             port < config_.regSearchesPerCycle && !srsl_.empty();
              ++port) {
             // Depth-first: walking the youngest enqueued register first
             // keeps the SRSL shallow on serial chains, so the deep
             // producers (loop inductions) are found before the list
             // capacity drops anything.
-            const auto [reg, consumer_seq] = srsl.back();
-            srsl.pop_back();
+            const auto [reg, consumer_seq] = srsl_.back();
+            srsl_.pop_back();
             ++result.regCamSearches;
             const int producer_slot = rob.findProducer(reg, consumer_seq);
             if (producer_slot < 0)
                 continue;
-            if (included.count(producer_slot))
+            if (includedMark_[producer_slot])
                 continue;
             const DynUop &producer = rob.slot(producer_slot);
             if (producer.isControl())
@@ -130,7 +138,7 @@ ChainGenerator::generate(const Rob &rob, const StoreQueue &sq,
                 ++result.sqSearches;
                 const int store_slot =
                     sq.findStoreRobSlot(producer.seq, producer.effAddr);
-                if (store_slot >= 0 && !included.count(store_slot)) {
+                if (store_slot >= 0 && !includedMark_[store_slot]) {
                     if (!include(store_slot))
                         break;
                     enqueue_sources(rob.slot(store_slot));
@@ -140,13 +148,13 @@ ChainGenerator::generate(const Rob &rob, const StoreQueue &sq,
     }
 
     // Read the chain out of the ROB in program order at the back-end's
-    // superscalar width.
-    std::vector<int> slots(included.begin(), included.end());
-    std::sort(slots.begin(), slots.end(), [&](int a, int b) {
-        return rob.slot(a).seq < rob.slot(b).seq;
-    });
-    result.chain.reserve(slots.size());
-    for (const int slot : slots) {
+    // superscalar width. Seqs are unique, so sorting the insertion-order
+    // slot list by seq yields the same program order the old
+    // slot-ordered set did.
+    std::sort(includedSlots_.begin(), includedSlots_.end(),
+              [&](int a, int b) { return rob.slot(a).seq < rob.slot(b).seq; });
+    result.chain.reserve(includedSlots_.size());
+    for (const int slot : includedSlots_) {
         const DynUop &uop = rob.slot(slot);
         result.chain.push_back(ChainOp{uop.pc, uop.sop});
     }

@@ -17,6 +17,8 @@
 #define RAB_RUNAHEAD_CHAIN_GENERATOR_HH
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "backend/lsq.hh"
 #include "backend/rob.hh"
@@ -53,7 +55,8 @@ struct ChainResult
     /** @} */
 };
 
-/** The generator. Stateless apart from statistics. */
+/** The generator. Stateless between calls apart from statistics and
+ *  pooled scratch buffers (reused, never observable in results). */
 class ChainGenerator
 {
   public:
@@ -84,6 +87,16 @@ class ChainGenerator
 
   private:
     ChainGeneratorConfig config_;
+
+    /** @{ Algorithm-1 working state, pooled across generate() calls so
+     *  the runahead-entry hot path allocates nothing in steady state.
+     *  The SRSL is a pure stack; the included set is a slot-indexed
+     *  mark array plus the insertion list for enumeration. */
+    std::vector<std::pair<ArchReg, SeqNum>> srsl_;
+    std::vector<std::uint8_t> includedMark_; ///< Indexed by ROB slot.
+    std::vector<int> includedSlots_;
+    /** @} */
+
     StatGroup statGroup_;
 };
 

@@ -1,6 +1,7 @@
 #include "runahead/runahead_controller.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "checker/invariant_checker.hh"
 #include "common/logging.hh"
@@ -206,7 +207,7 @@ RunaheadController::decideEntry(const Rob &rob, const StoreQueue &sq,
         }
         decision.enter = true;
         decision.mode = RunaheadMode::kBuffer;
-        decision.chain = result.chain;
+        decision.chain = std::move(result.chain);
         decision.generationCycles = result.generationCycles;
         return decision;
     }
@@ -250,7 +251,7 @@ RunaheadController::decideEntry(const Rob &rob, const StoreQueue &sq,
     }
     decision.enter = true;
     decision.mode = RunaheadMode::kBuffer;
-    decision.chain = result.chain;
+    decision.chain = std::move(result.chain);
     decision.generationCycles = result.generationCycles;
     return decision;
 }
