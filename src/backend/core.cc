@@ -358,9 +358,11 @@ Core::fastForwardHorizon()
                 // counter before doRunaheadControl reads it, so the
                 // tick at cycle c sees stallCyclesSinceCommit_ + (c -
                 // now + 1).
-                const int need = config_.stallEntryCycles
-                    - stallCyclesSinceCommit_ - 1;
-                Cycle fire = now + (need > 0 ? (Cycle)need : 0);
+                const Cycle stalled = stallCyclesSinceCommit_ + 1;
+                Cycle fire = now
+                    + (config_.stallEntryCycles > stalled
+                           ? config_.stallEntryCycles - stalled
+                           : 0);
                 // renameProgress_ still holds last tick's value at the
                 // first skipped tick only (doRename clears it later in
                 // the same tick).
@@ -402,7 +404,7 @@ Core::fastForwardTo(Cycle target)
     // Replicate exactly what `delta` fully-stalled ticks would have
     // accumulated. The stall classification is frozen for the whole
     // window: nothing can complete, commit, issue or rename inside it.
-    stallCyclesSinceCommit_ += static_cast<int>(delta);
+    stallCyclesSinceCommit_ += delta;
     if (rob_.empty()) {
         stallEmptyRob += delta;
     } else if (!inRunahead()) {

@@ -53,8 +53,8 @@ struct CoreConfig
     int memPorts = 2;          ///< L1D ports.
     int redirectPenalty = 2;   ///< Extra cycles on branch redirect.
     int exitPenalty = 4;       ///< Pipeline restore on runahead exit.
-    int stallEntryCycles = 4;  ///< Back-pressure stall cycles before a
-                               ///< non-full ROB may trigger runahead.
+    Cycle stallEntryCycles = 4; ///< Back-pressure stall cycles before a
+                                ///< non-full ROB may trigger runahead.
     int minRunaheadDistance = 20; ///< Skip entry when the blocking miss
                                   ///< returns sooner than this (a short
                                   ///< interval cannot repay the exit
@@ -277,7 +277,7 @@ class Core
     std::uint64_t retiredAtEntry_ = 0;
     std::uint64_t pseudoRetiredInterval_ = 0;
     Cycle lastCommitCycle_ = 0;
-    int stallCyclesSinceCommit_ = 0;
+    Cycle stallCyclesSinceCommit_ = 0;
     bool renameProgress_ = false;
 
     /** @{ decideEntry denial memo (see entryDenialValid()). */

@@ -62,12 +62,14 @@ struct FaultConfig
 
     /** Arbitrarily delay a DRAM response. */
     double dramDelayRate = 0.0;
+    // rablint: cycle-ok (bounded fault-knob; applied via Cycle math)
     int dramDelayMaxCycles = 2'000; ///< Injected delays are in
                                     ///< [1, dramDelayMaxCycles].
 
     /** Open a transient memory-queue stall window (per LLC-miss
      *  allocation attempt) during which all allocations are rejected. */
     double memStallRate = 0.0;
+    // rablint: cycle-ok (bounded fault-knob; applied via Cycle math)
     int memStallCycles = 200; ///< Stall window length.
 
     bool anySpeculative() const

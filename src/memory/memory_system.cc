@@ -102,6 +102,8 @@ MemorySystem::prunePending(PendingMap &pending, Cycle now)
     // Lazy cleanup: bound the map size without per-cycle sweeps.
     if (pending.size() < 4096)
         return;
+    // rablint: order-independent (erase-only sweep; which entries
+    // survive depends on their deadlines, never on visit order)
     for (auto it = pending.begin(); it != pending.end();) {
         if (it->second <= now)
             it = pending.erase(it);

@@ -32,6 +32,7 @@ namespace rab
 struct ChainGeneratorConfig
 {
     int maxChainLength = 32;     ///< Runahead buffer capacity in uops.
+    // rablint: cycle-ok (a per-cycle port count, not a cycle quantity)
     int regSearchesPerCycle = 2; ///< Dest-register CAM ports.
     int readoutWidth = 4;        ///< ROB read-out uops per cycle.
     int srslEntries = 16;        ///< Source register search list size.
@@ -47,7 +48,7 @@ struct ChainResult
     DependenceChain chain;  ///< Program-ordered filtered chain.
 
     /** @{ Modelled cost. */
-    int generationCycles = 0;
+    Cycle generationCycles = 0;
     int pcCamSearches = 0;
     int regCamSearches = 0;
     int sqSearches = 0;

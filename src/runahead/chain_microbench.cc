@@ -89,10 +89,14 @@ timeVariant(Rob &rob, const StoreQueue &sq, bool indexed, int iterations,
     // The blocking load is the ROB head (pc 100, seq 1), the paper's
     // entry condition; a younger instance exists one loop body later.
     for (int i = 0; i < iterations; ++i) {
+        // rablint: nondeterminism-ok (host wall-time measurement of
+        // the generator microbench; reported, never fed back into
+        // simulated state)
         const auto start = std::chrono::steady_clock::now();
         const ChainResult result = gen.generate(rob, sq, 100, 1);
         const auto ns =
             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                // rablint: nondeterminism-ok (same measurement)
                 std::chrono::steady_clock::now() - start)
                 .count();
         samples.push_back(static_cast<double>(ns));

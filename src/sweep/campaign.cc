@@ -79,6 +79,8 @@ runPoint(const CampaignSpec &spec, const SweepPoint &point)
 {
     PointResult pr;
     pr.point = point;
+    // rablint: nondeterminism-ok (per-point wall-time reporting;
+    // wallSeconds never feeds simulated state or manifest ordering)
     const auto start = std::chrono::steady_clock::now();
     try {
         const WorkloadSpec *workload = findWorkload(point.workload);
@@ -118,6 +120,7 @@ runPoint(const CampaignSpec &spec, const SweepPoint &point)
         pr.error = std::string("error: ") + e.what();
     }
     pr.wallSeconds = std::chrono::duration<double>(
+                         // rablint: nondeterminism-ok (same reporting)
                          std::chrono::steady_clock::now() - start)
                          .count();
     return pr;
@@ -193,6 +196,7 @@ class WorkStealingQueue
 CampaignResult
 runCampaign(const CampaignSpec &spec, int threads)
 {
+    // rablint: nondeterminism-ok (campaign wall-time reporting only)
     const auto start = std::chrono::steady_clock::now();
     const std::vector<SweepPoint> grid = expandGrid(spec);
 
@@ -227,6 +231,7 @@ runCampaign(const CampaignSpec &spec, int threads)
     }
 
     campaign.wallSeconds = std::chrono::duration<double>(
+                               // rablint: nondeterminism-ok (ditto)
                                std::chrono::steady_clock::now() - start)
                                .count();
     return campaign;

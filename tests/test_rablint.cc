@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Fixture-driven tests for the rablint determinism lint pass
+ * (tools/rablint). Each check has a positive fixture (every line
+ * marked `// EXPECT: <check>` must be flagged, and nothing else) and
+ * a negative fixture (no findings at all, including annotated sites
+ * that exercise the suppression grammar). A check regression —
+ * a rule that stops firing or starts over-firing — fails here like
+ * any other bug.
+ */
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rablint.hh"
+
+namespace
+{
+
+using rab::lint::Finding;
+using rab::lint::Options;
+
+std::string
+fixturePath(const std::string &name)
+{
+    return std::string(RABLINT_FIXTURE_DIR) + "/" + name;
+}
+
+/** (line, check) pairs declared by `// EXPECT: <check>` markers. */
+std::set<std::pair<int, std::string>>
+expectedFindings(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open fixture " << path;
+    std::set<std::pair<int, std::string>> expected;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::size_t pos = line.find("EXPECT: ");
+        if (pos == std::string::npos)
+            continue;
+        std::istringstream rest(line.substr(pos + 8));
+        std::string check;
+        rest >> check;
+        expected.emplace(lineno, check);
+    }
+    return expected;
+}
+
+std::set<std::pair<int, std::string>>
+actualFindings(const std::string &path)
+{
+    std::set<std::pair<int, std::string>> actual;
+    for (const Finding &f : rab::lint::analyzeFile(path, Options{}))
+        actual.emplace(f.line, f.check);
+    return actual;
+}
+
+class RablintFixture
+  : public ::testing::TestWithParam<std::pair<const char *, const char *>>
+{
+};
+
+TEST_P(RablintFixture, PositiveFixtureFlagsEveryMarkedLine)
+{
+    const auto [check, stem] = GetParam();
+    const std::string path = fixturePath(std::string(stem) + "_pos.cc");
+    const auto expected = expectedFindings(path);
+    ASSERT_FALSE(expected.empty())
+        << "positive fixture has no EXPECT markers: " << path;
+    bool fired = false;
+    for (const auto &[line, name] : expected)
+        fired |= name == check;
+    ASSERT_TRUE(fired)
+        << "fixture never expects its own check: " << check;
+    EXPECT_EQ(actualFindings(path), expected) << "fixture: " << path;
+}
+
+TEST_P(RablintFixture, NegativeFixtureStaysSilent)
+{
+    const auto [check, stem] = GetParam();
+    (void)check;
+    const std::string path = fixturePath(std::string(stem) + "_neg.cc");
+    EXPECT_EQ(actualFindings(path),
+              (std::set<std::pair<int, std::string>>{}))
+        << "fixture: " << path;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllChecks, RablintFixture,
+    ::testing::Values(
+        std::make_pair("rab-unordered-iteration", "unordered_iteration"),
+        std::make_pair("rab-banned-nondeterminism", "nondeterminism"),
+        std::make_pair("rab-cycle-arithmetic", "cycle_arithmetic"),
+        std::make_pair("rab-stat-registration", "stat_registration")),
+    [](const auto &info) {
+        std::string name = info.param.second;
+        for (char &c : name) {
+            if (c == '_')
+                c = '0';
+        }
+        return name;
+    });
+
+TEST(Rablint, ChecksOptionRestrictsToNamedChecks)
+{
+    Options only_cycle;
+    only_cycle.checks = {"rab-cycle-arithmetic"};
+    const std::string path = fixturePath("nondeterminism_pos.cc");
+    EXPECT_TRUE(
+        rab::lint::analyzeFile(path, only_cycle).empty());
+}
+
+TEST(Rablint, AllowlistSilencesNondeterminism)
+{
+    Options options;
+    options.nondeterminismAllowlist = {"fixtures/nondeterminism_pos"};
+    const std::string path = fixturePath("nondeterminism_pos.cc");
+    for (const Finding &f : rab::lint::analyzeFile(path, options))
+        EXPECT_NE(f.check, "rab-banned-nondeterminism") << f.message;
+}
+
+TEST(Rablint, CrossFileAliasSeedsUnorderedIteration)
+{
+    // An alias declared "elsewhere" (the seed set) is recognized when
+    // analyzing a file that only uses it — the project-wide mode the
+    // CLI runs in.
+    const std::string source = "std::uint64_t\n"
+                               "sum(const PendingMap &pending)\n"
+                               "{\n"
+                               "    std::uint64_t total = 0;\n"
+                               "    for (const auto &[a, c] : pending)\n"
+                               "        total += c;\n"
+                               "    return total;\n"
+                               "}\n";
+    const rab::lint::LexedFile lexed = rab::lint::lex(source);
+
+    // Without the seed: nothing links `pending` to an unordered type.
+    EXPECT_TRUE(
+        rab::lint::analyze("mem.cc", lexed, Options{}, nullptr).empty());
+
+    rab::lint::UnorderedNames global;
+    global.aliases.insert("PendingMap");
+    const auto findings =
+        rab::lint::analyze("mem.cc", lexed, Options{}, &global);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].check, "rab-unordered-iteration");
+    EXPECT_EQ(findings[0].line, 5);
+}
+
+} // namespace

@@ -1,0 +1,31 @@
+// rablint fixture: nothing in this file may be flagged.
+#include <cstddef>
+#include <cstdint>
+
+using Cycle = std::uint64_t;
+
+struct Sim
+{
+    Cycle stallCycles = 0;
+    std::uint64_t tickCount = 0;
+    unsigned long long deadline = 0;
+    std::size_t cyclesSeen = 0;
+
+    // Not cycle quantities: plain small integers with unrelated names.
+    int width = 4;
+    int robEntries = 192;
+    unsigned ports = 2;
+};
+
+double
+utilization(Cycle cycle, Cycle busy)
+{
+    // Widening / floating-point conversions of cycles are fine.
+    const auto as_double = static_cast<double>(busy);
+    const auto as_wide = static_cast<std::uint64_t>(cycle);
+
+    // rablint: cycle-ok (a per-cycle port count, not a cycle count)
+    int searchesPerCycle = 2;
+    (void)searchesPerCycle;
+    return as_double / static_cast<double>(as_wide + 1);
+}

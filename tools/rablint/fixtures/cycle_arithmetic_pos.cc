@@ -1,0 +1,27 @@
+// rablint fixture: every line marked EXPECT must be flagged by the
+// named check.
+#include <cstdint>
+
+using Cycle = std::uint64_t;
+
+struct Sim
+{
+    int stallCycles = 0;              // EXPECT: rab-cycle-arithmetic
+    unsigned tickCount = 0;           // EXPECT: rab-cycle-arithmetic
+    std::int64_t signedDeadline = 0;  // EXPECT: rab-cycle-arithmetic
+};
+
+void
+run(Cycle cycle, Cycle now)
+{
+    int cycles_left = 4;              // EXPECT: rab-cycle-arithmetic
+    short tick = 0;                   // EXPECT: rab-cycle-arithmetic
+    long deadline = 0;                // EXPECT: rab-cycle-arithmetic
+    const auto low = static_cast<std::uint32_t>(cycle);  // EXPECT: rab-cycle-arithmetic
+    const auto bad = static_cast<int>(now - cycle);      // EXPECT: rab-cycle-arithmetic
+    (void)cycles_left;
+    (void)tick;
+    (void)deadline;
+    (void)low;
+    (void)bad;
+}

@@ -1,0 +1,36 @@
+// rablint fixture: nothing in this file may be flagged.
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <set>
+
+struct Timer
+{
+    // A member *named* time/clock is not the libc call.
+    std::uint64_t time() const { return ticks_; }
+    std::uint64_t clock() const { return ticks_; }
+    std::uint64_t ticks_ = 0;
+};
+
+std::uint64_t
+readTimer(const Timer &t)
+{
+    // Member calls through ./-> are fine.
+    return t.time() + t.clock();
+}
+
+// Durations without a wall clock are pure arithmetic.
+constexpr std::chrono::nanoseconds kBudget{100};
+
+// Keying by stable ids, not addresses.
+std::map<std::uint64_t, int> byId;
+std::set<std::uint64_t> seenIds;
+
+double
+sanctionedWallTime()
+{
+    // rablint: nondeterminism-ok (wall-time reporting only; value is
+    // printed, never fed into simulated state)
+    const auto t0 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}

@@ -1,0 +1,33 @@
+// rablint fixture: every line marked EXPECT must be flagged by the
+// named check.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <random>
+#include <set>
+
+struct Node;
+
+double
+wallNow()
+{
+    const auto t0 = std::chrono::steady_clock::now(); // EXPECT: rab-banned-nondeterminism
+    return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+long
+hostStamp()
+{
+    return time(nullptr); // EXPECT: rab-banned-nondeterminism
+}
+
+int
+roll()
+{
+    std::random_device rd; // EXPECT: rab-banned-nondeterminism
+    return static_cast<int>(rd() % 6) + rand() % 6; // EXPECT: rab-banned-nondeterminism
+}
+
+std::map<Node *, int> byAddress;      // EXPECT: rab-banned-nondeterminism
+std::set<const Node *> visitedPtrs;   // EXPECT: rab-banned-nondeterminism

@@ -1,0 +1,31 @@
+// rablint fixture: nothing in this file may be flagged.
+#include <string>
+
+struct Counter
+{
+};
+
+struct StatGroup
+{
+    void addCounter(const std::string &name, Counter *counter,
+                    const std::string &desc = "");
+    void addScalar(const std::string &name, const double *value,
+                   const std::string &desc = "");
+};
+
+void
+registerStats(StatGroup &core, StatGroup &memory, Counter &a, Counter &b,
+              const double *value)
+{
+    core.addCounter("hits", &a, "cache hits");
+    core.addCounter("misses", &b, "cache misses");
+    core.addScalar("ipc", value, "committed IPC");
+
+    // The same name on a *different* group is fine.
+    memory.addCounter("hits", &a, "llc hits");
+
+    // Adjacent string literals still form one literal name.
+    memory.addCounter("dram_"
+                      "reads",
+                      &b, "split literal");
+}

@@ -1,0 +1,26 @@
+// rablint fixture: every line marked EXPECT must be flagged by the
+// named check.
+#include <string>
+
+struct Counter
+{
+};
+
+struct StatGroup
+{
+    void addCounter(const std::string &name, Counter *counter,
+                    const std::string &desc = "");
+    void addScalar(const std::string &name, const double *value,
+                   const std::string &desc = "");
+};
+
+void
+registerStats(StatGroup &stats, Counter &a, Counter &b,
+              const std::string &dynamic_name, const double *value)
+{
+    stats.addCounter("hits", &a, "cache hits");
+    stats.addCounter("hits", &b, "duplicate!");   // EXPECT: rab-stat-registration
+    stats.addCounter(dynamic_name, &a, "oops");   // EXPECT: rab-stat-registration
+    stats.addScalar("ipc", value, "committed IPC");
+    stats.addScalar("ipc" + dynamic_name, value); // EXPECT: rab-stat-registration
+}

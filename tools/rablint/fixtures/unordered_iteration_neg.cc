@@ -1,0 +1,49 @@
+// rablint fixture: nothing in this file may be flagged.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using OrderedMap = std::map<std::uint64_t, std::uint64_t>;
+
+struct Tracker
+{
+    std::unordered_set<int> seen;
+    std::unordered_map<std::uint64_t, std::uint64_t> pending;
+    OrderedMap ordered;
+    std::vector<int> list;
+
+    // Point lookups and mutation never depend on bucket order.
+    bool lookupOnly(std::uint64_t addr) const
+    {
+        return pending.count(addr) != 0 && seen.count(1) != 0;
+    }
+
+    void mutate(std::uint64_t addr)
+    {
+        pending[addr] = 1;
+        pending.erase(addr + 1);
+        seen.insert(static_cast<int>(addr));
+    }
+
+    std::uint64_t sumOrdered() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &[addr, value] : ordered)
+            total += value;
+        for (int id : list)
+            total += static_cast<std::uint64_t>(id);
+        return total;
+    }
+
+    std::uint64_t annotated() const
+    {
+        std::uint64_t total = 0;
+        // rablint: order-independent (sum is commutative; no output
+        // depends on visit order)
+        for (const auto &[addr, value] : pending)
+            total += value;
+        return total;
+    }
+};

@@ -1,0 +1,39 @@
+// rablint fixture: every line marked EXPECT must be flagged by the
+// named check. These files are lint fodder, never compiled or
+// formatted.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+using PendingMap = std::unordered_map<std::uint64_t, std::uint64_t>;
+
+struct Tracker
+{
+    std::unordered_set<int> seen;
+    PendingMap pending;
+
+    std::uint64_t sum() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &[addr, value] : pending) // EXPECT: rab-unordered-iteration
+            total += value;
+        for (int id : seen) // EXPECT: rab-unordered-iteration
+            total += static_cast<std::uint64_t>(id);
+        return total;
+    }
+
+    void prune()
+    {
+        for (auto it = pending.begin(); it != pending.end();) // EXPECT: rab-unordered-iteration
+            it = pending.erase(it);
+    }
+};
+
+std::uint64_t
+inlineTraversal(const std::unordered_map<int, std::uint64_t> &direct)
+{
+    std::uint64_t total = 0;
+    for (const auto &[k, v] : direct) // EXPECT: rab-unordered-iteration
+        total += v;
+    return total;
+}

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Minimal C++ lexer for rablint.
+ *
+ * Understands exactly as much of the grammar as the checks need:
+ * comments (captured per line for annotation lookup), string and
+ * character literals including raw strings, preprocessor directives
+ * (skipped, continuations honoured), identifiers, numbers, and
+ * multi-character punctuators that matter for token-sequence matching
+ * (`::`, `->`, `<=`, `>=`, `<<`, `>>`).
+ */
+
+#include "rablint.hh"
+
+#include <cctype>
+
+namespace rab::lint
+{
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+} // namespace
+
+LexedFile
+lex(const std::string &source)
+{
+    LexedFile out;
+    const std::size_t n = source.size();
+    std::size_t i = 0;
+    int line = 1;
+
+    const auto append_comment = [&out](int at, const std::string &text) {
+        std::string &slot = out.comments[at];
+        if (!slot.empty())
+            slot += ' ';
+        slot += text;
+    };
+
+    while (i < n) {
+        const char c = source[i];
+
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+
+        // Preprocessor directive: skip to end of line, honouring
+        // backslash continuations, so `#include <map>` and macro
+        // bodies never reach the checks.
+        if (c == '#') {
+            while (i < n && source[i] != '\n') {
+                if (source[i] == '\\' && i + 1 < n
+                    && source[i + 1] == '\n') {
+                    ++line;
+                    i += 2;
+                    continue;
+                }
+                ++i;
+            }
+            continue;
+        }
+
+        // Line comment.
+        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+            std::size_t j = i + 2;
+            while (j < n && source[j] != '\n')
+                ++j;
+            append_comment(line, source.substr(i + 2, j - i - 2));
+            i = j;
+            continue;
+        }
+
+        // Block comment: text is attributed to every line it covers,
+        // so `/* rablint: ... */` works wherever `//` would.
+        if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+            std::size_t j = i + 2;
+            int comment_line = line;
+            std::string text;
+            while (j + 1 < n
+                   && !(source[j] == '*' && source[j + 1] == '/')) {
+                if (source[j] == '\n') {
+                    append_comment(comment_line, text);
+                    text.clear();
+                    ++comment_line;
+                } else {
+                    text += source[j];
+                }
+                ++j;
+            }
+            append_comment(comment_line, text);
+            line = comment_line;
+            i = (j + 1 < n) ? j + 2 : n;
+            continue;
+        }
+
+        // Raw string literal: R"delim( ... )delim".
+        if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+            std::size_t j = i + 2;
+            std::string delim;
+            while (j < n && source[j] != '(')
+                delim += source[j++];
+            const std::string close = ")" + delim + "\"";
+            std::size_t end = source.find(close, j);
+            if (end == std::string::npos)
+                end = n;
+            else
+                end += close.size();
+            for (std::size_t k = i; k < end && k < n; ++k) {
+                if (source[k] == '\n')
+                    ++line;
+            }
+            out.tokens.push_back({TokKind::kString, "<raw>", line});
+            i = end;
+            continue;
+        }
+
+        // String / char literal.
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            std::size_t j = i + 1;
+            std::string text;
+            while (j < n && source[j] != quote) {
+                if (source[j] == '\\' && j + 1 < n) {
+                    text += source[j];
+                    text += source[j + 1];
+                    j += 2;
+                    continue;
+                }
+                if (source[j] == '\n')
+                    ++line; // Unterminated; keep line numbers sane.
+                text += source[j++];
+            }
+            out.tokens.push_back({quote == '"' ? TokKind::kString
+                                               : TokKind::kChar,
+                                  text, line});
+            i = (j < n) ? j + 1 : n;
+            // Skip literal suffixes (s, sv, ...).
+            while (i < n && isIdentChar(source[i]))
+                ++i;
+            continue;
+        }
+
+        // Identifier / keyword.
+        if (isIdentStart(c)) {
+            std::size_t j = i;
+            while (j < n && isIdentChar(source[j]))
+                ++j;
+            out.tokens.push_back(
+                {TokKind::kIdentifier, source.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+
+        // Number (good enough: digits plus ident chars, '.', and
+        // exponent signs).
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            while (j < n
+                   && (isIdentChar(source[j]) || source[j] == '.'
+                       || source[j] == '\''
+                       || ((source[j] == '+' || source[j] == '-')
+                           && (source[j - 1] == 'e'
+                               || source[j - 1] == 'E'
+                               || source[j - 1] == 'p'
+                               || source[j - 1] == 'P'))))
+                ++j;
+            out.tokens.push_back(
+                {TokKind::kNumber, source.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+
+        // Multi-char punctuators the checks match on.
+        static const char *const kDigraphs[] = {"::", "->", "<=", ">=",
+                                                "<<", ">>", "=="};
+        bool matched = false;
+        for (const char *dg : kDigraphs) {
+            if (i + 1 < n && source[i] == dg[0] && source[i + 1] == dg[1]) {
+                out.tokens.push_back({TokKind::kPunct, dg, line});
+                i += 2;
+                matched = true;
+                break;
+            }
+        }
+        if (matched)
+            continue;
+
+        out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+        ++i;
+    }
+
+    return out;
+}
+
+} // namespace rab::lint

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * rablint CLI.
+ *
+ * Usage:
+ *   rablint [--checks=a,b] [--list-checks] <file-or-dir>...
+ *
+ * Directories are recursed for .cc/.hh/.cpp/.h sources in sorted
+ * order (the lint itself is deterministic, of course). Exit codes:
+ * 0 clean, 1 findings, 2 usage or IO error.
+ */
+
+#include "rablint.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+bool
+isSourceFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" || ext == ".h";
+}
+
+void
+collectSources(const fs::path &root, std::vector<std::string> &out)
+{
+    if (fs::is_directory(root)) {
+        for (const auto &entry : fs::recursive_directory_iterator(root)) {
+            if (entry.is_regular_file() && isSourceFile(entry.path()))
+                out.push_back(entry.path().string());
+        }
+    } else {
+        out.push_back(root.string());
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    rab::lint::Options options;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list-checks") {
+            for (const std::string &name : rab::lint::allCheckNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        }
+        if (arg.rfind("--checks=", 0) == 0) {
+            std::string list = arg.substr(9);
+            std::size_t pos = 0;
+            while (pos != std::string::npos) {
+                const std::size_t comma = list.find(',', pos);
+                const std::string name = list.substr(
+                    pos, comma == std::string::npos ? comma
+                                                    : comma - pos);
+                if (!name.empty())
+                    options.checks.push_back(name);
+                pos = comma == std::string::npos ? comma : comma + 1;
+            }
+            continue;
+        }
+        if (arg == "--help" || arg == "-h" || arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr,
+                         "usage: rablint [--checks=a,b] [--list-checks] "
+                         "<file-or-dir>...\n");
+            return arg == "--help" || arg == "-h" ? 0 : 2;
+        }
+        files.push_back(arg);
+    }
+
+    if (files.empty()) {
+        std::fprintf(stderr, "rablint: no inputs (try --help)\n");
+        return 2;
+    }
+
+    std::vector<std::string> sources;
+    for (const std::string &f : files) {
+        if (!fs::exists(f)) {
+            std::fprintf(stderr, "rablint: no such path: %s\n",
+                         f.c_str());
+            return 2;
+        }
+        collectSources(f, sources);
+    }
+    std::sort(sources.begin(), sources.end());
+    sources.erase(std::unique(sources.begin(), sources.end()),
+                  sources.end());
+
+    // Two passes: lex everything and union unordered-container names
+    // project-wide (so an alias declared in a header is recognized in
+    // its sibling .cc), then flag per file.
+    std::vector<rab::lint::LexedFile> lexed;
+    rab::lint::UnorderedNames global;
+    lexed.reserve(sources.size());
+    for (const std::string &path : sources) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "rablint: cannot open %s\n",
+                         path.c_str());
+            return 2;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        lexed.push_back(rab::lint::lex(buf.str()));
+        rab::lint::collectUnorderedNames(lexed.back(), global);
+    }
+
+    std::size_t findings = 0;
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+        for (const rab::lint::Finding &f : rab::lint::analyze(
+                 sources[i], lexed[i], options, &global)) {
+            std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                        f.check.c_str(), f.message.c_str());
+            ++findings;
+        }
+    }
+
+    std::fprintf(stderr, "rablint: %zu file%s checked, %zu finding%s\n",
+                 sources.size(), sources.size() == 1 ? "" : "s",
+                 findings, findings == 1 ? "" : "s");
+    return findings == 0 ? 0 : 1;
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * rablint — project-specific determinism & invariant lint pass.
+ *
+ * The simulator's correctness story (differential tests, canonical
+ * rab-sweep-manifest-v1 byte-diffing, parallel==serial certification)
+ * rests on bit-determinism. rablint statically enforces the rules that
+ * previously lived only in reviewers' heads:
+ *
+ *   rab-unordered-iteration   traversal of std::unordered_map/set is
+ *                             order-unstable across libraries and runs;
+ *                             any traversal must be annotated
+ *                             `// rablint: order-independent (<why>)`.
+ *   rab-banned-nondeterminism wall clocks, libc randomness, and
+ *                             pointer-keyed containers inject
+ *                             address-space/time dependence. Sanctioned
+ *                             wrappers (src/common/rng.*,
+ *                             src/common/profiler.*) are allowlisted;
+ *                             other sites need
+ *                             `// rablint: nondeterminism-ok (<why>)`.
+ *   rab-cycle-arithmetic      cycle counters are 64-bit unsigned
+ *                             (rab::Cycle); declaring cycle-named
+ *                             variables with narrow or signed types
+ *                             truncates or wraps at simulation scale.
+ *                             Escape hatch: `// rablint: cycle-ok`.
+ *   rab-stat-registration     StatGroup names must be string literals,
+ *                             unique per group, so manifest schemas
+ *                             stay diffable. Escape: `// rablint:
+ *                             stat-ok (<why>)`.
+ *
+ * Implementation note: the pass is a token-level analysis over a real
+ * C++ lexer (comments, raw strings, preprocessor lines handled), not a
+ * clang AST plugin — the build image ships no clang dev headers, and a
+ * g++-buildable tool lets the lint run inside the normal ctest suite
+ * on every developer machine, not just CI. The checks are written
+ * against declared-name and token-sequence evidence; DESIGN.md §12
+ * documents each check's exact scope and the libTooling upgrade path.
+ */
+
+#ifndef RAB_TOOLS_RABLINT_RABLINT_HH
+#define RAB_TOOLS_RABLINT_RABLINT_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace rab::lint
+{
+
+/** Lexical token classes rablint distinguishes. */
+enum class TokKind
+{
+    kIdentifier,
+    kNumber,
+    kString,
+    kChar,
+    kPunct,
+};
+
+struct Token
+{
+    TokKind kind = TokKind::kPunct;
+    std::string text;
+    int line = 0;
+};
+
+/**
+ * One lexed translation unit: significant tokens plus per-line comment
+ * text (the channel annotations arrive on).
+ */
+struct LexedFile
+{
+    std::vector<Token> tokens;
+    /** line -> concatenated comment text ending on that line. */
+    std::map<int, std::string> comments;
+};
+
+/**
+ * Lex @p source. Line and block comments land in `comments`;
+ * preprocessor directives (with continuations) are skipped entirely so
+ * header names and macro bodies cannot produce findings.
+ */
+LexedFile lex(const std::string &source);
+
+/** One diagnostic. */
+struct Finding
+{
+    std::string check;   ///< e.g. "rab-unordered-iteration".
+    std::string file;
+    int line = 0;
+    std::string message;
+};
+
+struct Options
+{
+    /** Empty = all checks. Otherwise check names to run. */
+    std::vector<std::string> checks;
+    /**
+     * Path substrings exempt from rab-banned-nondeterminism: the
+     * sanctioned wrappers every other module must route through.
+     */
+    std::vector<std::string> nondeterminismAllowlist{
+        "src/common/rng.",
+        "src/common/profiler.",
+    };
+};
+
+/** All check names, in reporting order. */
+const std::vector<std::string> &allCheckNames();
+
+/**
+ * Names known to denote unordered containers: type aliases whose
+ * definition mentions unordered_map/set, and variables/members/
+ * parameters declared with such a type. Collected project-wide before
+ * flagging so an alias declared in a header (e.g. PendingMap in
+ * memory_system.hh) is recognized in the sibling .cc.
+ */
+struct UnorderedNames
+{
+    std::set<std::string> aliases;
+    std::set<std::string> vars;
+};
+
+/** Accumulate unordered-container names declared in @p lexed. */
+void collectUnorderedNames(const LexedFile &lexed, UnorderedNames &names);
+
+/**
+ * Run every enabled check over one lexed file. @p global, when given,
+ * seeds rab-unordered-iteration with names collected across the whole
+ * corpus (single-file callers may pass nullptr).
+ */
+std::vector<Finding> analyze(const std::string &path,
+                             const LexedFile &lexed,
+                             const Options &options,
+                             const UnorderedNames *global = nullptr);
+
+/** Convenience: read + lex + analyze one file. Throws on IO error. */
+std::vector<Finding> analyzeFile(const std::string &path,
+                                 const Options &options);
+
+} // namespace rab::lint
+
+#endif // RAB_TOOLS_RABLINT_RABLINT_HH
