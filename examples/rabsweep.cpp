@@ -14,15 +14,27 @@
  *   rabsweep --preset smoke --gate bench/baseline.json
  *   rabsweep --preset smoke --threads 2 --write-baseline \
  *            bench/baseline.json
+ *   rabsweep --preset fig9 --store .rabstore      # resumable
+ *   rabsweep --serve /tmp/rabsweep.sock --store .rabstore
+ *
+ * With --store, completed points are persisted in a crash-safe result
+ * store and a re-run of the same campaign (same code, same configs)
+ * simulates only the missing points — kill it at any moment, run the
+ * same command again, and it resumes. Ctrl-C is graceful: in-flight
+ * points finish and are flushed, the partial manifest is written with
+ * "interrupted": true, and the process exits 7.
  *
  * Exit codes: 0 success, 2 usage error, 5 some points failed (the
  * campaign itself still completed and the manifest was written),
- * 6 perf gate failed.
+ * 6 perf gate failed, 7 interrupted (partial manifest written).
  */
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,6 +43,8 @@
 #include "runahead/chain_microbench.hh"
 #include "sweep/campaign.hh"
 #include "sweep/report.hh"
+#include "sweep/serve/daemon.hh"
+#include "sweep/store/result_store.hh"
 #include "workloads/suite.hh"
 
 using namespace rab;
@@ -55,7 +69,25 @@ struct Options
     std::string baselineOutPath;
     bool listPresets = false;
     bool fastForward = true;
+    std::string storeDir;   ///< Result-store root ("" = no store).
+    std::string servePath;  ///< Daemon socket ("" = batch mode).
+    std::size_t maxJobs = 4;
+    int ioTimeoutMs = 5000;
+    int idleTimeoutMs = 60000;
+    int retryLimit = 2;
+    int retryBackoffMs = 20;
 };
+
+/** Batch-mode SIGINT latch: workers stop claiming new points. */
+std::atomic<bool> g_interrupted{false};
+
+void
+onInterrupt(int)
+{
+    g_interrupted = true;
+    // A second Ctrl-C kills the process the old-fashioned way.
+    std::signal(SIGINT, SIG_DFL);
+}
 
 [[noreturn]] void
 usage(int code)
@@ -83,7 +115,21 @@ usage(int code)
         "  --write-baseline F  write a new baseline and exit\n"
         "  --no-fast-forward   disable the cycle-loop fast-forward\n"
         "                      engine in every point (debugging)\n"
-        "  --list-presets      describe the presets and exit\n",
+        "  --list-presets      describe the presets and exit\n"
+        "  --store DIR         crash-safe result store: cached points\n"
+        "                      are reused, fresh ones persisted, so a\n"
+        "                      killed campaign resumes on re-run\n"
+        "  --retry-limit N     per-point fault retries (default 2)\n"
+        "  --retry-backoff MS  base retry backoff, doubling (def 20)\n"
+        "  --serve SOCKET      daemon mode: serve campaign specs over\n"
+        "                      a unix socket until SIGTERM/SIGINT,\n"
+        "                      then drain gracefully\n"
+        "  --max-jobs N        (serve) admission-control campaign\n"
+        "                      limit; excess submits are shed (def 4)\n"
+        "  --io-timeout MS     (serve) per-frame read/write deadline\n"
+        "                      before a client is reaped (def 5000)\n"
+        "  --idle-timeout MS   (serve) reap idle connections (def\n"
+        "                      60000)\n",
         code == 0 ? stdout : stderr);
     std::exit(code);
 }
@@ -109,30 +155,15 @@ splitList(const std::string &list)
 }
 
 ConfigVariant
-parseVariant(std::string name)
+parseVariant(const std::string &name)
 {
-    bool prefetch = false;
-    const std::size_t suffix = name.rfind("+pf");
-    if (suffix != std::string::npos && suffix == name.size() - 3) {
-        prefetch = true;
-        name.resize(suffix);
+    // Shared with the daemon's submit-frame parser (campaign.cc);
+    // here an unknown label is a usage error, there a bad-spec frame.
+    try {
+        return parseVariantLabel(name);
+    } catch (const std::exception &e) {
+        fatal("%s", e.what());
     }
-    RunaheadConfig config = RunaheadConfig::kBaseline;
-    if (name == "baseline")
-        config = RunaheadConfig::kBaseline;
-    else if (name == "runahead")
-        config = RunaheadConfig::kRunahead;
-    else if (name == "runahead-enhanced")
-        config = RunaheadConfig::kRunaheadEnhanced;
-    else if (name == "buffer")
-        config = RunaheadConfig::kRunaheadBuffer;
-    else if (name == "buffer-cc")
-        config = RunaheadConfig::kRunaheadBufferCC;
-    else if (name == "hybrid")
-        config = RunaheadConfig::kHybrid;
-    else
-        fatal("unknown config '%s'", name.c_str());
-    return makeVariant(config, prefetch);
 }
 
 void
@@ -270,6 +301,21 @@ parseArgs(int argc, char **argv)
             opts.fastForward = false;
         else if (arg == "--list-presets")
             opts.listPresets = true;
+        else if (arg == "--store")
+            opts.storeDir = next(i);
+        else if (arg == "--serve")
+            opts.servePath = next(i);
+        else if (arg == "--max-jobs")
+            opts.maxJobs =
+                static_cast<std::size_t>(std::atoi(next(i)));
+        else if (arg == "--io-timeout")
+            opts.ioTimeoutMs = std::atoi(next(i));
+        else if (arg == "--idle-timeout")
+            opts.idleTimeoutMs = std::atoi(next(i));
+        else if (arg == "--retry-limit")
+            opts.retryLimit = std::atoi(next(i));
+        else if (arg == "--retry-backoff")
+            opts.retryBackoffMs = std::atoi(next(i));
         else if (arg == "--help" || arg == "-h")
             usage(0);
         else
@@ -305,6 +351,8 @@ buildSpec(const Options &opts)
     if (opts.warmup > 0)
         spec.warmup = opts.warmup;
     spec.fastForward = opts.fastForward;
+    spec.retryLimit = opts.retryLimit;
+    spec.retryBackoffMs = opts.retryBackoffMs;
     if (spec.workloads.empty() || spec.variants.empty())
         fatal("empty grid: give --preset or --workloads/--configs");
     return spec;
@@ -316,18 +364,34 @@ printSummary(const CampaignResult &campaign)
     TextTable table(
         {"#", "workload", "variant", "seed", "status", "IPC", "wall s"});
     for (const PointResult &p : campaign.points) {
+        const char *status = "FAILED";
+        if (p.ok)
+            status = p.cached ? "cached" : "ok";
+        else if (!p.ran)
+            status = "skipped";
+        else if (p.quarantined)
+            status = "QUARANTINED";
         table.addRow({std::to_string(p.point.index), p.point.workload,
                       p.point.variant, std::to_string(p.point.seed),
-                      p.ok ? "ok" : "FAILED",
+                      status,
                       p.ok ? strprintf("%.3f", p.result.ipc) : "-",
                       strprintf("%.2f", p.wallSeconds)});
     }
     table.print();
-    std::printf("\n%zu point(s), %zu failed; %d thread(s); "
-                "wall %.2f s; %.3g simulated cycles/s\n",
-                campaign.points.size(), campaign.failedCount(),
-                campaign.threads, campaign.wallSeconds,
+    std::printf("\n%zu point(s), %zu failed, %zu skipped; "
+                "%d thread(s); wall %.2f s; %.3g simulated cycles/s\n",
+                campaign.points.size(),
+                campaign.failedCount() - campaign.skippedCount(),
+                campaign.skippedCount(), campaign.threads,
+                campaign.wallSeconds,
                 campaignCyclesPerSecond(campaign));
+    if (campaign.storeHits + campaign.storeMisses > 0) {
+        std::printf("store: %llu hit(s), %llu miss(es), %llu corrupt "
+                    "record(s) discarded\n",
+                    (unsigned long long)campaign.storeHits,
+                    (unsigned long long)campaign.storeMisses,
+                    (unsigned long long)campaign.storeCorrupt);
+    }
 }
 
 } // namespace
@@ -342,16 +406,51 @@ main(int argc, char **argv)
         return 0;
     }
 
+    if (!opts.servePath.empty()) {
+        DaemonConfig config;
+        config.socketPath = opts.servePath;
+        config.storeDir = opts.storeDir;
+        config.threads = resolveThreads(opts.threads);
+        config.maxActiveJobs = opts.maxJobs;
+        config.ioTimeoutMs = opts.ioTimeoutMs;
+        config.idleTimeoutMs = opts.idleTimeoutMs;
+        config.retryLimit = opts.retryLimit;
+        config.retryBackoffMs = opts.retryBackoffMs;
+        return serveDaemon(config);
+    }
+
     const CampaignSpec spec = buildSpec(opts);
     // Same precedence as BenchOptions::fromEnv: explicit --threads,
     // then RAB_THREADS, then all hardware threads.
     const int threads = resolveThreads(opts.threads);
 
+    std::unique_ptr<ResultStore> store;
+    if (!opts.storeDir.empty()) {
+        store = std::make_unique<ResultStore>(opts.storeDir);
+        if (!store->ok())
+            fatal("--store: %s", store->error().c_str());
+    }
+
     std::fprintf(stderr,
                  "rabsweep: campaign '%s', %zu points on %d "
-                 "thread(s)\n",
-                 spec.name.c_str(), spec.pointCount(), threads);
-    const CampaignResult campaign = runCampaign(spec, threads);
+                 "thread(s)%s\n",
+                 spec.name.c_str(), spec.pointCount(), threads,
+                 store ? ", resumable (Ctrl-C is graceful)" : "");
+    CampaignRunOptions run_options;
+    run_options.store = store.get();
+    run_options.stop = &g_interrupted;
+    std::signal(SIGINT, onInterrupt);
+    const CampaignResult campaign =
+        runCampaign(spec, threads, run_options);
+    std::signal(SIGINT, SIG_DFL);
+    if (campaign.interrupted) {
+        std::fprintf(stderr,
+                     "rabsweep: interrupted — %zu of %zu point(s) "
+                     "skipped; partial manifest follows%s\n",
+                     campaign.skippedCount(), campaign.points.size(),
+                     store ? " (re-run the same command to resume)"
+                           : "");
+    }
 
     if (!opts.baselineOutPath.empty()) {
         if (campaign.failedCount() > 0) {
@@ -388,6 +487,11 @@ main(int argc, char **argv)
     }
 
     int code = campaign.failedCount() > 0 ? 5 : 0;
+    if (campaign.interrupted) {
+        // Distinct from 5: the grid was cut short, not refuted. A
+        // gate over partial data would be meaningless — skip it.
+        return 7;
+    }
     if (!opts.gatePath.empty()) {
         GateResult gate;
         try {

@@ -10,6 +10,8 @@
 #include "checker/invariant_checker.hh"
 #include "common/logging.hh"
 #include "fault/watchdog.hh"
+#include "sweep/report.hh"
+#include "sweep/store/result_store.hh"
 #include "workloads/suite.hh"
 
 namespace rab
@@ -24,6 +26,34 @@ makeVariant(RunaheadConfig config, bool prefetch)
     v.runahead = config;
     v.prefetch = prefetch;
     return v;
+}
+
+ConfigVariant
+parseVariantLabel(const std::string &label)
+{
+    std::string name = label;
+    bool prefetch = false;
+    const std::size_t suffix = name.rfind("+pf");
+    if (suffix != std::string::npos && suffix == name.size() - 3) {
+        prefetch = true;
+        name.resize(suffix);
+    }
+    RunaheadConfig config = RunaheadConfig::kBaseline;
+    if (name == "baseline")
+        config = RunaheadConfig::kBaseline;
+    else if (name == "runahead")
+        config = RunaheadConfig::kRunahead;
+    else if (name == "runahead-enhanced")
+        config = RunaheadConfig::kRunaheadEnhanced;
+    else if (name == "buffer")
+        config = RunaheadConfig::kRunaheadBuffer;
+    else if (name == "buffer-cc")
+        config = RunaheadConfig::kRunaheadBufferCC;
+    else if (name == "hybrid")
+        config = RunaheadConfig::kHybrid;
+    else
+        throw std::runtime_error("unknown config '" + label + "'");
+    return makeVariant(config, prefetch);
 }
 
 std::size_t
@@ -61,6 +91,15 @@ CampaignResult::failedCount() const
     for (const PointResult &p : points)
         failed += p.ok ? 0 : 1;
     return failed;
+}
+
+std::size_t
+CampaignResult::skippedCount() const
+{
+    std::size_t skipped = 0;
+    for (const PointResult &p : points)
+        skipped += p.ran ? 0 : 1;
+    return skipped;
 }
 
 std::uint64_t
@@ -123,6 +162,45 @@ runPoint(const CampaignSpec &spec, const SweepPoint &point)
                          // rablint: nondeterminism-ok (same reporting)
                          std::chrono::steady_clock::now() - start)
                          .count();
+    pr.ran = true;
+    return pr;
+}
+
+bool
+isRetryableFailure(const std::string &error)
+{
+    // Fault-classified failures only: a watchdog giving up is the
+    // "machine hiccup" class the degradation ladder exists for, and
+    // the one the daemon must not let poison a whole campaign. Spec
+    // errors (unknown workload) and invariant violations are
+    // deterministic bugs — retrying them just burns time.
+    return error.rfind("WatchdogTimeout", 0) == 0;
+}
+
+PointResult
+runPointWithRecovery(const CampaignSpec &spec, const SweepPoint &point)
+{
+    PointResult pr = runPoint(spec, point);
+    int attempt = 0;
+    while (!pr.ok && isRetryableFailure(pr.error)
+           && attempt < spec.retryLimit) {
+        // Bounded exponential backoff, the MemorySystem retry idiom
+        // lifted to point granularity. The sleep is wall time, not
+        // simulated time: it never touches simulator state.
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            spec.retryBackoffMs > 0 ? spec.retryBackoffMs << attempt
+                                    : 0));
+        ++attempt;
+        const std::string first_error = pr.error;
+        pr = runPoint(spec, point);
+        pr.retries = attempt;
+        if (!pr.ok)
+            pr.error += strprintf(" (retry %d of %d; first: %s)",
+                                  attempt, spec.retryLimit,
+                                  first_error.c_str());
+    }
+    if (!pr.ok && isRetryableFailure(pr.error))
+        pr.quarantined = true;
     return pr;
 }
 
@@ -196,6 +274,13 @@ class WorkStealingQueue
 CampaignResult
 runCampaign(const CampaignSpec &spec, int threads)
 {
+    return runCampaign(spec, threads, CampaignRunOptions{});
+}
+
+CampaignResult
+runCampaign(const CampaignSpec &spec, int threads,
+            const CampaignRunOptions &options)
+{
     // rablint: nondeterminism-ok (campaign wall-time reporting only)
     const auto start = std::chrono::steady_clock::now();
     const std::vector<SweepPoint> grid = expandGrid(spec);
@@ -205,10 +290,59 @@ runCampaign(const CampaignSpec &spec, int threads)
     campaign.threads = threads < 1 ? 1 : threads;
     campaign.points.resize(grid.size());
 
+    // A configHook mutates configs invisibly to the config hash, so
+    // cached results could silently disagree with what the hook would
+    // have produced — bypass the store entirely in that case.
+    ResultStore *store =
+        spec.configHook ? nullptr : options.store;
+    if (options.store && !store) {
+        warn("sweep: result store bypassed: spec '%s' has a "
+             "configHook the config hash cannot see",
+             spec.name.c_str());
+    }
+    const std::string git_sha = store ? currentGitSha() : "";
+    const std::uint64_t hits0 = store ? store->hits() : 0;
+    const std::uint64_t misses0 = store ? store->misses() : 0;
+    const std::uint64_t corrupt0 = store ? store->corruptDiscarded() : 0;
+
+    const std::atomic<bool> *stop = options.stop;
+    const auto stopped = [stop] { return stop && stop->load(); };
+    std::mutex stream_mutex; // serialises options.onPoint calls
+
+    // One point, store-first: cached results short-circuit the
+    // simulation; fresh ok results are persisted before they are
+    // reported, so a kill arriving mid-campaign can never lose a
+    // point that a client already saw.
+    const auto run_index = [&](std::size_t index) {
+        const SweepPoint &point = grid[index];
+        PointResult pr;
+        if (store) {
+            const StoreKey key = makeStoreKey(spec, point, git_sha);
+            if (auto cached = store->lookup(key)) {
+                pr = std::move(*cached);
+                pr.point = point; // re-anchor to this grid's index
+            } else {
+                pr = runPointWithRecovery(spec, point);
+                if (pr.ok)
+                    store->put(key, pr);
+            }
+        } else {
+            pr = runPointWithRecovery(spec, point);
+        }
+        if (options.onPoint) {
+            std::lock_guard<std::mutex> lock(stream_mutex);
+            options.onPoint(pr);
+        }
+        campaign.points[index] = std::move(pr);
+    };
+
     if (campaign.threads <= 1 || grid.size() <= 1) {
         // Serial reference path: no threads, same per-point code.
-        for (const SweepPoint &point : grid)
-            campaign.points[point.index] = runPoint(spec, point);
+        for (const SweepPoint &point : grid) {
+            if (stopped())
+                break;
+            run_index(point.index);
+        }
     } else {
         const std::size_t workers =
             std::min<std::size_t>(campaign.threads, grid.size());
@@ -220,14 +354,28 @@ runCampaign(const CampaignSpec &spec, int threads)
         for (std::size_t w = 0; w < workers; ++w) {
             pool.emplace_back([&, w] {
                 std::size_t index = 0;
-                while (queue.pop(w, index)) {
-                    campaign.points[index] =
-                        runPoint(spec, grid[index]);
-                }
+                // The stop flag gates claiming, not completion: an
+                // in-flight point always finishes and is flushed.
+                while (!stopped() && queue.pop(w, index))
+                    run_index(index);
             });
         }
         for (std::thread &t : pool)
             t.join();
+    }
+
+    campaign.interrupted = stopped();
+    for (std::size_t i = 0; i < campaign.points.size(); ++i) {
+        PointResult &p = campaign.points[i];
+        if (!p.ran) {
+            p.point = grid[i];
+            p.error = "interrupted: point not run";
+        }
+    }
+    if (store) {
+        campaign.storeHits = store->hits() - hits0;
+        campaign.storeMisses = store->misses() - misses0;
+        campaign.storeCorrupt = store->corruptDiscarded() - corrupt0;
     }
 
     campaign.wallSeconds = std::chrono::duration<double>(

@@ -25,6 +25,7 @@
 #ifndef RAB_SWEEP_CAMPAIGN_HH
 #define RAB_SWEEP_CAMPAIGN_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -37,6 +38,8 @@
 namespace rab
 {
 
+class ResultStore; // sweep/store/result_store.hh
+
 /** One named runahead/prefetch configuration axis entry. */
 struct ConfigVariant
 {
@@ -47,6 +50,15 @@ struct ConfigVariant
 
 /** Label a (config, prefetch) pair the way the benches do. */
 ConfigVariant makeVariant(RunaheadConfig config, bool prefetch);
+
+/**
+ * Parse a CLI/wire config label — "baseline", "runahead",
+ * "runahead-enhanced", "buffer", "buffer-cc" or "hybrid", each with
+ * an optional "+pf" suffix — into a variant. Throws
+ * std::runtime_error on an unknown name (the daemon turns that into
+ * a bad-spec error frame; the CLI into a fatal()).
+ */
+ConfigVariant parseVariantLabel(const std::string &label);
 
 /** A declarative workloads x variants x seeds grid. */
 struct CampaignSpec
@@ -62,6 +74,18 @@ struct CampaignSpec
     CheckLevel checkLevel = CheckLevel::kOff;
     CheckPolicy checkPolicy = CheckPolicy::kThrow;
     bool fastForward = true; ///< Cycle-loop fast-forward engine.
+
+    /**
+     * @{ Bounded-retry recovery for fault-classified point failures
+     * (WatchdogTimeout), the same idiom MemorySystem uses for dropped
+     * DRAM responses: up to retryLimit re-runs with exponential
+     * backoff (retryBackoffMs, doubling per attempt). A point that
+     * exhausts its retries is quarantined — marked failed so the rest
+     * of the campaign completes — instead of wedging the run.
+     */
+    int retryLimit = 2;
+    int retryBackoffMs = 20;
+    /** @} */
 
     /**
      * Optional per-point SimConfig override, applied after the
@@ -102,6 +126,11 @@ struct PointResult
     /** Flattened core+memory StatGroup payload (dotted names). */
     std::map<std::string, double> stats;
     double wallSeconds = 0;
+    bool ran = false;    ///< False: interrupted before this point ran.
+    bool cached = false; ///< Served from the result store.
+    int retries = 0;     ///< Fault-classified re-runs performed.
+    /** Failed every retry; isolated so the campaign completes. */
+    bool quarantined = false;
 };
 
 /** A finished campaign: points in grid order, always complete. */
@@ -111,10 +140,51 @@ struct CampaignResult
     int threads = 1;
     double wallSeconds = 0;
     std::vector<PointResult> points;
+    /** Stopped early (SIGINT / daemon drain): not every point ran. */
+    bool interrupted = false;
+
+    /** @{ Result-store traffic (zero when no store was attached). */
+    std::uint64_t storeHits = 0;
+    std::uint64_t storeMisses = 0;
+    std::uint64_t storeCorrupt = 0;
+    /** @} */
 
     std::size_t failedCount() const;
+    /** Points never executed because the campaign was interrupted. */
+    std::size_t skippedCount() const;
     /** Sum of simulated cycles over successful points. */
     std::uint64_t simulatedCycles() const;
+};
+
+/**
+ * Execution environment for runCampaign beyond the spec itself: all
+ * optional, all observed on worker threads.
+ */
+struct CampaignRunOptions
+{
+    /**
+     * Consult this store before simulating each point and persist
+     * fresh ok results into it — the mechanism that makes campaigns
+     * resumable (the store is the checkpoint). Ignored when the spec
+     * has a configHook: the hook's effect is invisible to the config
+     * hash, so cached results could silently lie.
+     */
+    ResultStore *store = nullptr;
+
+    /**
+     * Cooperative stop flag (set by a SIGINT handler or the daemon's
+     * drain path). Once true, workers finish their in-flight point
+     * but claim no new ones; the campaign returns with
+     * interrupted == true and un-run points marked !ran.
+     */
+    const std::atomic<bool> *stop = nullptr;
+
+    /**
+     * Per-completed-point callback, invoked under an internal mutex
+     * (serialised) as soon as each point finishes, in completion
+     * order — the daemon's incremental streaming hook.
+     */
+    std::function<void(const PointResult &point)> onPoint;
 };
 
 /**
@@ -125,8 +195,22 @@ struct CampaignResult
  */
 CampaignResult runCampaign(const CampaignSpec &spec, int threads);
 
+/** As above with a store / stop flag / streaming callback. */
+CampaignResult runCampaign(const CampaignSpec &spec, int threads,
+                           const CampaignRunOptions &options);
+
 /** Run one point in isolation (also the serial path's worker). */
 PointResult runPoint(const CampaignSpec &spec, const SweepPoint &point);
+
+/**
+ * runPoint plus the spec's bounded-backoff retry and quarantine
+ * policy (the daemon's and the pool's per-point worker).
+ */
+PointResult runPointWithRecovery(const CampaignSpec &spec,
+                                 const SweepPoint &point);
+
+/** Is @p error a fault-classified failure worth retrying? */
+bool isRetryableFailure(const std::string &error);
 
 } // namespace rab
 

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <thread>
 
@@ -80,6 +81,38 @@ simResultJson(const SimResult &result)
     return j;
 }
 
+SimResult
+simResultFromJson(const Json &json)
+{
+    SimResult r;
+    r.instructions = json.at("instructions").asU64();
+    r.cycles = json.at("cycles").asU64();
+    r.ipc = json.at("ipc").asDouble();
+    r.mpki = json.at("mpki").asDouble();
+    r.memStallFraction = json.at("mem_stall_fraction").asDouble();
+    r.fig2OnChipFraction = json.at("onchip_miss_fraction").asDouble();
+    r.necessaryFraction = json.at("necessary_fraction").asDouble();
+    r.repeatedFraction = json.at("repeated_fraction").asDouble();
+    r.avgChainLength = json.at("avg_chain_length").asDouble();
+    r.missesPerInterval = json.at("misses_per_interval").asDouble();
+    r.bufferCycleFraction = json.at("buffer_cycle_fraction").asDouble();
+    r.chainCacheHitRate = json.at("chain_cache_hit_rate").asDouble();
+    r.chainCacheExactRate =
+        json.at("chain_cache_exact_rate").asDouble();
+    r.hybridBufferFraction =
+        json.at("hybrid_buffer_fraction").asDouble();
+    r.dramRequests = json.at("dram_requests").asU64();
+    r.runaheadIntervals = json.at("runahead_intervals").asU64();
+    r.faultsInjected = json.at("faults_injected").asU64();
+    r.watchdogRecoveries = json.at("watchdog_recoveries").asU64();
+    r.degradeSteps = json.at("degrade_steps").asU64();
+    r.degradeLevel =
+        static_cast<int>(json.at("degrade_level").asDouble());
+    r.energy.totalJ = json.at("energy_total_j").asDouble();
+    r.energy.dramJ = json.at("energy_dram_j").asDouble();
+    return r;
+}
+
 double
 campaignCyclesPerSecond(const CampaignResult &campaign)
 {
@@ -115,6 +148,8 @@ campaignManifest(const CampaignResult &campaign, bool canonical)
     grid["seeds"] = std::move(seeds);
     grid["points"] = spec.pointCount();
     grid["failed_points"] = campaign.failedCount();
+    grid["interrupted"] = campaign.interrupted;
+    grid["skipped_points"] = campaign.skippedCount();
     manifest["campaign"] = std::move(grid);
 
     if (!canonical) {
@@ -128,6 +163,12 @@ campaignManifest(const CampaignResult &campaign, bool canonical)
         env["simulated_cycles"] = campaign.simulatedCycles();
         env["cycles_per_wall_second"] =
             campaignCyclesPerSecond(campaign);
+        // Result-store traffic: which points were cache hits varies
+        // between a straight-line run and a resumed one, so all of it
+        // stays out of the canonical byte-diff surface.
+        env["store_hits"] = campaign.storeHits;
+        env["store_misses"] = campaign.storeMisses;
+        env["store_corrupt_discarded"] = campaign.storeCorrupt;
         manifest["environment"] = std::move(env);
     }
 
@@ -141,6 +182,10 @@ campaignManifest(const CampaignResult &campaign, bool canonical)
         entry["ok"] = p.ok;
         if (!p.ok) {
             entry["error"] = p.error;
+            // Quarantine is a deterministic verdict (the same fault
+            // fails the same retries), so it may live in the
+            // canonical document.
+            entry["quarantined"] = p.quarantined;
         } else {
             entry["metrics"] = simResultJson(p.result);
             Json stats = Json::object();
@@ -148,8 +193,11 @@ campaignManifest(const CampaignResult &campaign, bool canonical)
                 stats[name] = value;
             entry["stats"] = std::move(stats);
         }
-        if (!canonical)
+        if (!canonical) {
             entry["wall_seconds"] = p.wallSeconds;
+            entry["cached"] = p.cached;
+            entry["retries"] = p.retries;
+        }
         points.push(std::move(entry));
     }
     manifest["points"] = std::move(points);
@@ -208,6 +256,110 @@ perfGate(const CampaignResult &campaign, const Json &baseline,
         gate.measured, gate.baseline, -gate.drop * 100.0,
         max_drop * 100.0);
     return gate;
+}
+
+namespace
+{
+
+/** "workload|variant|seed" — the identity a manifest point entry has
+ *  independent of its position in any particular grid. */
+std::string
+pointKeyOf(const Json &entry)
+{
+    return entry.at("workload").asString() + "|"
+        + entry.at("variant").asString() + "|"
+        + std::to_string(entry.at("seed").asU64());
+}
+
+void
+requireManifestSchema(const Json &manifest, const char *which)
+{
+    const Json *schema = manifest.find("schema");
+    if (!schema)
+        throw JsonError(std::string(which)
+                        + " manifest has no schema field");
+    if (schema->asString() != kSweepManifestSchema) {
+        throw JsonError(std::string(which)
+                        + " manifest schema mismatch: expected '"
+                        + kSweepManifestSchema + "', got '"
+                        + schema->asString() + "'");
+    }
+}
+
+/** Append @p value to array @p axis unless already present. */
+void
+unionAxis(Json &axis, const Json &value)
+{
+    for (const Json &existing : axis.elements()) {
+        if (existing.dump() == value.dump())
+            return;
+    }
+    axis.push(value);
+}
+
+} // namespace
+
+Json
+mergeManifests(const Json &a, const Json &b)
+{
+    requireManifestSchema(a, "left");
+    requireManifestSchema(b, "right");
+
+    Json merged = Json::object();
+    merged["schema"] = kSweepManifestSchema;
+
+    const Json &ca = a.at("campaign");
+    const Json &cb = b.at("campaign");
+    Json grid = Json::object();
+    grid["name"] =
+        ca.at("name").asString() == cb.at("name").asString()
+        ? ca.at("name").asString()
+        : ca.at("name").asString() + "+" + cb.at("name").asString();
+    grid["instructions"] = ca.at("instructions").asU64();
+    grid["warmup"] = ca.at("warmup").asU64();
+    for (const char *axis : {"workloads", "variants", "seeds"}) {
+        Json unioned = Json::array();
+        for (const Json &v : ca.at(axis).elements())
+            unionAxis(unioned, v);
+        for (const Json &v : cb.at(axis).elements())
+            unionAxis(unioned, v);
+        grid[axis] = std::move(unioned);
+    }
+
+    // Points: concatenate, re-index, and reject duplicates — the
+    // old silent last-writer-wins behaviour turned a double merge
+    // into quietly wrong aggregate counts.
+    Json points = Json::array();
+    std::set<std::string> seen;
+    std::uint64_t failed = 0;
+    std::uint64_t skipped = 0;
+    for (const Json *source : {&a, &b}) {
+        for (const Json &entry : source->at("points").elements()) {
+            const std::string key = pointKeyOf(entry);
+            if (!seen.insert(key).second) {
+                throw JsonError("duplicate point key '" + key
+                                + "' while merging manifests");
+            }
+            Json copy = entry;
+            copy["index"] = static_cast<std::uint64_t>(points.size());
+            if (!copy.at("ok").asBool()) {
+                ++failed;
+                const Json *error = copy.find("error");
+                if (error
+                    && error->asString().rfind("interrupted:", 0) == 0)
+                    ++skipped;
+            }
+            points.push(std::move(copy));
+        }
+    }
+    grid["points"] = static_cast<std::uint64_t>(points.size());
+    grid["failed_points"] = failed;
+    grid["interrupted"] = ca.at("interrupted").asBool()
+        || cb.at("interrupted").asBool();
+    grid["skipped_points"] = skipped;
+    merged["campaign"] = std::move(grid);
+    merged["points"] = std::move(points);
+    return merged;
 }
 
 bool

@@ -45,6 +45,14 @@ std::string currentHostname();
 /** SimResult as a flat JSON object of metric fields. */
 Json simResultJson(const SimResult &result);
 
+/**
+ * Inverse of simResultJson over the fields it serialises (workload /
+ * config identity lives on the manifest point entry, not here).
+ * parse(simResultJson(r)) re-dumps byte-identically — the property
+ * the result store's resume guarantee rests on. Throws JsonError.
+ */
+SimResult simResultFromJson(const Json &json);
+
 /** Build the manifest. @p canonical omits volatile fields. */
 Json campaignManifest(const CampaignResult &campaign,
                       bool canonical = false);
@@ -72,6 +80,17 @@ struct GateResult
  */
 GateResult perfGate(const CampaignResult &campaign,
                     const Json &baseline, double max_drop);
+
+/**
+ * Merge two rab-sweep-manifest-v1 documents into one: grid axes are
+ * unioned in first-appearance order, points concatenated with indices
+ * rewritten sequentially, and the point/failure counters recomputed.
+ * Rejects (JsonError) a schema string that is not exactly
+ * kSweepManifestSchema on either side, and any duplicate
+ * (workload, variant, seed) point key — within one input or across
+ * the two — instead of silently letting the last writer win.
+ */
+Json mergeManifests(const Json &a, const Json &b);
 
 /** Write @p document to @p path; returns false on I/O error. */
 bool writeJsonFile(const std::string &path, const Json &document);

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Daemon-mode rabsweep: a long-running campaign service over a unix
+ * socket, built on the result store and the sweep engine.
+ *
+ * Many clients connect concurrently, submit campaign specs as JSON
+ * frames (see protocol.hh), and receive incremental per-point result
+ * frames as their grid completes. One shared worker pool executes
+ * points with *fair round-robin sharing*: each claim takes the next
+ * point of the next job in rotation, so a 1000-point campaign cannot
+ * starve a 6-point one submitted a second later. All results flow
+ * through the (optional but recommended) ResultStore, so overlapping
+ * campaigns from different clients deduplicate their simulation work
+ * and a daemon restart resumes instead of recomputing.
+ *
+ * Robustness is the design driver, in layers:
+ *  - per-point bounded-backoff retry + quarantine (campaign.hh), so
+ *    one poisoned point cannot wedge a campaign;
+ *  - admission control: at most maxActiveJobs campaigns in flight;
+ *    excess submissions are shed with a structured
+ *    {"type":"error","code":"queue-full"} frame instead of growing
+ *    an unbounded queue;
+ *  - per-client I/O deadlines: a client that stops reading its
+ *    socket is reaped after ioTimeoutMs and its jobs cancelled —
+ *    the worker pool never blocks on a dead peer;
+ *  - idle-connection reaping after idleTimeoutMs;
+ *  - graceful drain on SIGTERM/SIGINT (serveDaemon) or
+ *    requestDrain(): accept stops, in-flight points finish and are
+ *    flushed to the store, every unfinished job receives an
+ *    {"type":"interrupted"} frame with its partial manifest, and the
+ *    daemon exits 0.
+ *
+ * Threads: one acceptor, `threads` pool workers, one per client.
+ * Scheduler state is guarded by one mutex; points execute outside
+ * it. The TSan CI job runs the gtest daemon suite against this code.
+ */
+
+#ifndef RAB_SWEEP_SERVE_DAEMON_HH
+#define RAB_SWEEP_SERVE_DAEMON_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "checker/check_level.hh"
+#include "sweep/campaign.hh"
+
+namespace rab
+{
+
+class ResultStore;
+
+struct DaemonConfig
+{
+    std::string socketPath;       ///< Unix socket to bind.
+    std::string storeDir;         ///< Result store root ("" = none).
+    int threads = 2;              ///< Worker pool size.
+    std::size_t maxActiveJobs = 4;///< Admission-control limit.
+    std::size_t maxPointsPerJob = 4096; ///< Shed absurd grids.
+    int ioTimeoutMs = 5000;       ///< Per-frame read/write deadline.
+    int idleTimeoutMs = 60000;    ///< Reap idle connections after.
+    int retryLimit = 2;           ///< Per-point fault retries.
+    int retryBackoffMs = 20;      ///< Base retry backoff.
+    CheckLevel checkLevel = CheckLevel::kOff;
+};
+
+/** Monotonic daemon-lifetime observability counters. */
+struct DaemonStats
+{
+    std::atomic<std::uint64_t> jobsAccepted{0};
+    std::atomic<std::uint64_t> jobsCompleted{0};
+    std::atomic<std::uint64_t> jobsInterrupted{0};
+    std::atomic<std::uint64_t> jobsShed{0};      ///< queue-full.
+    std::atomic<std::uint64_t> badSpecs{0};
+    std::atomic<std::uint64_t> clientsAccepted{0};
+    std::atomic<std::uint64_t> clientsReaped{0}; ///< Timed out.
+    std::atomic<std::uint64_t> pointsSimulated{0};
+    std::atomic<std::uint64_t> pointsCached{0};
+};
+
+class Daemon
+{
+  public:
+    explicit Daemon(const DaemonConfig &config);
+    ~Daemon();
+
+    Daemon(const Daemon &) = delete;
+    Daemon &operator=(const Daemon &) = delete;
+
+    /** Bind, listen and spawn threads. False (with error()) when the
+     *  socket or store cannot be set up. */
+    bool start();
+    const std::string &error() const;
+
+    /**
+     * Graceful drain: stop accepting, finish in-flight points, send
+     * partial manifests, flush the store, release every thread.
+     * Idempotent; safe from any thread (and, flag-wise, from the
+     * serveDaemon signal path).
+     */
+    void requestDrain();
+
+    /** Block until fully drained (requestDrain + join). */
+    void drainAndWait();
+
+    const DaemonStats &stats() const;
+    ResultStore *store();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * Run a daemon until SIGTERM/SIGINT, then drain gracefully. Returns
+ * the process exit code (0 after a clean drain, 2 on startup
+ * failure). This is `rabsweep --serve`.
+ */
+int serveDaemon(const DaemonConfig &config);
+
+} // namespace rab
+
+#endif // RAB_SWEEP_SERVE_DAEMON_HH

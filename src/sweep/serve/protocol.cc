@@ -1,0 +1,205 @@
+#include "sweep/serve/protocol.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#ifdef __unix__
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace rab
+{
+
+#ifdef __unix__
+
+namespace
+{
+
+/**
+ * Millisecond deadline arithmetic for socket timeouts. Host time by
+ * necessity — socket deadlines are about the real world, and none of
+ * it flows into simulated state or manifests.
+ */
+std::int64_t
+nowMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               // rablint: nondeterminism-ok=wall-clock (socket I/O
+               // deadlines; bounds poll() waits only, never reaches
+               // simulation or reports)
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Wait for @p events on @p fd; false on timeout/error. */
+bool
+waitFor(int fd, short events, int timeout_ms)
+{
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    for (;;) {
+        // rablint: nondeterminism-ok=socket-io (bounded wait on a
+        // client socket; a dead peer must not wedge the daemon)
+        const int n = ::poll(&pfd, 1, timeout_ms);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return false;
+        return (pfd.revents & (events | POLLHUP | POLLERR)) != 0;
+    }
+}
+
+} // namespace
+
+FrameStatus
+FrameConn::readFrame(std::string &payload, int timeout_ms)
+{
+    // rablint: cycle-ok (wall-clock ms I/O deadline, not cycles)
+    const std::int64_t deadline = nowMs() + timeout_ms;
+    for (;;) {
+        // A complete header (length + '\n') already buffered?
+        const std::size_t newline = buffer_.find('\n');
+        if (newline != std::string::npos) {
+            if (newline == 0 || newline > 12)
+                return FrameStatus::kError;
+            std::size_t length = 0;
+            for (std::size_t i = 0; i < newline; ++i) {
+                const char c = buffer_[i];
+                if (c < '0' || c > '9')
+                    return FrameStatus::kError;
+                length = length * 10 + static_cast<std::size_t>(c - '0');
+            }
+            if (length > kMaxFrame)
+                return FrameStatus::kError;
+            if (buffer_.size() >= newline + 1 + length) {
+                payload = buffer_.substr(newline + 1, length);
+                buffer_.erase(0, newline + 1 + length);
+                return FrameStatus::kOk;
+            }
+        } else if (buffer_.size() > 13) {
+            return FrameStatus::kError; // header never terminated
+        }
+
+        // rablint: cycle-ok (wall-clock ms remainder, not cycles)
+        const int remaining = static_cast<int>(deadline - nowMs());
+        if (remaining <= 0)
+            return FrameStatus::kTimeout;
+        if (!waitFor(fd_, POLLIN, remaining))
+            return FrameStatus::kTimeout;
+
+        char chunk[4096];
+        // rablint: nondeterminism-ok=socket-io (daemon wire input;
+        // campaign specs arrive here, results never loop back in)
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n == 0)
+            return FrameStatus::kClosed;
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN
+                || errno == EWOULDBLOCK)
+                continue;
+            return FrameStatus::kError;
+        }
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+bool
+FrameConn::writeFrame(const std::string &payload, int timeout_ms)
+{
+    std::string frame = std::to_string(payload.size());
+    frame += '\n';
+    frame += payload;
+
+    // rablint: cycle-ok (wall-clock ms I/O deadline, not cycles)
+    const std::int64_t deadline = nowMs() + timeout_ms;
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+        // rablint: cycle-ok (wall-clock ms remainder, not cycles)
+        const int remaining = static_cast<int>(deadline - nowMs());
+        if (remaining <= 0)
+            return false;
+        if (!waitFor(fd_, POLLOUT, remaining))
+            return false;
+        // MSG_NOSIGNAL: a reaped peer raises EPIPE, not SIGPIPE.
+        // rablint: nondeterminism-ok=socket-io (daemon wire output;
+        // bounded by the deadline so a hung reader is reaped)
+        const ssize_t n = ::send(fd_, frame.data() + sent,
+                                 frame.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN
+                || errno == EWOULDBLOCK)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+FrameConn::writeJson(const Json &json, int timeout_ms)
+{
+    return writeFrame(json.dump(), timeout_ms);
+}
+
+int
+connectUnixSocket(const std::string &path)
+{
+    // rablint: nondeterminism-ok=socket-io (client-side transport
+    // for campaign submission; no simulated state involved)
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        ::close(fd);
+        return -1;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    // rablint: nondeterminism-ok=socket-io (ditto)
+    if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                  sizeof(addr))
+        != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+#else // !__unix__
+
+FrameStatus
+FrameConn::readFrame(std::string &, int)
+{
+    return FrameStatus::kError;
+}
+
+bool
+FrameConn::writeFrame(const std::string &, int)
+{
+    return false;
+}
+
+bool
+FrameConn::writeJson(const Json &, int)
+{
+    return false;
+}
+
+int
+connectUnixSocket(const std::string &)
+{
+    return -1;
+}
+
+#endif
+
+} // namespace rab

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Wire protocol for daemon-mode rabsweep (`rabsweep --serve`).
+ *
+ * Transport: a unix-domain stream socket carrying length-prefixed
+ * JSON frames. One frame is the ASCII decimal byte length of the
+ * payload, a single '\n', then exactly that many payload bytes (a
+ * rab JSON document, which itself contains newlines — hence the
+ * length prefix rather than line framing).
+ *
+ * Frame vocabulary (all objects carry a "type" member):
+ *
+ *   client -> server
+ *     {"type":"submit","campaign":{name,workloads,configs,seeds,
+ *      instructions,warmup,fast_forward?}}
+ *     {"type":"ping"}
+ *
+ *   server -> client
+ *     {"type":"accepted","job":N,"points":M}
+ *     {"type":"point","job":N,"index":I,...per-point summary...}
+ *     {"type":"done","job":N,"manifest":{...canonical manifest...}}
+ *     {"type":"interrupted","job":N,"manifest":{...partial...}}
+ *     {"type":"error","code":"queue-full"|"too-large"|"bad-spec"|
+ *      "protocol"|"draining"|"idle-timeout","message":"..."}
+ *     {"type":"pong"}
+ *
+ * Robustness contract: every read and write is bounded by a poll()
+ * deadline. A peer that stops draining its socket does not wedge the
+ * caller — the operation reports failure and the connection is
+ * reaped. Frame sizes are capped so a malicious or broken client
+ * cannot OOM the daemon with one length prefix.
+ */
+
+#ifndef RAB_SWEEP_SERVE_PROTOCOL_HH
+#define RAB_SWEEP_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "stats/json.hh"
+
+namespace rab
+{
+
+/** Outcome of one framed read. */
+enum class FrameStatus
+{
+    kOk,       ///< A complete frame was read.
+    kTimeout,  ///< Deadline expired before a complete frame arrived.
+    kClosed,   ///< Peer closed the connection cleanly.
+    kError,    ///< Socket error or malformed/oversized frame.
+};
+
+/**
+ * One framed connection over an already-connected socket fd. Owns a
+ * read buffer (frames may arrive coalesced or fragmented) but not
+ * the fd itself — the owner closes it.
+ */
+class FrameConn
+{
+  public:
+    /** Payload cap for reads; a frame announcing more is kError. */
+    static constexpr std::size_t kMaxFrame = 16u << 20;
+
+    explicit FrameConn(int fd) : fd_(fd) {}
+
+    int fd() const { return fd_; }
+
+    /**
+     * Read one complete frame into @p payload within @p timeout_ms
+     * (total, across however many poll/read rounds it takes).
+     */
+    FrameStatus readFrame(std::string &payload, int timeout_ms);
+
+    /**
+     * Write one frame within @p timeout_ms. False on timeout or
+     * error — the caller should treat the connection as dead (the
+     * hung-client reaping path).
+     */
+    bool writeFrame(const std::string &payload, int timeout_ms);
+
+    /** writeFrame(json.dump()). */
+    bool writeJson(const Json &json, int timeout_ms);
+
+  private:
+    int fd_;
+    std::string buffer_; ///< Bytes read past the last frame boundary.
+};
+
+/** Connect to a unix socket; -1 on failure. The fd is blocking. */
+int connectUnixSocket(const std::string &path);
+
+} // namespace rab
+
+#endif // RAB_SWEEP_SERVE_PROTOCOL_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Crash-safe, content-addressed campaign result store.
+ *
+ * Each completed SweepPoint is persisted as one record file under a
+ * directory layout derived from its StoreKey hash
+ * (`<root>/ab/<hash16>.rec`, `ab` = first two hash digits). Records
+ * are written atomically — temp file in `<root>/tmp/`, payload CRC,
+ * fsync, rename onto the final name — so a record either exists in
+ * full or not at all, whatever kill -9 does to the writer. A campaign
+ * re-run against the same store therefore resumes exactly where the
+ * previous run died: runCampaign() consults the store per point,
+ * simulates only the misses, and writes fresh results back.
+ *
+ * Record format (little-endian, version-gated):
+ *
+ *   magic   "RABSTORE"          8 bytes
+ *   version u32 (= 1)
+ *   crc32   u32 over the payload bytes
+ *   length  u64 payload byte count
+ *   payload rab-store-record-v1 JSON (key echo + PointResult)
+ *
+ * Self-healing: lookup() treats any malformed record — short file,
+ * bad magic/version, CRC mismatch, unparseable payload, key echo
+ * mismatch — as absent, unlinks it, and counts it in
+ * corruptDiscarded(), so a torn write or a flipped bit costs one
+ * recomputation instead of a crash or a wrong result.
+ *
+ * Thread safety: lookup/put are safe to call concurrently from sweep
+ * workers. Records are immutable once renamed into place; concurrent
+ * writers of the same key race benignly (identical content, atomic
+ * rename). Counters are atomics.
+ */
+
+#ifndef RAB_SWEEP_STORE_RESULT_STORE_HH
+#define RAB_SWEEP_STORE_RESULT_STORE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sweep/campaign.hh"
+#include "sweep/store/store_key.hh"
+
+namespace rab
+{
+
+/** CRC-32 (IEEE 802.3) over @p data. */
+std::uint32_t crc32(const void *data, std::size_t size);
+
+class ResultStore
+{
+  public:
+    /** Open (creating directories as needed) a store rooted at
+     *  @p root. Check ok() before use. */
+    explicit ResultStore(std::string root);
+
+    /** False when the root could not be created/opened; error() says
+     *  why. A failed store ignores put() and misses every lookup(). */
+    bool ok() const { return ok_; }
+    const std::string &error() const { return error_; }
+    const std::string &root() const { return root_; }
+
+    /**
+     * Fetch the cached result for @p key. Returns the stored
+     * PointResult (ok == true records only — failures are never
+     * cached) or nullopt on miss. Malformed records are discarded
+     * (self-healing) and reported as misses.
+     */
+    std::optional<PointResult> lookup(const StoreKey &key);
+
+    /**
+     * Persist @p result under @p key (atomic temp+rename, fsync'd).
+     * Failed points are rejected — a deterministic failure should be
+     * re-attempted by the next run, not replayed from cache. Returns
+     * false on I/O error (the campaign still completes; the point is
+     * simply not cached).
+     */
+    bool put(const StoreKey &key, const PointResult &result);
+
+    /** @{ Monotonic counters since construction. */
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t stored() const { return stored_; }
+    std::uint64_t corruptDiscarded() const { return corruptDiscarded_; }
+    /** @} */
+
+    /** Record file path for @p key (exposed for tests that corrupt
+     *  records on purpose). */
+    std::string recordPath(const StoreKey &key) const;
+
+  private:
+    bool readRecord(const std::string &path, const StoreKey &key,
+                    PointResult &out) const;
+
+    std::string root_;
+    bool ok_ = false;
+    std::string error_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> stored_{0};
+    std::atomic<std::uint64_t> corruptDiscarded_{0};
+    std::atomic<std::uint64_t> tempSeq_{0};
+};
+
+} // namespace rab
+
+#endif // RAB_SWEEP_STORE_RESULT_STORE_HH

@@ -1,0 +1,89 @@
+#include "sweep/store/store_key.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace rab
+{
+
+std::uint64_t
+fnv1a64(const std::string &text)
+{
+    std::uint64_t hash = 14695981039346656037ULL;
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+std::string
+hex64(std::uint64_t value)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  (unsigned long long)value);
+    return buf;
+}
+
+std::string
+canonicalConfigString(const CampaignSpec &spec, const SweepPoint &point)
+{
+    // Field order is part of the format: append-only, never reorder.
+    // Bumping the schema line deliberately invalidates every cached
+    // result — that is the intended way to retire a format.
+    std::string s;
+    s += "schema=rab-config-key-v1\n";
+    s += "variant=" + point.variant + "\n";
+    s += std::string("runahead=") + runaheadConfigName(point.runahead)
+        + "\n";
+    s += strprintf("prefetch=%d\n", point.prefetch ? 1 : 0);
+    s += strprintf("warmup=%llu\n", (unsigned long long)spec.warmup);
+    s += strprintf("fast_forward=%d\n", spec.fastForward ? 1 : 0);
+    s += strprintf("check_level=%d\n",
+                   static_cast<int>(spec.checkLevel));
+    s += strprintf("check_policy=%d\n",
+                   static_cast<int>(spec.checkPolicy));
+    return s;
+}
+
+std::string
+configHashHex(const CampaignSpec &spec, const SweepPoint &point)
+{
+    return hex64(fnv1a64(canonicalConfigString(spec, point)));
+}
+
+std::string
+StoreKey::canonical() const
+{
+    std::string s;
+    s += "git=" + gitSha + "\n";
+    s += "config=" + configHash + "\n";
+    s += "workload=" + workload + "\n";
+    s += strprintf("seed=%llu\n", (unsigned long long)seed);
+    s += strprintf("instructions=%llu\n",
+                   (unsigned long long)instructions);
+    return s;
+}
+
+std::string
+StoreKey::hashHex() const
+{
+    return hex64(fnv1a64(canonical()));
+}
+
+StoreKey
+makeStoreKey(const CampaignSpec &spec, const SweepPoint &point,
+             const std::string &git_sha)
+{
+    StoreKey key;
+    key.gitSha = git_sha;
+    key.configHash = configHashHex(spec, point);
+    key.workload = point.workload;
+    key.seed = point.seed;
+    key.instructions = spec.instructions;
+    return key;
+}
+
+} // namespace rab

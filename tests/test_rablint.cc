@@ -98,6 +98,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(
         std::make_pair("rab-unordered-iteration", "unordered_iteration"),
         std::make_pair("rab-banned-nondeterminism", "nondeterminism"),
+        std::make_pair("rab-banned-nondeterminism",
+                       "nondeterminism_scoped"),
         std::make_pair("rab-cycle-arithmetic", "cycle_arithmetic"),
         std::make_pair("rab-stat-registration", "stat_registration")),
     [](const auto &info) {
@@ -125,6 +127,36 @@ TEST(Rablint, AllowlistSilencesNondeterminism)
     const std::string path = fixturePath("nondeterminism_pos.cc");
     for (const Finding &f : rab::lint::analyzeFile(path, options))
         EXPECT_NE(f.check, "rab-banned-nondeterminism") << f.message;
+}
+
+TEST(Rablint, ScopedAllowlistExemptsOnlyItsCategory)
+{
+    // `path=socket-io` must exempt the socket findings in the scoped
+    // positive fixture while the wall-clock and entropy findings
+    // (including the deliberately mis-scoped suppressions) survive.
+    Options options;
+    options.nondeterminismAllowlist = {
+        "fixtures/nondeterminism_scoped_pos=socket-io"};
+    const std::string path = fixturePath("nondeterminism_scoped_pos.cc");
+
+    std::size_t nondet = 0;
+    for (const Finding &f : rab::lint::analyzeFile(path, options)) {
+        if (f.check != "rab-banned-nondeterminism")
+            continue;
+        ++nondet;
+        EXPECT_EQ(f.message.find("socket I/O"), std::string::npos)
+            << f.message;
+    }
+    // The fixture has 5 expected findings, 3 of them socket-io.
+    EXPECT_EQ(nondet, 2u);
+
+    // Scoping to a different category leaves all 5 armed.
+    options.nondeterminismAllowlist = {
+        "fixtures/nondeterminism_scoped_pos=pointer-key"};
+    nondet = 0;
+    for (const Finding &f : rab::lint::analyzeFile(path, options))
+        nondet += f.check == "rab-banned-nondeterminism" ? 1 : 0;
+    EXPECT_EQ(nondet, 5u);
 }
 
 TEST(Rablint, CrossFileAliasSeedsUnorderedIteration)

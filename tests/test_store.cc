@@ -1,0 +1,483 @@
+/**
+ * @file
+ * Unit tests: the crash-safe campaign result store (sweep/store).
+ *
+ * The load-bearing guarantees certified here:
+ *  - the canonical config serialisation and its hash are pinned to
+ *    golden values, so an accidental format change (which silently
+ *    invalidates every cached result in every store) fails loudly;
+ *  - records round-trip bit-exactly, and every class of corruption
+ *    (truncation, bit flips, a record filed under the wrong key) is
+ *    self-healed: discarded and recomputed, never crashed on and
+ *    never returned as someone else's result;
+ *  - a campaign resumed against a warm store produces a canonical
+ *    manifest byte-identical to a straight-line run — the property
+ *    the kill -9 CI job checks end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "sweep/campaign.hh"
+#include "sweep/report.hh"
+#include "sweep/store/result_store.hh"
+#include "sweep/store/store_key.hh"
+
+namespace fs = std::filesystem;
+
+namespace rab
+{
+namespace
+{
+
+/** Fresh per-test store root under the gtest temp dir. */
+std::string
+storeRoot(const std::string &name)
+{
+    const fs::path root =
+        fs::path(::testing::TempDir()) / ("rabstore-" + name);
+    fs::remove_all(root);
+    return root.string();
+}
+
+CampaignSpec
+storeSpec()
+{
+    CampaignSpec spec;
+    spec.name = "store-grid";
+    spec.workloads = {"mcf", "libq"};
+    spec.variants = {makeVariant(RunaheadConfig::kBaseline, false),
+                     makeVariant(RunaheadConfig::kHybrid, false)};
+    spec.instructions = 2'000;
+    spec.warmup = 500;
+    return spec;
+}
+
+/** A synthetic completed point (no simulation needed). */
+PointResult
+syntheticResult()
+{
+    PointResult pr;
+    pr.point.index = 3;
+    pr.point.workload = "mcf";
+    pr.point.variant = "Hybrid";
+    pr.point.runahead = RunaheadConfig::kHybrid;
+    pr.point.seed = 42;
+    pr.ok = true;
+    pr.ran = true;
+    pr.result.instructions = 2'000;
+    pr.result.cycles = 5'431;
+    pr.result.ipc = 0.368;
+    pr.result.mpki = 12.5;
+    pr.result.dramRequests = 77;
+    pr.result.energy.totalJ = 1.25e-3;
+    pr.stats = {{"core.commit.committed", 2000.0},
+                {"mem.dram.reads", 77.0}};
+    pr.wallSeconds = 0.125;
+    return pr;
+}
+
+StoreKey
+keyFor(const CampaignSpec &spec, const PointResult &pr)
+{
+    return makeStoreKey(spec, pr.point, "deadbeef");
+}
+
+// ---------------------------------------------------------------------
+// Key derivation
+// ---------------------------------------------------------------------
+
+TEST(StoreKey, GoldenConfigSerialisation)
+{
+    // The canonical config string IS the cache-key format. Any change
+    // here — field order, spelling, a new field — invalidates every
+    // record in every store on disk. That can be the right call, but
+    // it must be a *decision*: update this golden text and bump
+    // rab-config-key-v1 deliberately.
+    CampaignSpec spec = storeSpec();
+    const std::vector<SweepPoint> grid = expandGrid(spec);
+    const SweepPoint &hybrid = grid[1]; // mcf x Hybrid
+    EXPECT_EQ(canonicalConfigString(spec, hybrid),
+              "schema=rab-config-key-v1\n"
+              "variant=Hybrid\n"
+              "runahead=Hybrid\n"
+              "prefetch=0\n"
+              "warmup=500\n"
+              "fast_forward=1\n"
+              "check_level=0\n"
+              "check_policy=0\n");
+}
+
+TEST(StoreKey, GoldenConfigHash)
+{
+    // Golden hash of the serialisation above: byte-identical across
+    // processes, hosts and compilers (FNV-1a over a fixed string).
+    CampaignSpec spec = storeSpec();
+    const std::vector<SweepPoint> grid = expandGrid(spec);
+    EXPECT_EQ(configHashHex(spec, grid[1]),
+              hex64(fnv1a64(canonicalConfigString(spec, grid[1]))));
+    EXPECT_EQ(configHashHex(spec, grid[1]), "bd2a9d1ecb27994a");
+}
+
+TEST(StoreKey, StableAcrossThreadsAndFieldWrites)
+{
+    // The hash must not depend on which thread computes it or on the
+    // order spec fields were assigned in.
+    CampaignSpec a = storeSpec();
+    CampaignSpec b;
+    b.warmup = 500;            // assigned in a different order
+    b.instructions = 2'000;
+    b.name = "store-grid";
+    b.variants = a.variants;
+    b.workloads = a.workloads;
+
+    const SweepPoint point = expandGrid(a)[2];
+    const std::string reference = configHashHex(a, point);
+    EXPECT_EQ(configHashHex(b, point), reference);
+
+    std::vector<std::string> hashes(8);
+    std::vector<std::thread> pool;
+    for (std::size_t i = 0; i < hashes.size(); ++i) {
+        pool.emplace_back([&, i] {
+            hashes[i] = configHashHex(a, point);
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+    for (const std::string &h : hashes)
+        EXPECT_EQ(h, reference);
+}
+
+TEST(StoreKey, EveryFieldChangesTheKey)
+{
+    CampaignSpec spec = storeSpec();
+    const SweepPoint point = expandGrid(spec)[0];
+    const std::string base =
+        makeStoreKey(spec, point, "deadbeef").hashHex();
+
+    CampaignSpec warm = spec;
+    warm.warmup = 501;
+    EXPECT_NE(makeStoreKey(warm, point, "deadbeef").hashHex(), base);
+
+    CampaignSpec insn = spec;
+    insn.instructions = 2'001;
+    EXPECT_NE(makeStoreKey(insn, point, "deadbeef").hashHex(), base);
+
+    CampaignSpec checked = spec;
+    checked.checkLevel = CheckLevel::kFull;
+    EXPECT_NE(makeStoreKey(checked, point, "deadbeef").hashHex(), base);
+
+    CampaignSpec noff = spec;
+    noff.fastForward = false;
+    EXPECT_NE(makeStoreKey(noff, point, "deadbeef").hashHex(), base);
+
+    SweepPoint other = point;
+    other.seed = 9;
+    EXPECT_NE(makeStoreKey(spec, other, "deadbeef").hashHex(), base);
+
+    SweepPoint variant = expandGrid(spec)[1];
+    EXPECT_NE(makeStoreKey(spec, variant, "deadbeef").hashHex(), base);
+
+    EXPECT_NE(makeStoreKey(spec, point, "cafef00d").hashHex(), base);
+}
+
+// ---------------------------------------------------------------------
+// Record round trip + self healing
+// ---------------------------------------------------------------------
+
+TEST(ResultStore, RoundTripsAResult)
+{
+    ResultStore store(storeRoot("roundtrip"));
+    ASSERT_TRUE(store.ok()) << store.error();
+
+    const CampaignSpec spec = storeSpec();
+    const PointResult original = syntheticResult();
+    const StoreKey key = keyFor(spec, original);
+
+    EXPECT_EQ(store.lookup(key), std::nullopt);
+    EXPECT_EQ(store.misses(), 1u);
+
+    ASSERT_TRUE(store.put(key, original));
+    EXPECT_EQ(store.stored(), 1u);
+
+    const auto cached = store.lookup(key);
+    ASSERT_TRUE(cached.has_value());
+    EXPECT_EQ(store.hits(), 1u);
+    EXPECT_TRUE(cached->ok);
+    EXPECT_TRUE(cached->ran);
+    EXPECT_TRUE(cached->cached);
+    EXPECT_EQ(cached->point.workload, original.point.workload);
+    EXPECT_EQ(cached->point.variant, original.point.variant);
+    EXPECT_EQ(cached->point.seed, original.point.seed);
+    EXPECT_EQ(cached->result.cycles, original.result.cycles);
+    EXPECT_EQ(cached->result.ipc, original.result.ipc);
+    EXPECT_EQ(cached->result.energy.totalJ,
+              original.result.energy.totalJ);
+    EXPECT_EQ(cached->stats, original.stats);
+    EXPECT_EQ(cached->wallSeconds, original.wallSeconds);
+}
+
+TEST(ResultStore, RejectsFailedResults)
+{
+    ResultStore store(storeRoot("failed"));
+    ASSERT_TRUE(store.ok()) << store.error();
+
+    PointResult failed = syntheticResult();
+    failed.ok = false;
+    failed.error = "WatchdogTimeout: synthetic";
+    const StoreKey key = keyFor(storeSpec(), failed);
+
+    // A failure must be re-attempted next run, never replayed.
+    EXPECT_FALSE(store.put(key, failed));
+    EXPECT_EQ(store.stored(), 0u);
+    EXPECT_FALSE(fs::exists(store.recordPath(key)));
+}
+
+TEST(ResultStore, SelfHealsTruncatedRecord)
+{
+    ResultStore store(storeRoot("truncated"));
+    ASSERT_TRUE(store.ok()) << store.error();
+    const StoreKey key = keyFor(storeSpec(), syntheticResult());
+    ASSERT_TRUE(store.put(key, syntheticResult()));
+
+    // Chop the record mid-payload: the torn-write shape a crash
+    // without the atomic rename would have produced.
+    const std::string path = store.recordPath(key);
+    const auto size = fs::file_size(path);
+    fs::resize_file(path, size / 2);
+
+    EXPECT_EQ(store.lookup(key), std::nullopt);
+    EXPECT_EQ(store.corruptDiscarded(), 1u);
+    EXPECT_FALSE(fs::exists(path)) << "corrupt record not unlinked";
+
+    // The store recovers: a fresh put and lookup work again.
+    ASSERT_TRUE(store.put(key, syntheticResult()));
+    EXPECT_TRUE(store.lookup(key).has_value());
+}
+
+TEST(ResultStore, SelfHealsFlippedPayloadBit)
+{
+    ResultStore store(storeRoot("bitflip"));
+    ASSERT_TRUE(store.ok()) << store.error();
+    const StoreKey key = keyFor(storeSpec(), syntheticResult());
+    ASSERT_TRUE(store.put(key, syntheticResult()));
+
+    const std::string path = store.recordPath(key);
+    std::fstream file(path,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    file.seekp(40); // Somewhere in the JSON payload.
+    char byte = 0;
+    file.seekg(40);
+    file.get(byte);
+    file.seekp(40);
+    file.put(static_cast<char>(byte ^ 0x01));
+    file.close();
+
+    // CRC catches the flip; the record is discarded, not returned.
+    EXPECT_EQ(store.lookup(key), std::nullopt);
+    EXPECT_EQ(store.corruptDiscarded(), 1u);
+}
+
+TEST(ResultStore, KeyEchoRejectsMisfiledRecord)
+{
+    ResultStore store(storeRoot("misfiled"));
+    ASSERT_TRUE(store.ok()) << store.error();
+    const CampaignSpec spec = storeSpec();
+    const PointResult pr = syntheticResult();
+    const StoreKey key = keyFor(spec, pr);
+    ASSERT_TRUE(store.put(key, pr));
+
+    // File the (internally valid, CRC-correct) record under a
+    // different key's path — the shape of a hash collision or a
+    // mangled store directory.
+    StoreKey other = key;
+    other.seed = key.seed + 1;
+    fs::create_directories(
+        fs::path(store.recordPath(other)).parent_path());
+    fs::copy_file(store.recordPath(key), store.recordPath(other));
+
+    // The key echo inside the payload disagrees: miss, discard.
+    EXPECT_EQ(store.lookup(other), std::nullopt);
+    EXPECT_EQ(store.corruptDiscarded(), 1u);
+    // The original record is untouched.
+    EXPECT_TRUE(store.lookup(key).has_value());
+}
+
+TEST(ResultStore, BadRootFailsClosed)
+{
+    ResultStore store("/proc/definitely/not/writable");
+    EXPECT_FALSE(store.ok());
+    EXPECT_FALSE(store.error().empty());
+    // A failed store degrades to "no cache": put is a no-op, lookup
+    // misses, nothing throws.
+    const StoreKey key = keyFor(storeSpec(), syntheticResult());
+    EXPECT_FALSE(store.put(key, syntheticResult()));
+    EXPECT_EQ(store.lookup(key), std::nullopt);
+}
+
+// ---------------------------------------------------------------------
+// Campaign integration: resume == straight line
+// ---------------------------------------------------------------------
+
+TEST(ResultStore, ResumedCampaignIsByteIdentical)
+{
+    const CampaignSpec spec = storeSpec();
+
+    // Reference: no store at all.
+    const std::string reference =
+        campaignManifest(runCampaign(spec, 2), /*canonical=*/true)
+            .dump();
+
+    ResultStore store(storeRoot("resume"));
+    ASSERT_TRUE(store.ok()) << store.error();
+    CampaignRunOptions options;
+    options.store = &store;
+
+    // Run 1: cold store — everything simulated, everything persisted.
+    const CampaignResult cold = runCampaign(spec, 2, options);
+    EXPECT_EQ(cold.storeHits, 0u);
+    EXPECT_EQ(cold.storeMisses, spec.pointCount());
+    EXPECT_EQ(store.stored(), spec.pointCount());
+    EXPECT_EQ(campaignManifest(cold, true).dump(), reference);
+
+    // Run 2: warm store — nothing simulated, byte-identical output.
+    const CampaignResult warm = runCampaign(spec, 2, options);
+    EXPECT_EQ(warm.storeHits, spec.pointCount());
+    EXPECT_EQ(warm.storeMisses, 0u);
+    for (const PointResult &p : warm.points)
+        EXPECT_TRUE(p.cached);
+    EXPECT_EQ(campaignManifest(warm, true).dump(), reference);
+}
+
+TEST(ResultStore, InterruptedCampaignResumesWhereItDied)
+{
+    const CampaignSpec spec = storeSpec();
+    const std::string reference =
+        campaignManifest(runCampaign(spec, 1), /*canonical=*/true)
+            .dump();
+
+    ResultStore store(storeRoot("interrupt"));
+    ASSERT_TRUE(store.ok()) << store.error();
+
+    // Run 1 is interrupted after two points — the cooperative-stop
+    // shape of Ctrl-C (kill -9 mid-write is the CI crash job; the
+    // store's atomic rename makes the two equivalent).
+    std::atomic<bool> stop{false};
+    std::atomic<int> completed{0};
+    CampaignRunOptions options;
+    options.store = &store;
+    options.stop = &stop;
+    options.onPoint = [&](const PointResult &) {
+        if (++completed >= 2)
+            stop = true;
+    };
+    const CampaignResult partial = runCampaign(spec, 1, options);
+    EXPECT_TRUE(partial.interrupted);
+    EXPECT_GT(partial.skippedCount(), 0u);
+    const Json partial_manifest = campaignManifest(partial, true);
+    EXPECT_TRUE(
+        partial_manifest.at("campaign").at("interrupted").asBool());
+    EXPECT_GT(
+        partial_manifest.at("campaign").at("skipped_points").asU64(),
+        0u);
+
+    // Run 2: finishes the remainder; the merged cached+fresh manifest
+    // is byte-identical to a never-interrupted run.
+    CampaignRunOptions resume;
+    resume.store = &store;
+    const CampaignResult full = runCampaign(spec, 1, resume);
+    EXPECT_FALSE(full.interrupted);
+    EXPECT_EQ(full.storeHits, static_cast<std::uint64_t>(completed));
+    EXPECT_EQ(campaignManifest(full, true).dump(), reference);
+}
+
+TEST(ResultStore, ConfigHookBypassesTheStore)
+{
+    CampaignSpec spec = storeSpec();
+    spec.workloads = {"mcf"};
+    spec.variants = {makeVariant(RunaheadConfig::kBaseline, false)};
+    // A hook's effect is invisible to the config hash: caching would
+    // return results the hook never saw.
+    spec.configHook = [](std::size_t, SimConfig &) {};
+
+    ResultStore store(storeRoot("hook"));
+    ASSERT_TRUE(store.ok()) << store.error();
+    CampaignRunOptions options;
+    options.store = &store;
+    const CampaignResult campaign = runCampaign(spec, 1, options);
+    EXPECT_EQ(campaign.failedCount(), 0u);
+    EXPECT_EQ(store.stored(), 0u);
+    EXPECT_EQ(store.hits() + store.misses(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Retry / quarantine
+// ---------------------------------------------------------------------
+
+TEST(Recovery, RetryableFailureClassification)
+{
+    EXPECT_TRUE(isRetryableFailure(
+        "WatchdogTimeout: forward progress lost at cycle 10"));
+    EXPECT_FALSE(isRetryableFailure("InvariantViolation in 'rob'"));
+    EXPECT_FALSE(isRetryableFailure("error: unknown workload"));
+    EXPECT_FALSE(isRetryableFailure(""));
+}
+
+TEST(Recovery, DeterministicFaultIsQuarantined)
+{
+    CampaignSpec spec;
+    spec.name = "quarantine";
+    spec.workloads = {"mcf"};
+    spec.variants = {makeVariant(RunaheadConfig::kHybrid, false)};
+    spec.instructions = 5'000;
+    spec.warmup = 1'000;
+    spec.retryLimit = 1;
+    spec.retryBackoffMs = 0; // No real sleeping in unit tests.
+    // Every DRAM response dropped: the watchdog gives up identically
+    // on every attempt, so retries must exhaust and quarantine.
+    spec.configHook = [](std::size_t, SimConfig &config) {
+        config.fault.enabled = true;
+        config.fault.dramDropRate = 1.0;
+        config.core.watchdog.cycles = 2'000;
+    };
+
+    const PointResult pr =
+        runPointWithRecovery(spec, expandGrid(spec)[0]);
+    EXPECT_FALSE(pr.ok);
+    EXPECT_TRUE(pr.quarantined);
+    EXPECT_EQ(pr.retries, 1);
+    EXPECT_NE(pr.error.find("WatchdogTimeout"), std::string::npos);
+    EXPECT_NE(pr.error.find("retry 1 of 1"), std::string::npos)
+        << pr.error;
+
+    // The quarantine verdict is part of the canonical manifest.
+    CampaignResult campaign;
+    campaign.spec = spec;
+    campaign.points = {pr};
+    const Json manifest = campaignManifest(campaign, true);
+    EXPECT_TRUE(
+        manifest.at("points").at(0).at("quarantined").asBool());
+}
+
+TEST(Recovery, StopFlagSkipsUnrunPoints)
+{
+    const CampaignSpec spec = storeSpec();
+    std::atomic<bool> stop{true}; // Interrupt before the first claim.
+    CampaignRunOptions options;
+    options.stop = &stop;
+    const CampaignResult campaign = runCampaign(spec, 2, options);
+    EXPECT_TRUE(campaign.interrupted);
+    EXPECT_EQ(campaign.skippedCount(), spec.pointCount());
+    for (const PointResult &p : campaign.points) {
+        EXPECT_FALSE(p.ran);
+        EXPECT_EQ(p.error, "interrupted: point not run");
+    }
+}
+
+} // namespace
+} // namespace rab

@@ -46,24 +46,55 @@ suppressKeyword(const std::string &check)
     return "stat-ok";
 }
 
+/** Is @p c part of a suppression category word? */
+bool
+isCategoryChar(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-';
+}
+
 /**
  * A site is suppressed when a comment on its line — or in the
  * contiguous comment block ending on the line above — reads
  * `rablint: <keyword>` (reason text after the keyword is free form
  * and encouraged; multi-line reasons work because the whole block is
  * searched).
+ *
+ * Scoped form: `rablint: <keyword>=<category>` suppresses only
+ * findings of that category (e.g. `nondeterminism-ok=wall-clock`
+ * passes a wall-clock read but still flags a rand() two lines
+ * later). The bare keyword remains the suppress-everything escape;
+ * prefer the scoped form — it documents exactly which hazard was
+ * reviewed and keeps the others armed.
  */
 bool
-suppressed(const LexedFile &lexed, int line, const std::string &check)
+suppressed(const LexedFile &lexed, int line, const std::string &check,
+           const std::string &category = std::string())
 {
     const std::string keyword = suppressKeyword(check);
     const auto matches = [&](int at) {
         const auto it = lexed.comments.find(at);
         if (it == lexed.comments.end())
             return false;
-        const std::size_t pos = it->second.find("rablint:");
-        return pos != std::string::npos
-            && it->second.find(keyword, pos) != std::string::npos;
+        const std::string &text = it->second;
+        std::size_t pos = text.find("rablint:");
+        if (pos == std::string::npos)
+            return false;
+        pos = text.find(keyword, pos);
+        while (pos != std::string::npos) {
+            const std::size_t after = pos + keyword.size();
+            if (after >= text.size() || text[after] != '=')
+                return true; // Bare keyword: any category.
+            std::size_t end = after + 1;
+            while (end < text.size() && isCategoryChar(text[end]))
+                ++end;
+            if (!category.empty()
+                && text.compare(after + 1, end - after - 1, category)
+                    == 0)
+                return true;
+            pos = text.find(keyword, end);
+        }
+        return false;
     };
     if (matches(line))
         return true;
@@ -160,9 +191,10 @@ using FindingSink = std::vector<Finding>;
 
 void
 report(FindingSink &out, const LexedFile &lexed, const std::string &path,
-       const std::string &check, int line, const std::string &message)
+       const std::string &check, int line, const std::string &message,
+       const std::string &category = std::string())
 {
-    if (suppressed(lexed, line, check))
+    if (suppressed(lexed, line, check, category))
         return;
     for (const Finding &f : out) {
         if (f.check == check && f.line == line && f.message == message)
@@ -265,26 +297,61 @@ checkUnorderedIteration(const std::string &path, const LexedFile &lexed,
 // rab-banned-nondeterminism
 // ---------------------------------------------------------------------
 
+/**
+ * Finding categories for rab-banned-nondeterminism, usable in scoped
+ * suppressions (`nondeterminism-ok=<category>`) and scoped allowlist
+ * entries (`path=<category>`): "entropy" (host randomness),
+ * "wall-clock" (host time), "pointer-key" (address-ordered
+ * containers), "socket-io" (network syscalls).
+ */
+const char *kCatEntropy = "entropy";
+const char *kCatWallClock = "wall-clock";
+const char *kCatPointerKey = "pointer-key";
+const char *kCatSocketIo = "socket-io";
+
 void
 checkBannedNondeterminism(const std::string &path, const LexedFile &lexed,
                           const Options &options, FindingSink &out)
 {
     static const std::string kCheck = "rab-banned-nondeterminism";
+    // Allowlist entries are path substrings, optionally scoped to one
+    // category with `=<category>` (e.g. `src/foo/bar.cc=wall-clock`
+    // exempts wall-clock findings there but keeps entropy, socket-io
+    // and pointer-key armed).
+    std::set<std::string> exempt_categories;
     for (const std::string &allowed : options.nondeterminismAllowlist) {
-        if (path.find(allowed) != std::string::npos)
-            return;
+        const std::size_t eq = allowed.find('=');
+        const std::string pattern = allowed.substr(0, eq);
+        if (path.find(pattern) == std::string::npos)
+            continue;
+        if (eq == std::string::npos)
+            return; // Bare entry: the whole file is sanctioned.
+        exempt_categories.insert(allowed.substr(eq + 1));
     }
+    const auto exempt = [&](const char *category) {
+        return exempt_categories.count(category) != 0;
+    };
 
     const std::vector<Token> &toks = lexed.tokens;
-    static const std::set<std::string> kBannedAlways = {
-        "random_device", "gettimeofday", "clock_gettime",
-        "timespec_get",  "rdtsc",        "__rdtsc",
+    static const std::set<std::string> kEntropyAlways = {
+        "random_device",
     };
-    static const std::set<std::string> kBannedCalls = {
-        "rand", "srand", "time", "clock", "drand48", "lrand48",
+    static const std::set<std::string> kWallClockAlways = {
+        "gettimeofday", "clock_gettime", "timespec_get",
+        "rdtsc",        "__rdtsc",
+    };
+    static const std::set<std::string> kEntropyCalls = {
+        "rand", "srand", "drand48", "lrand48",
+    };
+    static const std::set<std::string> kWallClockCalls = {
+        "time", "clock",
     };
     static const std::set<std::string> kWallClocks = {
         "steady_clock", "system_clock", "high_resolution_clock",
+    };
+    static const std::set<std::string> kSocketCalls = {
+        "socket",   "accept", "connect",    "recv",   "send",
+        "recvfrom", "sendto", "epoll_wait", "select", "poll",
     };
     static const std::set<std::string> kOrderedStd = {
         "map", "set", "multimap", "multiset", "less", "greater",
@@ -295,23 +362,33 @@ checkBannedNondeterminism(const std::string &path, const LexedFile &lexed,
         if (t.kind != TokKind::kIdentifier)
             continue;
 
-        if (kBannedAlways.count(t.text)) {
-            report(out, lexed, path, kCheck, t.line,
-                   "'" + t.text
-                       + "' is nondeterministic across runs; route "
-                         "randomness through rab::Rng and timing "
-                         "through the profiler, or annotate "
-                         "`// rablint: nondeterminism-ok (<why>)`");
+        const bool entropy_always = kEntropyAlways.count(t.text) != 0;
+        if (entropy_always || kWallClockAlways.count(t.text)) {
+            const char *category =
+                entropy_always ? kCatEntropy : kCatWallClock;
+            if (!exempt(category)) {
+                report(out, lexed, path, kCheck, t.line,
+                       "'" + t.text
+                           + "' is nondeterministic across runs; route "
+                             "randomness through rab::Rng and timing "
+                             "through the profiler, or annotate "
+                             "`// rablint: nondeterminism-ok="
+                           + category + " (<why>)`",
+                       category);
+            }
             continue;
         }
 
         if (kWallClocks.count(t.text)) {
-            report(out, lexed, path, kCheck, t.line,
-                   "wall-clock '" + t.text
-                       + "' feeds host time into the simulation; "
-                         "only sanctioned wall-time reporting may "
-                         "use it (annotate `// rablint: "
-                         "nondeterminism-ok (<why>)`)");
+            if (!exempt(kCatWallClock)) {
+                report(out, lexed, path, kCheck, t.line,
+                       "wall-clock '" + t.text
+                           + "' feeds host time into the simulation; "
+                             "only sanctioned wall-time reporting may "
+                             "use it (annotate `// rablint: "
+                             "nondeterminism-ok=wall-clock (<why>)`)",
+                       kCatWallClock);
+            }
             continue;
         }
 
@@ -319,7 +396,9 @@ checkBannedNondeterminism(const std::string &path, const LexedFile &lexed,
         // accesses (`t.time()`), declarations of same-named methods
         // (`uint64_t time()`, return type right before the name), and
         // non-std qualification (`Timer::time(`).
-        bool banned_call = kBannedCalls.count(t.text) != 0
+        const bool entropy_call = kEntropyCalls.count(t.text) != 0;
+        bool banned_call =
+            (entropy_call || kWallClockCalls.count(t.text) != 0)
             && i + 1 < toks.size() && toks[i + 1].text == "(" && i > 0;
         if (banned_call) {
             const Token &prev = toks[i - 1];
@@ -333,11 +412,51 @@ checkBannedNondeterminism(const std::string &path, const LexedFile &lexed,
                 banned_call = false;
         }
         if (banned_call) {
-            report(out, lexed, path, kCheck, t.line,
-                   "call to '" + t.text
-                       + "()' is nondeterministic; use rab::Rng / "
-                         "simulated cycles instead, or annotate "
-                         "`// rablint: nondeterminism-ok (<why>)`");
+            const char *category =
+                entropy_call ? kCatEntropy : kCatWallClock;
+            if (!exempt(category)) {
+                report(out, lexed, path, kCheck, t.line,
+                       "call to '" + t.text
+                           + "()' is nondeterministic; use rab::Rng / "
+                             "simulated cycles instead, or annotate "
+                             "`// rablint: nondeterminism-ok="
+                           + category + " (<why>)`",
+                       category);
+            }
+            continue;
+        }
+
+        // Socket/select I/O: anything read off a socket is ordered by
+        // the host scheduler and the network, never by the
+        // simulation. Service plumbing (daemon mode) annotates each
+        // call site with `nondeterminism-ok=socket-io` and a reason;
+        // simulation code gets flagged. Unlike the libc-call rule,
+        // `::`-qualified *global* calls (`::poll(`) are still flagged
+        // — that is exactly how socket syscalls are written.
+        bool socket_call = kSocketCalls.count(t.text) != 0
+            && i + 1 < toks.size() && toks[i + 1].text == "(" && i > 0;
+        if (socket_call) {
+            const Token &prev = toks[i - 1];
+            if (prev.text == "." || prev.text == "->" || prev.text == ">"
+                || prev.text == "&" || prev.text == "*"
+                || (prev.kind == TokKind::kIdentifier
+                    && !isKeyword(prev.text)))
+                socket_call = false;
+            if (prev.text == "::" && i >= 2
+                && toks[i - 2].kind == TokKind::kIdentifier)
+                socket_call = false; // Foo::poll(: a member, not libc.
+        }
+        if (socket_call) {
+            if (!exempt(kCatSocketIo)) {
+                report(out, lexed, path, kCheck, t.line,
+                       "socket I/O call '" + t.text
+                           + "()' in simulation code — host "
+                             "scheduling order leaks in; only service "
+                             "plumbing may use it (annotate "
+                             "`// rablint: nondeterminism-ok="
+                             "socket-io (<why>)`)",
+                       kCatSocketIo);
+            }
             continue;
         }
 
@@ -369,13 +488,15 @@ checkBannedNondeterminism(const std::string &path, const LexedFile &lexed,
                     last = tj;
                 }
             }
-            if (last == "*") {
+            if (last == "*" && !exempt(kCatPointerKey)) {
                 report(out, lexed, path, kCheck, t.line,
                        "pointer-keyed '" + t.text
                            + "' orders/hashes by address — "
                              "nondeterministic across runs; key by a "
                              "stable id instead, or annotate "
-                             "`// rablint: nondeterminism-ok (<why>)`");
+                             "`// rablint: nondeterminism-ok="
+                             "pointer-key (<why>)`",
+                       kCatPointerKey);
             }
         }
     }

@@ -1,0 +1,40 @@
+// rablint fixture: every line marked EXPECT must be flagged by the
+// named check. Exercises the scoped suppression grammar
+// (`nondeterminism-ok=<category>`): a suppression scoped to one
+// category must NOT silence findings of a different category, and
+// socket I/O is a category of its own.
+#include <chrono>
+#include <cstdlib>
+
+int poll(void *fds, unsigned long n, int timeout_ms);
+int socket(int domain, int type, int protocol);
+long recv(int fd, void *buf, unsigned long len, int flags);
+
+int
+acceptLoop(void *fds)
+{
+    // A bare syscall spelling and the ::-qualified global spelling
+    // are both socket-io findings.
+    const int a = poll(fds, 1, 100);      // EXPECT: rab-banned-nondeterminism
+    const int b = ::socket(1, 1, 0);      // EXPECT: rab-banned-nondeterminism
+    char buf[16];
+    return a + b
+        + static_cast<int>(::recv(0, buf, sizeof(buf), 0)); // EXPECT: rab-banned-nondeterminism
+}
+
+double
+wrongScope()
+{
+    // Scoped to socket-io, but the hazard here is a wall clock: the
+    // suppression must not apply.
+    // rablint: nondeterminism-ok=socket-io (mis-scoped on purpose)
+    const auto t0 = std::chrono::steady_clock::now(); // EXPECT: rab-banned-nondeterminism
+    return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+int
+wrongScopeEntropy()
+{
+    // rablint: nondeterminism-ok=wall-clock (mis-scoped on purpose)
+    return rand(); // EXPECT: rab-banned-nondeterminism
+}

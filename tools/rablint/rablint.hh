@@ -11,13 +11,20 @@
  *                             order-unstable across libraries and runs;
  *                             any traversal must be annotated
  *                             `// rablint: order-independent (<why>)`.
- *   rab-banned-nondeterminism wall clocks, libc randomness, and
- *                             pointer-keyed containers inject
- *                             address-space/time dependence. Sanctioned
- *                             wrappers (src/common/rng.*,
+ *   rab-banned-nondeterminism wall clocks, libc randomness, socket
+ *                             I/O, and pointer-keyed containers
+ *                             inject address-space/time/scheduler
+ *                             dependence. Sanctioned wrappers
+ *                             (src/common/rng.*,
  *                             src/common/profiler.*) are allowlisted;
  *                             other sites need
- *                             `// rablint: nondeterminism-ok (<why>)`.
+ *                             `// rablint: nondeterminism-ok (<why>)`
+ *                             or, preferred, the scoped form
+ *                             `nondeterminism-ok=<category>` with
+ *                             category one of entropy | wall-clock |
+ *                             pointer-key | socket-io, which passes
+ *                             only that hazard and keeps the rest
+ *                             armed.
  *   rab-cycle-arithmetic      cycle counters are 64-bit unsigned
  *                             (rab::Cycle); declaring cycle-named
  *                             variables with narrow or signed types
@@ -98,7 +105,15 @@ struct Options
     std::vector<std::string> checks;
     /**
      * Path substrings exempt from rab-banned-nondeterminism: the
-     * sanctioned wrappers every other module must route through.
+     * sanctioned wrappers every other module must route through. An
+     * entry may be scoped to a single finding category with
+     * `=<category>` (entropy | wall-clock | pointer-key | socket-io):
+     * `src/foo/net.cc=socket-io` exempts only socket findings there,
+     * keeping entropy/wall-clock/pointer-key enforcement armed. Bare
+     * entries exempt the whole file. Prefer per-site
+     * `// rablint: nondeterminism-ok=<category> (<why>)` comments —
+     * they carry the reason next to the code; allowlisting is for
+     * wrapper modules whose entire purpose is the hazard.
      */
     std::vector<std::string> nondeterminismAllowlist{
         "src/common/rng.",
