@@ -23,11 +23,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "checker/invariant_checker.hh"
 #include "common/logging.hh"
 #include "common/profiler.hh"
+#include "core/multi_sim.hh"
 #include "core/simulation.hh"
 #include "fault/watchdog.hh"
 #include "trace/trace.hh"
@@ -43,7 +46,15 @@ struct Options
     std::string workload = "mcf";
     bool allWorkloads = false;
     RunaheadConfig config = RunaheadConfig::kBaseline;
+    bool configSet = false;
     bool prefetch = false;
+
+    /** @{ Multi-core mode (--cores / --mix / --policies). With no
+     *  explicit --config, a multi-core run sweeps all six variants. */
+    int cores = 1;
+    std::vector<std::string> mixWorkloads;
+    std::vector<RunaheadConfig> corePolicies;
+    /** @} */
     std::uint64_t instructions = 100'000;
     std::uint64_t warmup = 25'000;
     bool dumpStats = false;
@@ -76,6 +87,14 @@ usage(int code)
         "  --all               run the whole suite\n"
         "  --config NAME       baseline | runahead | runahead-enhanced |\n"
         "                      buffer | buffer-cc | hybrid\n"
+        "                      (multi-core default: sweep all six)\n"
+        "  --cores N           simulate N cores sharing the LLC, MSHR\n"
+        "                      pool and DRAM (default 1)\n"
+        "  --mix A,B,...       one workload per core (implies --cores\n"
+        "                      when unset; --workload replicated\n"
+        "                      otherwise)\n"
+        "  --policies A,B,...  per-core runahead policy (core i runs\n"
+        "                      entry i mod size; overrides --config)\n"
         "  --prefetch          enable the Table 1 stream prefetcher\n"
         "  --instructions N    measured instructions (default 100000)\n"
         "  --warmup N          warmup instructions (default 25000)\n"
@@ -140,9 +159,26 @@ parseArgs(int argc, char **argv)
             opts.workload = next(i);
         else if (arg == "--all")
             opts.allWorkloads = true;
-        else if (arg == "--config")
+        else if (arg == "--config") {
             opts.config = parseConfig(next(i));
-        else if (arg == "--prefetch")
+            opts.configSet = true;
+        } else if (arg == "--cores")
+            opts.cores = std::atoi(next(i));
+        else if (arg == "--mix") {
+            std::stringstream ss(next(i));
+            std::string item;
+            while (std::getline(ss, item, ',')) {
+                if (!item.empty())
+                    opts.mixWorkloads.push_back(item);
+            }
+        } else if (arg == "--policies") {
+            std::stringstream ss(next(i));
+            std::string item;
+            while (std::getline(ss, item, ',')) {
+                if (!item.empty())
+                    opts.corePolicies.push_back(parseConfig(item));
+            }
+        } else if (arg == "--prefetch")
             opts.prefetch = true;
         else if (arg == "--instructions")
             opts.instructions = std::strtoull(next(i), nullptr, 10);
@@ -278,6 +314,111 @@ runOne(const Options &opts, const std::string &workload)
     return 0;
 }
 
+/** One multi-core run under one (chip-wide or per-core) policy. */
+void
+runMultiOnce(const Options &opts,
+             const std::vector<std::string> &workloads,
+             RunaheadConfig variant)
+{
+    Options one = opts;
+    one.config = variant;
+    SimConfig config = makeSimConfig(one);
+    config.numCores = static_cast<int>(workloads.size());
+    config.corePolicies = opts.corePolicies;
+
+    if (opts.corePolicies.empty()) {
+        std::printf("== %s x%d ==\n", runaheadConfigName(variant),
+                    config.numCores);
+    } else {
+        std::string names;
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            if (i)
+                names += '|';
+            names += runaheadConfigName(
+                config.corePolicy(static_cast<int>(i)));
+        }
+        std::printf("== %s ==\n", names.c_str());
+    }
+
+    const MultiSimResult result = simulateMix(config, workloads);
+    std::printf("%s\n", result.toString().c_str());
+
+    if (config.numCores > 1) {
+        const auto stat = [&](const std::string &name) {
+            const auto it = result.stats.find(name);
+            return it == result.stats.end() ? 0.0 : it->second;
+        };
+        std::printf("  shared: cross_core_evictions=%.0f\n",
+                    stat("shared.cross_core_evictions"));
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            const std::string p =
+                "core" + std::to_string(i) + ".mem.";
+            std::printf("  core%zu contention: bank_conflicts=%.0f "
+                        "wait_cycles=%.0f evicted_by_others=%.0f "
+                        "mshr_peers_held=%.0f rejects_contended=%.0f\n",
+                        i, stat(p + "bank_conflicts"),
+                        stat(p + "bank_conflict_wait_cycles"),
+                        stat(p + "llc_evicted_by_others"),
+                        stat(p + "shared_mshr_peers_held"),
+                        stat(p + "queue_rejects_contended"));
+        }
+    }
+
+    if (opts.dumpStats) {
+        for (const auto &[name, value] : result.stats)
+            std::printf("%-48s %.0f\n", name.c_str(), value);
+    }
+    if (opts.dumpJson) {
+        std::printf("{\n");
+        bool first = true;
+        for (const auto &[name, value] : result.stats) {
+            std::printf("%s  \"%s\": %.17g", first ? "" : ",\n",
+                        name.c_str(), value);
+            first = false;
+        }
+        std::printf("\n}\n");
+    }
+}
+
+int
+runMulti(const Options &opts)
+{
+    std::vector<std::string> workloads = opts.mixWorkloads;
+    if (workloads.empty())
+        workloads.assign(static_cast<std::size_t>(opts.cores),
+                         opts.workload);
+    else if (opts.cores > static_cast<int>(workloads.size())) {
+        // --cores larger than the mix: cycle the mix entries.
+        std::vector<std::string> cycled;
+        for (int i = 0; i < opts.cores; ++i)
+            cycled.push_back(
+                workloads[static_cast<std::size_t>(i)
+                          % workloads.size()]);
+        workloads = std::move(cycled);
+    }
+    for (const std::string &name : workloads) {
+        if (!findWorkload(name))
+            fatal("unknown workload '%s' (try --list)", name.c_str());
+    }
+
+    // Explicit --config (or --policies) pins the run; otherwise a
+    // multi-core invocation sweeps all six variants chip-wide.
+    std::vector<RunaheadConfig> variants;
+    if (opts.configSet || !opts.corePolicies.empty()) {
+        variants = {opts.config};
+    } else {
+        variants = {RunaheadConfig::kBaseline,
+                    RunaheadConfig::kRunahead,
+                    RunaheadConfig::kRunaheadEnhanced,
+                    RunaheadConfig::kRunaheadBuffer,
+                    RunaheadConfig::kRunaheadBufferCC,
+                    RunaheadConfig::kHybrid};
+    }
+    for (const RunaheadConfig variant : variants)
+        runMultiOnce(opts, workloads, variant);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -299,6 +440,8 @@ main(int argc, char **argv)
     }
 
     try {
+        if (opts.cores > 1 || !opts.mixWorkloads.empty())
+            return runMulti(opts);
         if (opts.allWorkloads) {
             for (const WorkloadSpec &spec : spec06Suite())
                 runOne(opts, spec.params.name);

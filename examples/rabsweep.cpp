@@ -56,6 +56,7 @@ struct Options
 {
     std::string preset;
     std::vector<std::string> workloads;
+    std::vector<std::string> mixSpecs;
     std::vector<std::string> configs;
     std::vector<std::uint64_t> seeds;
     std::uint64_t instructions = 0; ///< 0: preset/default sizing.
@@ -95,12 +96,18 @@ usage(int code)
     std::fputs(
         "rabsweep - parallel sweep campaigns with JSON manifests\n"
         "\n"
-        "  --preset NAME       fig9 | fig10 | fig17 | smoke | active\n"
+        "  --preset NAME       fig9 | fig10 | fig17 | smoke | active |\n"
+        "                      mix4 | interference\n"
         "  --workloads A,B     explicit workload axis (suite names)\n"
         "  --configs A,B       config axis: baseline | runahead |\n"
         "                      runahead-enhanced | buffer | buffer-cc |\n"
         "                      hybrid, each optionally with a +pf\n"
-        "                      suffix (e.g. hybrid+pf)\n"
+        "                      suffix (e.g. hybrid+pf); '|'-joined\n"
+        "                      labels (hybrid|baseline) set one policy\n"
+        "                      per core of a --mix point\n"
+        "  --mix [LABEL=]A,B   multi-core mix axis entry: one shared-\n"
+        "                      memory MultiSimulation point per variant\n"
+        "                      with one core per workload (repeatable)\n"
         "  --seeds N,M         seed axis (0 = workload default)\n"
         "  --instructions N    measured instructions per point\n"
         "  --warmup N          warmup instructions per point\n"
@@ -183,7 +190,18 @@ describePresets()
         "       fast-forward engine rarely fires, so throughput tracks\n"
         "       the active-window hot path: {calculix, hmmer, h264} x\n"
         "       {baseline, hybrid}; 150k/25k sizing — do not change\n"
-        "       without regenerating bench/baseline-active.json\n",
+        "       without regenerating bench/baseline-active.json\n"
+        "mix4   pinned CI multi-core campaign: the mcf+libq+omnetpp+\n"
+        "       h264 shared-LLC/DRAM mix x {baseline, hybrid}; 60k/15k\n"
+        "       per-core sizing — do not change without regenerating\n"
+        "       bench/baseline-mix4.json\n"
+        "interference\n"
+        "       runahead-interference headline: the mix4 workloads\n"
+        "       with per-core policies — all-baseline, all-hybrid,\n"
+        "       all-buffer-cc, and hybrid/buffer-cc on the mcf core\n"
+        "       only (neighbours baseline) — measuring what one\n"
+        "       runahead core's extra MSHR/DRAM/LLC pressure does to\n"
+        "       the chip; 60k/15k per-core sizing\n",
         stdout);
 }
 
@@ -251,6 +269,31 @@ buildPreset(const std::string &preset)
                          makeVariant(RunaheadConfig::kHybrid, false)};
         spec.instructions = 150'000;
         spec.warmup = 25'000;
+    } else if (preset == "mix4") {
+        // Pinned: the multi-core smoke gate's throughput baseline
+        // (bench/baseline-mix4.json) is measured on exactly this
+        // grid. One 4-core shared-memory point per variant; sized so
+        // the slowest core (mcf) finishes in O(seconds).
+        spec.mixes = {makeMix4()};
+        spec.variants = {makeVariant(RunaheadConfig::kBaseline, false),
+                         makeVariant(RunaheadConfig::kHybrid, false)};
+        spec.instructions = 60'000;
+        spec.warmup = 15'000;
+    } else if (preset == "interference") {
+        // The headline multi-core experiment: hold the mix4 workload
+        // assignment fixed and vary only which cores run ahead.
+        // Comparing "hybrid on the mcf core, baseline neighbours"
+        // against all-baseline isolates the interference a single
+        // runahead core inflicts through the shared MSHR pool, DRAM
+        // banks and LLC; the homogeneous rows bound both ends.
+        spec.mixes = {makeMix4()};
+        for (const char *label :
+             {"baseline", "hybrid", "buffer-cc",
+              "hybrid|baseline|baseline|baseline",
+              "buffer-cc|baseline|baseline|baseline"})
+            spec.variants.push_back(parseVariantLabel(label));
+        spec.instructions = 60'000;
+        spec.warmup = 15'000;
     } else {
         fatal("unknown preset '%s' (try --list-presets)",
               preset.c_str());
@@ -273,6 +316,8 @@ parseArgs(int argc, char **argv)
             opts.preset = next(i);
         else if (arg == "--workloads")
             opts.workloads = splitList(next(i));
+        else if (arg == "--mix")
+            opts.mixSpecs.push_back(next(i));
         else if (arg == "--configs")
             opts.configs = splitList(next(i));
         else if (arg == "--seeds") {
@@ -344,6 +389,22 @@ buildSpec(const Options &opts)
         for (const std::string &name : opts.configs)
             spec.variants.push_back(parseVariant(name));
     }
+    if (!opts.mixSpecs.empty()) {
+        spec.mixes.clear();
+        for (const std::string &text : opts.mixSpecs) {
+            try {
+                spec.mixes.push_back(parseMixSpec(text));
+            } catch (const std::exception &e) {
+                fatal("%s", e.what());
+            }
+            for (const std::string &name :
+                 spec.mixes.back().workloads) {
+                if (!findWorkload(name))
+                    fatal("unknown workload '%s' in --mix",
+                          name.c_str());
+            }
+        }
+    }
     if (!opts.seeds.empty())
         spec.seeds = opts.seeds;
     if (opts.instructions > 0)
@@ -353,8 +414,10 @@ buildSpec(const Options &opts)
     spec.fastForward = opts.fastForward;
     spec.retryLimit = opts.retryLimit;
     spec.retryBackoffMs = opts.retryBackoffMs;
-    if (spec.workloads.empty() || spec.variants.empty())
-        fatal("empty grid: give --preset or --workloads/--configs");
+    if ((spec.workloads.empty() && spec.mixes.empty())
+        || spec.variants.empty())
+        fatal("empty grid: give --preset, --workloads or --mix (plus "
+              "--configs)");
     return spec;
 }
 

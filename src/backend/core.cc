@@ -229,23 +229,31 @@ Core::run(std::uint64_t max_instructions, std::uint64_t max_cycles)
     const Cycle cycle_limit = cycle_ + max_cycles;
     while (retired_ < target && cycle_ < cycle_limit) {
         tick();
-        // Only look for a skippable window from a fully-stalled tick:
-        // an active tick is near-certain to fail the quiescence checks
-        // anyway, and running one extra real tick at a window boundary
-        // is exact by the engine's own contract (fastForwardTo
-        // replicates stalled ticks verbatim), so this gate can shorten
-        // a window by at most that one tick, never change behaviour.
-        if (!config_.fastForward || pipelineActivity_)
+        // Only look for a skippable window from a fully-stalled tick
+        // (see fastForwardEligible): this gate can shorten a window by
+        // at most one extra real tick, never change behaviour.
+        if (!fastForwardEligible())
             continue;
-        Cycle horizon = fastForwardHorizon();
+        Cycle horizon = proposeFastForward();
         if (horizon > cycle_limit)
             horizon = cycle_limit;
-        if (horizon > cycle_ + 1) {
-            ProfScope prof(ProfPhase::kFastForward);
-            checker_->onFastForward(cycle_, horizon);
-            fastForwardTo(horizon);
-        }
+        if (horizon > cycle_ + 1)
+            applyFastForward(horizon);
     }
+}
+
+Cycle
+Core::proposeFastForward()
+{
+    return fastForwardHorizon();
+}
+
+void
+Core::applyFastForward(Cycle target)
+{
+    ProfScope prof(ProfPhase::kFastForward);
+    checker_->onFastForward(cycle_, target);
+    fastForwardTo(target);
 }
 
 // ---------------------------------------------------------------------

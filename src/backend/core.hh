@@ -107,6 +107,29 @@ class Core
     /** Run until @p max_instructions retire or @p max_cycles elapse. */
     void run(std::uint64_t max_instructions, std::uint64_t max_cycles);
 
+    /** @{ External-driver interface. run() is written in terms of
+     *  these three calls, so a lockstep multi-core driver
+     *  (MultiSimulation) interleaving several cores reproduces the
+     *  single-core control flow exactly: tick, then — only from a
+     *  fully-stalled tick — propose a skip horizon and apply it. */
+    /** A fast-forward window may only open from a fully-stalled tick;
+     *  an active tick is near-certain to fail the quiescence checks
+     *  anyway, and running one extra real tick at a window boundary
+     *  is exact by the engine's own contract. */
+    bool fastForwardEligible() const
+    {
+        return config_.fastForward && !pipelineActivity_;
+    }
+    /** Prove the core quiescent at the current cycle and return the
+     *  earliest cycle at which any pipeline event can occur; 0 when
+     *  not quiescent (tick normally). Only meaningful when
+     *  fastForwardEligible(). */
+    Cycle proposeFastForward();
+    /** Jump to @p target (> cycle()+1), bulk-replicating every
+     *  per-cycle statistic the skipped ticks would have produced. */
+    void applyFastForward(Cycle target);
+    /** @} */
+
     Cycle cycle() const { return cycle_; }
     std::uint64_t retired() const { return retired_; }
     double ipc() const;

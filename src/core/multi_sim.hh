@@ -1,0 +1,152 @@
+/**
+ * @file
+ * MultiSimulation: N cores with private L1s, frontends, ROBs and
+ * runahead controllers sharing one LLC, MSHR pool and DRAM channel
+ * (SharedMemory). The driver ticks every core each cycle in a rotating
+ * round-robin order and only fast-forwards when every core is provably
+ * quiescent, jumping all of them to the minimum horizon so lockstep is
+ * never broken.
+ *
+ * numCores == 1 constructs the exact single-core stack (an owned
+ * MemorySystem, no contention counters) and reproduces Simulation
+ * byte-for-byte: same commit stream, same cycle count, same stat
+ * payload. tests/test_multicore.cc certifies this differentially,
+ * clean and under fault injection.
+ *
+ * The headline experiment this enables is runahead interference:
+ * per-core independently settable runahead policies
+ * (SimConfig::corePolicies) competing for the shared MSHR pool, DRAM
+ * banks and LLC capacity, with per-core contention accounting
+ * (core<i>.mem.bank_conflicts, core<i>.mem.llc_evicted_by_others, ...)
+ * and a shared.* subtree for chip-wide counters.
+ */
+
+#ifndef RAB_CORE_MULTI_SIM_HH
+#define RAB_CORE_MULTI_SIM_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hh"
+#include "memory/shared_memory.hh"
+
+namespace rab
+{
+
+/** Everything a finished multi-core simulation reports. */
+struct MultiSimResult
+{
+    /** Per-core results, indexed by core id. Each is extracted by the
+     *  same collectSimResult() path a single-core Simulation uses, at
+     *  the cycle the core crossed its instruction budget. */
+    std::vector<SimResult> cores;
+
+    std::uint64_t cycles = 0;       ///< Measured cycles (last finisher).
+    std::uint64_t instructions = 0; ///< Sum over cores.
+    double throughputIpc = 0;       ///< Sum(instructions) / cycles.
+
+    /** Flattened stat payload: core<i>.core.*, core<i>.mem.* and
+     *  shared.* for N > 1; plain core.* / mem.* for N == 1 (matching
+     *  the single-core sweep payload exactly). */
+    std::map<std::string, double> stats;
+
+    std::string toString() const;
+};
+
+/** One multi-core simulation run. */
+class MultiSimulation
+{
+  public:
+    /**
+     * @p config must be finalize()d and have numCores >= 1; @p programs
+     * supplies one workload per core (programs.size() == numCores).
+     *
+     * Each core gets a private SimConfig copy with its own runahead
+     * policy (SimConfig::corePolicy) and, under fault injection, a
+     * decorrelated seed (seed + core id) so faults do not land in
+     * lockstep across cores. Core 0 keeps the base seed, so its fault
+     * stream matches the equivalent single-core run.
+     */
+    MultiSimulation(const SimConfig &config,
+                    std::vector<Program> programs);
+    ~MultiSimulation();
+
+    MultiSimulation(const MultiSimulation &) = delete;
+    MultiSimulation &operator=(const MultiSimulation &) = delete;
+
+    /** Run warmup + measured region on all cores and collect. */
+    MultiSimResult run();
+
+    int numCores() const { return numCores_; }
+    Core &core(int i) { return *cores_[static_cast<std::size_t>(i)]; }
+    MemorySystem &memory(int i)
+    {
+        return *mems_[static_cast<std::size_t>(i)];
+    }
+    const Program &program(int i) const
+    {
+        return programs_[static_cast<std::size_t>(i)];
+    }
+
+    /** The shared chip half, or nullptr in owned/isolated modes. */
+    SharedMemory *shared() { return shared_.get(); }
+
+    /** Core @p i's fault injector, or nullptr when disabled. */
+    FaultInjector *faults(int i)
+    {
+        return faults_[static_cast<std::size_t>(i)].get();
+    }
+
+  private:
+    /** Lockstep-tick all cores until each has retired @p instructions
+     *  more uops (or the relative cycle limit expires). Finished cores
+     *  keep ticking — they still generate contention — until the last
+     *  one crosses. When @p collect, each core's SimResult and stat
+     *  payload are snapshotted at its own crossing cycle. */
+    void runPhase(std::uint64_t instructions, bool collect);
+
+    /** Snapshot core @p i at its budget-crossing cycle @p now. */
+    void snapshotCore(int i, Cycle now);
+
+    /** Shared-mode inclusion invariant: every valid L1I/L1D line must
+     *  be present in (or in flight towards) the shared LLC. Runs at
+     *  CheckLevel::kFull every kContainmentPeriod cycles and at phase
+     *  end; throws InvariantViolation("shared-llc", ...). */
+    void checkSharedContainment(Cycle now);
+
+    static constexpr Cycle kContainmentPeriod = 4096;
+
+    SimConfig config_;
+    std::vector<SimConfig> coreConfigs_;
+    std::vector<Program> programs_;
+    int numCores_ = 1;
+    CheckLevel checkLevel_ = CheckLevel::kOff;
+
+    std::unique_ptr<SharedMemory> shared_; ///< null in owned modes.
+    std::vector<std::unique_ptr<FaultInjector>> faults_;
+    std::vector<std::unique_ptr<MemorySystem>> mems_;
+    std::vector<std::unique_ptr<Core>> cores_;
+
+    /** N > 1: per-core "core<i>" wrapper over the core + mem (+ fault)
+     *  groups, and the chip-wide "shared" group. Unused for N == 1,
+     *  where the raw groups are collected directly so the payload
+     *  matches a single-core run key-for-key. */
+    std::vector<std::unique_ptr<StatGroup>> coreGroups_;
+    StatGroup sharedGroup_;
+
+    Cycle measureStart_ = 0;
+    std::vector<Cycle> doneCycles_;
+    std::vector<SimResult> results_;
+    std::vector<std::map<std::string, double>> statsSnapshots_;
+};
+
+/** Convenience: build per-core suite workloads + run in one call. */
+MultiSimResult simulateMix(const SimConfig &config,
+                           const std::vector<std::string> &workloads);
+
+} // namespace rab
+
+#endif // RAB_CORE_MULTI_SIM_HH

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "backend/core.hh"
 #include "checker/check_level.hh"
@@ -66,6 +67,33 @@ struct SimConfig
     std::uint64_t warmupInstructions = 20'000;
     std::uint64_t instructions = 100'000;
     std::uint64_t maxCycles = 400'000'000;
+
+    /** @{ Multi-core simulation (MultiSimulation). numCores == 1
+     *  drives one core exactly like Simulation does — certified
+     *  byte-identical by tests/test_multicore.cc. */
+    int numCores = 1;
+
+    /** Per-core runahead policy override, indexed by core id; empty
+     *  means every core runs `runahead` (homogeneous). This is the
+     *  interference experiment's axis: heterogeneous mixes put e.g.
+     *  one runahead-buffer core next to baseline neighbours. */
+    std::vector<RunaheadConfig> corePolicies;
+
+    /** Test knob: give every core its own private LLC/DRAM instead of
+     *  the shared hierarchy, keeping the lockstep driver. With
+     *  contention gone, each core must replay its solo run exactly
+     *  (the N-core vs N×solo differential). */
+    bool isolateMemory = false;
+    /** @} */
+
+    /** Effective policy for @p core_id under corePolicies. */
+    RunaheadConfig corePolicy(int core_id) const
+    {
+        if (corePolicies.empty())
+            return runahead;
+        return corePolicies[static_cast<std::size_t>(core_id)
+                            % corePolicies.size()];
+    }
 
     /** Propagate the runahead/prefetch selections into the component
      *  configs. Call before constructing a Simulation. */

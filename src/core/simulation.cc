@@ -71,10 +71,24 @@ Simulation::run()
     core_->run(config_.instructions, config_.maxCycles);
     const Cycle cycles = core_->cycle() - start_cycle;
 
+    return collectSimResult(config_, program_.name(), config_.runahead,
+                            *core_, *mem_, faults_.get(), cycles);
+}
+
+SimResult
+collectSimResult(const SimConfig &config,
+                 const std::string &workload_name,
+                 RunaheadConfig runahead, Core &core, MemorySystem &mem,
+                 FaultInjector *faults, Cycle cycles)
+{
+    Core *core_ = &core;
+    MemorySystem *mem_ = &mem;
+    FaultInjector *faults_ = faults;
+
     SimResult r;
-    r.workload = program_.name();
-    r.config = config_.runahead;
-    r.prefetch = config_.prefetch;
+    r.workload = workload_name;
+    r.config = runahead;
+    r.prefetch = config.prefetch;
     r.instructions = core_->committedUops.value();
     r.cycles = cycles;
     r.ipc = cycles == 0 ? 0.0
@@ -118,7 +132,7 @@ Simulation::run()
     r.degradeSteps = ra.ladder().degradeSteps.value();
     r.degradeLevel = static_cast<int>(ra.ladder().level());
 
-    const EnergyModel energy_model(config_.energy);
+    const EnergyModel energy_model(config.energy);
     r.energy = energy_model.compute(*core_, cycles);
     return r;
 }

@@ -104,6 +104,21 @@ class Simulation
     std::unique_ptr<Core> core_;
 };
 
+/**
+ * Extract every SimResult metric from a finished (or budget-crossing)
+ * core and its memory view. This is the single extraction path shared
+ * by Simulation and MultiSimulation, so a multi-core per-core result
+ * matches a single-core run field-for-field by construction.
+ *
+ * @p runahead names the core's own policy (per-core in a
+ * heterogeneous mix); @p cycles is the core's measured cycle count.
+ */
+SimResult collectSimResult(const SimConfig &config,
+                           const std::string &workload_name,
+                           RunaheadConfig runahead, Core &core,
+                           MemorySystem &mem, FaultInjector *faults,
+                           Cycle cycles);
+
 /** Convenience: build + finalize + run in one call. */
 SimResult simulateWorkload(const std::string &workload_name,
                            RunaheadConfig runahead, bool prefetch,

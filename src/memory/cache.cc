@@ -199,6 +199,18 @@ Cache::occupancy() const
     return count;
 }
 
+std::vector<Addr>
+Cache::validLines() const
+{
+    std::vector<Addr> lines;
+    lines.reserve(occupancy());
+    for (const Line &line : lines_) {
+        if (line.valid)
+            lines.push_back(line.tag << lineShift_);
+    }
+    return lines;
+}
+
 void
 Cache::flush()
 {

@@ -82,6 +82,11 @@ class Cache
     /** Number of valid lines currently resident. */
     std::uint64_t occupancy() const;
 
+    /** Line-aligned addresses of every valid resident line, in
+     *  deterministic (set, way) order. Containment checks and tests;
+     *  never a hot path. */
+    std::vector<Addr> validLines() const;
+
     /** Reset all tags to invalid. */
     void flush();
 

@@ -105,6 +105,7 @@ Dram::access(Addr addr, Cycle now, bool is_write)
     const Cycle start = std::max(now, bank.freeAt);
     Cycle access_latency;
     DramResult result;
+    result.queueWait = start - now;
     if (bank.rowOpen && bank.openRow == row) {
         access_latency = casCycles_;
         result.rowHit = true;

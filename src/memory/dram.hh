@@ -43,6 +43,9 @@ struct DramResult
 {
     Cycle readyCycle = 0; ///< Core cycle the line is delivered.
     bool rowHit = false;
+    Cycle queueWait = 0;  ///< Cycles the request waited for its bank
+                          ///< to free before service began (the
+                          ///< bank-conflict share of the latency).
 };
 
 /** The DDR3 device model. */

@@ -10,13 +10,33 @@ namespace rab
 {
 
 MemorySystem::MemorySystem(const MemSysConfig &config)
-    : config_(config),
-      l1i_(config.l1i), l1d_(config.l1d), llc_(config.llc),
-      dram_(config.dram),
-      prefetcher_(config.prefetcher, config.llc.lineBytes),
-      stridePf_(config.stridePrefetcher, config.llc.lineBytes),
-      ghbPf_(config.ghbPrefetcher, config.llc.lineBytes),
+    : config_(config), l1i_(config.l1i), l1d_(config.l1d),
+      ownedShared_(std::make_unique<SharedMemory>(config, 1)),
+      shared_(ownedShared_.get()), statGroup_("mem")
+{
+    shared_->attach(this);
+    regStats(/*attached=*/false);
+    shared_->regComponentStats(&statGroup_);
+}
+
+MemorySystem::MemorySystem(const MemSysConfig &config,
+                           SharedMemory &shared, int core_id)
+    : config_(config), l1i_(config.l1i), l1d_(config.l1d),
+      shared_(&shared), coreId_(core_id),
+      addrBase_(static_cast<Addr>(core_id) << kCoreAddrShift),
       statGroup_("mem")
+{
+    if (core_id < 0 || core_id >= shared.numCores())
+        panic("MemorySystem: core id %d outside shared range %d",
+              core_id, shared.numCores());
+    shared_->attach(this);
+    regStats(/*attached=*/true);
+}
+
+MemorySystem::~MemorySystem() = default;
+
+void
+MemorySystem::regStats(bool attached)
 {
     statGroup_.addCounter("demand_loads", &demandLoads, "demand loads");
     statGroup_.addCounter("demand_stores", &demandStores, "demand stores");
@@ -38,227 +58,63 @@ MemorySystem::MemorySystem(const MemSysConfig &config)
                           "accesses that exhausted the retry budget");
     statGroup_.addCounter("queue_fault_stalls", &queueFaultStalls,
                           "rejections from injected queue stall windows");
+    if (attached) {
+        // Contention counters exist only in the multi-core stat
+        // payload; the single-core layout predates them and is pinned
+        // by the N=1 differential test.
+        statGroup_.addCounter("llc_evicted_by_others",
+                              &llcEvictedByOthers,
+                              "my LLC lines evicted by other cores");
+        statGroup_.addCounter("bank_conflicts", &bankConflicts,
+                              "DRAM reads delayed by a busy bank/bus");
+        statGroup_.addCounter("bank_conflict_wait_cycles",
+                              &bankConflictWaitCycles,
+                              "total cycles those reads waited");
+        statGroup_.addCounter("shared_mshr_peers_held",
+                              &sharedMshrPeersHeld,
+                              "peer-held queue slots at my admissions");
+        statGroup_.addCounter("queue_rejects_contended",
+                              &queueRejectsContended,
+                              "queue-full rejections with peers holding "
+                              "slots");
+    }
     l1i_.regStats(&statGroup_);
     l1d_.regStats(&statGroup_);
-    llc_.regStats(&statGroup_);
-    dram_.regStats(&statGroup_);
-    prefetcher_.regStats(&statGroup_);
-    stridePf_.regStats(&statGroup_);
-    ghbPf_.regStats(&statGroup_);
-    // Sized once for the worst case any prefetcher emits per access;
-    // issuePrefetches() drains it in place, so this is the only
-    // allocation the candidate path ever performs.
-    prefetchCandidates_.reserve(64);
-}
-
-void
-MemorySystem::trainPrefetcher(AccessType type, Pc pc, Addr line_addr,
-                              bool was_miss)
-{
-    if (!config_.prefetcher.enabled)
-        return;
-    if (type != AccessType::kLoad && type != AccessType::kStore)
-        return; // Train on data traffic only.
-    if (config_.prefetcherKind == PrefetcherKind::kStream)
-        prefetcher_.observe(line_addr, was_miss, prefetchCandidates_);
-    else if (config_.prefetcherKind == PrefetcherKind::kStride)
-        stridePf_.observe(pc, line_addr, prefetchCandidates_);
-    else
-        ghbPf_.observe(pc, line_addr, prefetchCandidates_);
-}
-
-void
-MemorySystem::notifyPrefetchUseful()
-{
-    if (config_.prefetcherKind == PrefetcherKind::kStream)
-        prefetcher_.notifyUseful();
-    else if (config_.prefetcherKind == PrefetcherKind::kStride)
-        stridePf_.notifyUseful();
-    else
-        ghbPf_.notifyUseful();
-}
-
-void
-MemorySystem::notifyPrefetchUnused()
-{
-    if (config_.prefetcherKind == PrefetcherKind::kStream)
-        prefetcher_.notifyUnused();
-    else if (config_.prefetcherKind == PrefetcherKind::kStride)
-        stridePf_.notifyUnused();
-    else
-        ghbPf_.notifyUnused();
-}
-
-void
-MemorySystem::pruneOutstanding(Cycle now)
-{
-    while (!outstanding_.empty() && outstanding_.top() <= now)
-        outstanding_.pop();
-}
-
-void
-MemorySystem::prunePending(PendingMap &pending, Cycle now)
-{
-    // Lazy cleanup: bound the map size without per-cycle sweeps.
-    if (pending.size() < 4096)
-        return;
-    // rablint: order-independent (erase-only sweep; which entries
-    // survive depends on their deadlines, never on visit order)
-    for (auto it = pending.begin(); it != pending.end();) {
-        if (it->second <= now)
-            it = pending.erase(it);
-        else
-            ++it;
-    }
 }
 
 std::size_t
 MemorySystem::outstandingMisses(Cycle now)
 {
-    pruneOutstanding(now);
-    return outstanding_.size();
+    return shared_->outstandingMisses(now);
 }
 
 Cycle
 MemorySystem::nextEventCycle(Cycle now)
 {
-    pruneOutstanding(now);
-    Cycle next = outstanding_.empty() ? 0 : outstanding_.top();
-    const Cycle bank_free = dram_.nextBankFreeCycle(now);
-    if (bank_free > now && (next == 0 || bank_free < next))
-        next = bank_free;
-    return next;
+    return shared_->nextEventCycle(now);
 }
 
 bool
 MemorySystem::dataOnChip(Addr addr, Cycle now) const
 {
-    if (llcPendingMax_ > now) {
-        const Addr line = llc_.lineAddr(addr);
-        const auto it = llcPending_.find(line);
-        if (it != llcPending_.end() && it->second > now)
+    addr = rebase(addr);
+    if (shared_->llcPendingMax_ > now) {
+        const Addr line = shared_->llc_.lineAddr(addr);
+        const auto it = shared_->llcPending_.find(line);
+        if (it != shared_->llcPending_.end() && it->second > now)
             return false;
     }
-    return l1d_.probe(addr) || llc_.probe(addr);
+    return l1d_.probe(addr) || shared_->llc_.probe(addr);
 }
 
 bool
 MemorySystem::missInFlight(Addr addr, Cycle now) const
 {
-    if (llcPendingMax_ <= now)
+    if (shared_->llcPendingMax_ <= now)
         return false;
-    const Addr line = llc_.lineAddr(addr);
-    const auto it = llcPending_.find(line);
-    return it != llcPending_.end() && it->second > now;
-}
-
-Cycle
-MemorySystem::accessLlc(AccessType type, Addr line_addr, Cycle llc_time,
-                        Cycle now, AccessResult &result, bool &rejected,
-                        bool runahead, Pc pc)
-{
-    rejected = false;
-
-    // Merge with an in-flight LLC fill if one exists.
-    if (llcPendingMax_ > now) {
-        const auto pending_it = llcPending_.find(line_addr);
-        if (pending_it != llcPending_.end()
-            && pending_it->second > now) {
-            ++mshrMerges;
-            trainPrefetcher(type, pc, line_addr, /*was_miss=*/false);
-            return std::max(pending_it->second, llc_time);
-        }
-    }
-
-    const CacheLookup lookup =
-        llc_.access(line_addr, type == AccessType::kStore);
-    if (lookup.hit) {
-        if (lookup.wasPrefetched) {
-            result.prefetchHit = true;
-            notifyPrefetchUseful();
-        }
-        trainPrefetcher(type, pc, line_addr, /*was_miss=*/false);
-        return llc_time + config_.llc.latency;
-    }
-
-    // LLC miss: needs a memory queue slot. Runahead misses may not
-    // take the last runaheadQueueReserve slots (demand priority).
-    pruneOutstanding(now);
-    std::size_t limit = static_cast<std::size_t>(config_.memQueueEntries);
-    if (runahead && config_.runaheadQueueReserve > 0) {
-        limit -= static_cast<std::size_t>(
-            std::min(config_.runaheadQueueReserve,
-                     config_.memQueueEntries));
-    }
-    if (outstanding_.size() >= limit) {
-        ++queueRejects;
-        rejected = true;
-        return 0;
-    }
-
-    // Injected transient stall window: the queue refuses new misses
-    // until the window closes; the core retries like a full queue.
-    if (faults_ && faults_->memQueueStalled(now)) {
-        ++queueFaultStalls;
-        ++queueRejects;
-        rejected = true;
-        return 0;
-    }
-
-    // Injected response drops: model a timeout + bounded retry with
-    // linear backoff. The whole outcome is decided up front (before
-    // any DRAM/stat side effects) so a failed access leaves the
-    // hierarchy untouched and the core simply retries later.
-    Cycle fault_delay = 0;
-    if (faults_) {
-        int attempt = 0;
-        while (faults_->dropDramResponse()) {
-            ++memTimeouts;
-            if (attempt >= config_.memRetryLimit) {
-                ++memRetryFailures;
-                result.faulted = true;
-                rejected = true;
-                return 0;
-            }
-            ++attempt;
-            ++memRetries;
-            fault_delay += config_.memTimeoutCycles
-                + static_cast<Cycle>(attempt)
-                    * config_.memRetryBackoffCycles;
-        }
-        fault_delay += faults_->dramDelay();
-    }
-
-    if (type != AccessType::kPrefetch) {
-        ++llcDemandMisses;
-        if (type == AccessType::kLoad)
-            ++llcLoadMisses;
-        trainPrefetcher(type, pc, line_addr, /*was_miss=*/true);
-    }
-
-    const DramResult dram_result =
-        dram_.access(line_addr, llc_time + config_.llc.latency,
-                     /*is_write=*/false);
-    const Cycle ready = dram_result.readyCycle + fault_delay;
-    llcPending_[line_addr] = ready;
-    if (ready > llcPendingMax_)
-        llcPendingMax_ = ready;
-    outstanding_.push(ready);
-    prunePending(llcPending_, now);
-
-    const Eviction ev = llc_.insert(line_addr,
-                                    type == AccessType::kStore,
-                                    type == AccessType::kPrefetch);
-    if (ev.valid) {
-        if (ev.prefetchUnused)
-            notifyPrefetchUnused();
-        // Inclusive hierarchy: back-invalidate the L1 copies.
-        const bool l1_dirty = l1d_.invalidate(ev.lineAddr);
-        l1i_.invalidate(ev.lineAddr);
-        if (ev.dirty || l1_dirty)
-            dram_.access(ev.lineAddr, now, /*is_write=*/true);
-    }
-    return ready;
+    const Addr line = shared_->llc_.lineAddr(rebase(addr));
+    const auto it = shared_->llcPending_.find(line);
+    return it != shared_->llcPending_.end() && it->second > now;
 }
 
 AccessResult
@@ -267,6 +123,7 @@ MemorySystem::access(AccessType type, Addr addr, Cycle now,
 {
     ProfScope prof(ProfPhase::kMemAccess);
     AccessResult result;
+    addr = rebase(addr);
     Cache &l1 = type == AccessType::kInstFetch ? l1i_ : l1d_;
     PendingMap &l1_pending =
         type == AccessType::kInstFetch ? l1iPending_ : l1dPending_;
@@ -303,7 +160,7 @@ MemorySystem::access(AccessType type, Addr addr, Cycle now,
         } else {
             result.readyCycle = now + l1.config().latency;
         }
-        issuePrefetches(now);
+        shared_->issuePrefetches(*this, now);
         return result;
     }
 
@@ -313,9 +170,9 @@ MemorySystem::access(AccessType type, Addr addr, Cycle now,
     const Cycle llc_time = now + l1.config().latency;
     bool rejected = false;
     const Cycle pre_misses = llcDemandMisses.value();
-    const Cycle ready =
-        accessLlc(type, llc_.lineAddr(addr), llc_time, now, result,
-                  rejected, runahead, pc);
+    const Cycle ready = shared_->accessLlc(
+        *this, type, shared_->llc_.lineAddr(addr), llc_time, now,
+        result, rejected, runahead, pc);
     if (rejected) {
         result.rejected = true;
         return result;
@@ -327,61 +184,22 @@ MemorySystem::access(AccessType type, Addr addr, Cycle now,
     const Eviction ev = l1.insert(addr, type == AccessType::kStore);
     if (ev.valid && ev.dirty) {
         // Write the victim back into the (inclusive) LLC.
-        llc_.access(ev.lineAddr, /*is_write=*/true);
+        shared_->llc_.access(ev.lineAddr, /*is_write=*/true);
     }
     l1_pending[line_addr] = ready;
     if (ready > l1_pending_max)
         l1_pending_max = ready;
-    prunePending(l1_pending, now);
+    SharedMemory::prunePending(l1_pending, now);
     result.readyCycle = ready;
 
-    issuePrefetches(now);
+    shared_->issuePrefetches(*this, now);
     return result;
-}
-
-void
-MemorySystem::issuePrefetches(Cycle now)
-{
-    if (prefetchCandidates_.empty())
-        return;
-    // Drain in place: nothing in the loop body trains the prefetcher,
-    // so the candidate list cannot grow under us, and clearing (rather
-    // than the old swap-with-a-temporary) preserves the buffer's
-    // capacity across accesses instead of reallocating it every time.
-    for (const Addr line_addr : prefetchCandidates_) {
-        if (llc_.probe(line_addr))
-            continue;
-        const auto it = llcPending_.find(line_addr);
-        if (it != llcPending_.end() && it->second > now)
-            continue;
-        pruneOutstanding(now);
-        if (outstanding_.size()
-                >= static_cast<std::size_t>(config_.memQueueEntries)) {
-            break; // Queue full: drop remaining prefetches.
-        }
-        const DramResult dram_result =
-            dram_.access(line_addr, now, /*is_write=*/false);
-        llcPending_[line_addr] = dram_result.readyCycle;
-        outstanding_.push(dram_result.readyCycle);
-        ++prefetchesIssued;
-        const Eviction ev = llc_.insert(line_addr, /*is_write=*/false,
-                                        /*is_prefetch=*/true);
-        if (ev.valid) {
-            if (ev.prefetchUnused)
-                notifyPrefetchUnused();
-            const bool l1_dirty = l1d_.invalidate(ev.lineAddr);
-            l1i_.invalidate(ev.lineAddr);
-            if (ev.dirty || l1_dirty)
-                dram_.access(ev.lineAddr, now, /*is_write=*/true);
-        }
-    }
-    prefetchCandidates_.clear();
 }
 
 std::uint64_t
 MemorySystem::dramRequests() const
 {
-    return dram_.reads.value() + dram_.writes.value();
+    return shared_->dramRequests();
 }
 
 } // namespace rab

@@ -1,8 +1,9 @@
 /**
  * @file
- * The full cache hierarchy: split 32 KB L1I/L1D, a unified, inclusive
- * 1 MB LLC, a 64-entry memory queue in front of the DDR3 model, and the
- * stream prefetcher training on LLC demand traffic (Table 1).
+ * One core's view of the cache hierarchy: split 32 KB L1I/L1D private
+ * to the core, in front of the chip-shared state (unified inclusive
+ * 1 MB LLC, the 64-entry memory queue, the DDR3 model and the stream
+ * prefetcher — see SharedMemory) (Table 1).
  *
  * Timing model: tags are updated immediately on a miss, but the line's
  * availability is tracked in per-level pending (MSHR) maps; accesses to
@@ -10,22 +11,29 @@
  * duplicate memory request. The memory queue bounds the number of LLC
  * misses in flight — requests beyond it are rejected and retried by the
  * core, which is what bounds achievable MLP.
+ *
+ * A default-constructed MemorySystem owns a private SharedMemory (the
+ * single-core hierarchy, byte-identical to the pre-split model). The
+ * attached form plugs the core into an external SharedMemory under a
+ * core id; its addresses are namespaced with that id (see
+ * kCoreAddrShift) and it gains the per-core contention counters.
  */
 
 #ifndef RAB_MEMORY_MEMORY_SYSTEM_HH
 #define RAB_MEMORY_MEMORY_SYSTEM_HH
 
 #include <cstdint>
-#include <queue>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "memory/cache.hh"
 #include "memory/dram.hh"
+#include "memory/ghb_prefetcher.hh"
 #include "memory/req.hh"
+#include "memory/shared_memory.hh"
 #include "memory/stream_prefetcher.hh"
 #include "memory/stride_prefetcher.hh"
-#include "memory/ghb_prefetcher.hh"
 #include "stats/stats.hh"
 
 namespace rab
@@ -68,11 +76,20 @@ struct MemSysConfig
 
 class FaultInjector;
 
-/** The composed cache/DRAM hierarchy. */
+/** One core's composed view of the cache/DRAM hierarchy. */
 class MemorySystem
 {
   public:
+    /** Single-core form: owns its SharedMemory privately. */
     explicit MemorySystem(const MemSysConfig &config);
+
+    /** Multi-core form: core @p core_id's private L1s in front of an
+     *  external @p shared hierarchy. Cores must be constructed in
+     *  core-id order (each constructor attaches to @p shared). */
+    MemorySystem(const MemSysConfig &config, SharedMemory &shared,
+                 int core_id);
+
+    ~MemorySystem();
 
     MemorySystem(const MemorySystem &) = delete;
     MemorySystem &operator=(const MemorySystem &) = delete;
@@ -87,7 +104,7 @@ class MemorySystem
     AccessResult access(AccessType type, Addr addr, Cycle now,
                         bool runahead = false, Pc pc = 0);
 
-    /** Number of LLC misses currently in flight. */
+    /** Number of LLC misses currently in flight (chip-wide). */
     std::size_t outstandingMisses(Cycle now);
 
     /** Earliest future cycle (> @p now) at which memory-side state
@@ -108,13 +125,28 @@ class MemorySystem
 
     Cache &l1i() { return l1i_; }
     Cache &l1d() { return l1d_; }
-    Cache &llc() { return llc_; }
-    Dram &dram() { return dram_; }
-    StreamPrefetcher &prefetcher() { return prefetcher_; }
-    StridePrefetcher &stridePrefetcher() { return stridePf_; }
-    GhbPrefetcher &ghbPrefetcher() { return ghbPf_; }
+    Cache &llc() { return shared_->llc(); }
+    Dram &dram() { return shared_->dram(); }
+    StreamPrefetcher &prefetcher() { return shared_->prefetcher(); }
+    StridePrefetcher &stridePrefetcher()
+    {
+        return shared_->stridePrefetcher();
+    }
+    GhbPrefetcher &ghbPrefetcher() { return shared_->ghbPrefetcher(); }
 
-    /** Total DRAM requests (reads + writebacks); Figure 16's metric. */
+    /** The shared half of the hierarchy (owned or external). */
+    SharedMemory &shared() { return *shared_; }
+    const SharedMemory &shared() const { return *shared_; }
+
+    /** This core's id (0 in the single-core form). */
+    int coreId() const { return coreId_; }
+
+    /** Rebase an architectural address into this core's namespaced
+     *  slice of the shared address space (identity for core 0). */
+    Addr rebase(Addr addr) const { return addr | addrBase_; }
+
+    /** Total DRAM requests (reads + writebacks); Figure 16's metric.
+     *  Chip-wide in the multi-core form. */
     std::uint64_t dramRequests() const;
 
     /** @{ Statistics. */
@@ -133,46 +165,48 @@ class MemorySystem
                               ///< memory-queue stall window.
     /** @} */
 
+    /** @{ Contention statistics, meaningful (and registered) only in
+     *  the attached multi-core form; a single core keeps them at
+     *  zero so the legacy stat payload is unchanged. */
+    Counter llcEvictedByOthers;     ///< My LLC lines evicted by peers.
+    Counter bankConflicts;          ///< My DRAM reads that waited for a
+                                    ///< busy bank or bus.
+    Counter bankConflictWaitCycles; ///< Total cycles those reads waited.
+    Counter sharedMshrPeersHeld;    ///< Σ queue slots held by other
+                                    ///< cores at my queue admissions.
+    Counter queueRejectsContended;  ///< Queue-full rejections while
+                                    ///< peers held at least one slot.
+    /** @} */
+
     StatGroup &stats() { return statGroup_; }
 
     /** Attach a fault injector (may be null): drops/delays DRAM
      *  responses and opens transient memory-queue stall windows. */
     void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
 
+    /** The attached fault injector (may be null). */
+    FaultInjector *faultInjector() const { return faults_; }
+
   private:
+    friend class SharedMemory;
+
     /** Per-level in-flight fill tracking. */
     using PendingMap = std::unordered_map<Addr, Cycle>;
 
-    /** Handle an access that missed L1 at the LLC and below.
-     *  Returns the cycle the line reaches L1 / the requester. */
-    Cycle accessLlc(AccessType type, Addr line_addr, Cycle llc_time,
-                    Cycle now, AccessResult &result, bool &rejected,
-                    bool runahead, Pc pc);
-
-    /** Train the configured prefetcher on a demand access. */
-    void trainPrefetcher(AccessType type, Pc pc, Addr line_addr,
-                         bool was_miss);
-    void notifyPrefetchUseful();
-    void notifyPrefetchUnused();
-
-    /** Issue prefetch candidates produced by the stream prefetcher. */
-    void issuePrefetches(Cycle now);
-
-    void pruneOutstanding(Cycle now);
-    static void prunePending(PendingMap &pending, Cycle now);
+    /** Shared counter + L1 registration (both constructors). */
+    void regStats(bool attached);
 
     MemSysConfig config_;
     Cache l1i_;
     Cache l1d_;
-    Cache llc_;
-    Dram dram_;
-    StreamPrefetcher prefetcher_;
-    StridePrefetcher stridePf_;
-    GhbPrefetcher ghbPf_;
+
+    std::unique_ptr<SharedMemory> ownedShared_;
+    SharedMemory *shared_;
+    int coreId_ = 0;
+    Addr addrBase_ = 0;
 
     PendingMap l1iPending_;
     PendingMap l1dPending_;
-    PendingMap llcPending_;
     /** @{ Watermarks: the latest fill cycle ever inserted into the
      *  matching pending map. Once `now` passes a watermark, no entry
      *  can still be in flight, so the hit path can skip the hash find
@@ -180,14 +214,7 @@ class MemorySystem
      *  stale entries long after the fills land). */
     Cycle l1iPendingMax_ = 0;
     Cycle l1dPendingMax_ = 0;
-    Cycle llcPendingMax_ = 0;
     /** @} */
-
-    /** Ready cycles of in-flight LLC misses (memory queue occupancy). */
-    std::priority_queue<Cycle, std::vector<Cycle>, std::greater<Cycle>>
-        outstanding_;
-
-    std::vector<Addr> prefetchCandidates_;
 
     FaultInjector *faults_ = nullptr;
     StatGroup statGroup_;

@@ -4,11 +4,13 @@
 #include <chrono>
 #include <deque>
 #include <mutex>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 
 #include "checker/invariant_checker.hh"
 #include "common/logging.hh"
+#include "core/multi_sim.hh"
 #include "fault/watchdog.hh"
 #include "sweep/report.hh"
 #include "sweep/store/result_store.hh"
@@ -31,6 +33,24 @@ makeVariant(RunaheadConfig config, bool prefetch)
 ConfigVariant
 parseVariantLabel(const std::string &label)
 {
+    // '|'-joined labels assign one policy per core of a mix point.
+    if (label.find('|') != std::string::npos) {
+        ConfigVariant v;
+        v.label = label;
+        std::string segment;
+        std::stringstream ss(label);
+        while (std::getline(ss, segment, '|')) {
+            if (segment.empty())
+                throw std::runtime_error("empty core policy in '"
+                                         + label + "'");
+            const ConfigVariant core = parseVariantLabel(segment);
+            v.corePolicies.push_back(core.runahead);
+            v.prefetch = v.prefetch || core.prefetch;
+        }
+        v.runahead = v.corePolicies.front();
+        return v;
+    }
+
     std::string name = label;
     bool prefetch = false;
     const std::size_t suffix = name.rfind("+pf");
@@ -56,10 +76,45 @@ parseVariantLabel(const std::string &label)
     return makeVariant(config, prefetch);
 }
 
+CoreMixSpec
+makeMix4()
+{
+    CoreMixSpec mix;
+    mix.label = "mix4";
+    mix.workloads = {"mcf", "libq", "omnetpp", "h264"};
+    return mix;
+}
+
+CoreMixSpec
+parseMixSpec(const std::string &text)
+{
+    CoreMixSpec mix;
+    std::string list = text;
+    const std::size_t eq = text.find('=');
+    if (eq != std::string::npos) {
+        mix.label = text.substr(0, eq);
+        list = text.substr(eq + 1);
+    }
+    std::stringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (!item.empty())
+            mix.workloads.push_back(item);
+    }
+    if (mix.workloads.empty())
+        throw std::runtime_error("empty mix spec '" + text + "'");
+    if (mix.label.empty()) {
+        for (const std::string &w : mix.workloads)
+            mix.label += (mix.label.empty() ? "" : "+") + w;
+    }
+    return mix;
+}
+
 std::size_t
 CampaignSpec::pointCount() const
 {
-    return workloads.size() * variants.size() * seeds.size();
+    return (workloads.size() + mixes.size()) * variants.size()
+        * seeds.size();
 }
 
 std::vector<SweepPoint>
@@ -67,7 +122,8 @@ expandGrid(const CampaignSpec &spec)
 {
     std::vector<SweepPoint> points;
     points.reserve(spec.pointCount());
-    for (const std::string &workload : spec.workloads) {
+    const auto expand_variants = [&](const std::string &workload,
+                                     const CoreMixSpec *mix) {
         for (const ConfigVariant &variant : spec.variants) {
             for (const std::uint64_t seed : spec.seeds) {
                 SweepPoint p;
@@ -77,10 +133,18 @@ expandGrid(const CampaignSpec &spec)
                 p.runahead = variant.runahead;
                 p.prefetch = variant.prefetch;
                 p.seed = seed;
+                if (mix) {
+                    p.mixWorkloads = mix->workloads;
+                    p.corePolicies = variant.corePolicies;
+                }
                 points.push_back(std::move(p));
             }
         }
-    }
+    };
+    for (const std::string &workload : spec.workloads)
+        expand_variants(workload, nullptr);
+    for (const CoreMixSpec &mix : spec.mixes)
+        expand_variants(mix.label, &mix);
     return points;
 }
 
@@ -122,30 +186,71 @@ runPoint(const CampaignSpec &spec, const SweepPoint &point)
     // wallSeconds never feeds simulated state or manifest ordering)
     const auto start = std::chrono::steady_clock::now();
     try {
-        const WorkloadSpec *workload = findWorkload(point.workload);
-        if (!workload) {
-            throw std::runtime_error("unknown workload '"
-                                     + point.workload + "'");
-        }
         SimConfig config = makeConfig(point.runahead, point.prefetch);
         config.instructions = spec.instructions;
         config.warmupInstructions = spec.warmup;
         config.checkLevel = spec.checkLevel;
         config.checkPolicy = spec.checkPolicy;
         config.fastForward = spec.fastForward;
+        if (point.isMix()) {
+            config.numCores =
+                static_cast<int>(point.mixWorkloads.size());
+            config.corePolicies = point.corePolicies;
+        }
         config.finalize();
         if (spec.configHook)
             spec.configHook(point.index, config);
 
-        WorkloadParams params = workload->params;
-        if (point.seed != 0)
-            params.seed = point.seed;
+        if (point.isMix()) {
+            std::vector<Program> programs;
+            programs.reserve(point.mixWorkloads.size());
+            for (const std::string &name : point.mixWorkloads) {
+                const WorkloadSpec *workload = findWorkload(name);
+                if (!workload) {
+                    throw std::runtime_error("unknown workload '"
+                                             + name + "'");
+                }
+                WorkloadParams params = workload->params;
+                if (point.seed != 0)
+                    params.seed = point.seed;
+                programs.push_back(buildWorkload(params));
+            }
+            MultiSimulation sim(config, std::move(programs));
+            const MultiSimResult multi = sim.run();
+            // PointResult carries one SimResult: synthesise the
+            // chip-level view (per-core results live in the stats
+            // payload under core<i>.* and shared.*).
+            pr.result.workload = point.workload;
+            pr.result.config = point.runahead;
+            pr.result.prefetch = point.prefetch;
+            pr.result.instructions = multi.instructions;
+            pr.result.cycles = multi.cycles;
+            pr.result.ipc = multi.throughputIpc;
+            for (const SimResult &core : multi.cores) {
+                pr.result.runaheadIntervals += core.runaheadIntervals;
+                pr.result.dramRequests += core.dramRequests;
+                pr.result.faultsInjected += core.faultsInjected;
+                pr.result.watchdogRecoveries += core.watchdogRecoveries;
+                pr.result.degradeSteps += core.degradeSteps;
+            }
+            pr.stats = multi.stats;
+        } else {
+            const WorkloadSpec *workload = findWorkload(point.workload);
+            if (!workload) {
+                throw std::runtime_error("unknown workload '"
+                                         + point.workload + "'");
+            }
+            WorkloadParams params = workload->params;
+            if (point.seed != 0)
+                params.seed = point.seed;
 
-        Simulation sim(config, buildWorkload(params));
-        pr.result = sim.run();
-        pr.stats = sim.core().stats().collect();
-        for (const auto &[name, value] : sim.memory().stats().collect())
-            pr.stats.emplace(name, value);
+            Simulation sim(config, buildWorkload(params));
+            pr.result = sim.run();
+            pr.stats = sim.core().stats().collect();
+            for (const auto &[name, value] :
+                 sim.memory().stats().collect())
+                pr.stats.emplace(name, value);
+        }
         pr.ok = true;
     } catch (const WatchdogTimeout &e) {
         pr.error = strprintf(

@@ -46,6 +46,12 @@ struct ConfigVariant
     std::string label; ///< e.g. "Hybrid+PF"; unique within a campaign.
     RunaheadConfig runahead = RunaheadConfig::kBaseline;
     bool prefetch = false;
+
+    /** Per-core policy override for multi-core mix points (the
+     *  interference axis). Empty: every core runs `runahead`. Parsed
+     *  from '|'-joined labels, e.g. "hybrid|baseline|baseline". Core i
+     *  runs corePolicies[i % size] (SimConfig::corePolicy). */
+    std::vector<RunaheadConfig> corePolicies;
 };
 
 /** Label a (config, prefetch) pair the way the benches do. */
@@ -54,11 +60,31 @@ ConfigVariant makeVariant(RunaheadConfig config, bool prefetch);
 /**
  * Parse a CLI/wire config label — "baseline", "runahead",
  * "runahead-enhanced", "buffer", "buffer-cc" or "hybrid", each with
- * an optional "+pf" suffix — into a variant. Throws
+ * an optional "+pf" suffix — into a variant. A '|'-joined label
+ * ("hybrid|baseline") assigns a policy per core of a multi-core mix
+ * point; the first segment is the variant's headline config, and any
+ * segment's "+pf" suffix enables the (chip-wide) prefetcher. Throws
  * std::runtime_error on an unknown name (the daemon turns that into
  * a bad-spec error frame; the CLI into a fatal()).
  */
 ConfigVariant parseVariantLabel(const std::string &label);
+
+/** A named multi-core workload mix (one core per entry). */
+struct CoreMixSpec
+{
+    std::string label;                  ///< e.g. "mix4".
+    std::vector<std::string> workloads; ///< Suite name per core.
+};
+
+/** The headline 4-core interference mix: one high-MPKI pointer
+ *  chaser (mcf), one streaming (libq), one chain-heavy gather
+ *  (omnetpp) and one compute-bound (h264) workload. */
+CoreMixSpec makeMix4();
+
+/** Parse "label=w0,w1,..." or bare "w0,w1,..." (label joins the
+ *  workloads with '+') into a mix. Throws std::runtime_error when no
+ *  workload is given. */
+CoreMixSpec parseMixSpec(const std::string &text);
 
 /** A declarative workloads x variants x seeds grid. */
 struct CampaignSpec
@@ -68,6 +94,13 @@ struct CampaignSpec
     std::vector<std::string> workloads;   ///< Suite workload names.
     std::vector<ConfigVariant> variants;  ///< Config axis.
     std::vector<std::uint64_t> seeds{0};  ///< 0: workload default seed.
+
+    /** Multi-core mix axis, expanded after `workloads` (each mix x
+     *  variants x seeds). A mix point runs a MultiSimulation with one
+     *  core per mix entry sharing the LLC/MSHRs/DRAM; its variant's
+     *  corePolicies (when set) give each core its own runahead
+     *  policy. */
+    std::vector<CoreMixSpec> mixes;
 
     std::uint64_t instructions = 40'000;
     std::uint64_t warmup = 10'000;
@@ -102,17 +135,27 @@ struct CampaignSpec
 struct SweepPoint
 {
     std::size_t index = 0; ///< Position in grid order.
-    std::string workload;
+    std::string workload;  ///< Suite name, or the mix label.
     std::string variant;
     RunaheadConfig runahead = RunaheadConfig::kBaseline;
     bool prefetch = false;
     std::uint64_t seed = 0;
+
+    /** @{ Multi-core mix points only (empty otherwise): one workload
+     *  per core, and the variant's per-core policy override. */
+    std::vector<std::string> mixWorkloads;
+    std::vector<RunaheadConfig> corePolicies;
+    /** @} */
+
+    bool isMix() const { return !mixWorkloads.empty(); }
 };
 
 /**
  * Expand the grid in deterministic order: workload-major, then
- * variant, then seed. This order defines point indices, result order
- * and the manifest layout, independent of execution schedule.
+ * variant, then seed; mix points follow the single-core workloads in
+ * the same variant/seed order. This order defines point indices,
+ * result order and the manifest layout, independent of execution
+ * schedule.
  */
 std::vector<SweepPoint> expandGrid(const CampaignSpec &spec);
 

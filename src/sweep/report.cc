@@ -146,6 +146,19 @@ campaignManifest(const CampaignResult &campaign, bool canonical)
     for (const std::uint64_t s : spec.seeds)
         seeds.push(s);
     grid["seeds"] = std::move(seeds);
+    if (!spec.mixes.empty()) {
+        Json mixes = Json::array();
+        for (const CoreMixSpec &mix : spec.mixes) {
+            Json m = Json::object();
+            m["label"] = mix.label;
+            Json cores = Json::array();
+            for (const std::string &w : mix.workloads)
+                cores.push(w);
+            m["workloads"] = std::move(cores);
+            mixes.push(std::move(m));
+        }
+        grid["mixes"] = std::move(mixes);
+    }
     grid["points"] = spec.pointCount();
     grid["failed_points"] = campaign.failedCount();
     grid["interrupted"] = campaign.interrupted;
@@ -179,6 +192,14 @@ campaignManifest(const CampaignResult &campaign, bool canonical)
         entry["workload"] = p.point.workload;
         entry["variant"] = p.point.variant;
         entry["seed"] = p.point.seed;
+        if (p.point.isMix()) {
+            entry["cores"] = static_cast<std::uint64_t>(
+                p.point.mixWorkloads.size());
+            Json mix = Json::array();
+            for (const std::string &w : p.point.mixWorkloads)
+                mix.push(w);
+            entry["mix_workloads"] = std::move(mix);
+        }
         entry["ok"] = p.ok;
         if (!p.ok) {
             entry["error"] = p.error;
@@ -215,9 +236,13 @@ makeBaseline(const CampaignResult &campaign)
     baseline["threads"] = campaign.threads;
     baseline["git_sha"] = currentGitSha();
     baseline["hostname"] = currentHostname();
-    baseline["regenerate"] =
-        "./build/examples/rabsweep --preset smoke --threads 2 "
-        "--write-baseline bench/baseline.json";
+    // Named after the campaign so every pinned baseline file carries
+    // its own regeneration recipe (smoke predates the naming scheme).
+    const std::string file = campaign.spec.name == "smoke"
+        ? "bench/baseline.json"
+        : "bench/baseline-" + campaign.spec.name + ".json";
+    baseline["regenerate"] = "./build/examples/rabsweep --preset "
+        + campaign.spec.name + " --threads 2 --write-baseline " + file;
     return baseline;
 }
 
@@ -325,6 +350,17 @@ mergeManifests(const Json &a, const Json &b)
             unionAxis(unioned, v);
         grid[axis] = std::move(unioned);
     }
+    // The mix axis is optional (absent from pre-multi-core manifests
+    // and single-core campaigns): union whatever is present.
+    Json mixes = Json::array();
+    for (const Json *c : {&ca, &cb}) {
+        if (const Json *m = c->find("mixes")) {
+            for (const Json &v : m->elements())
+                unionAxis(mixes, v);
+        }
+    }
+    if (mixes.size() > 0)
+        grid["mixes"] = std::move(mixes);
 
     // Points: concatenate, re-index, and reject duplicates — the
     // old silent last-writer-wins behaviour turned a double merge

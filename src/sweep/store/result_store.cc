@@ -89,6 +89,11 @@ recordJson(const StoreKey &key, const PointResult &result)
 {
     Json record = Json::object();
     record["schema"] = kRecordSchema;
+    // Config-key schema echo: lets lookup() reject any record whose
+    // key was hashed under a retired serialisation (e.g. pre-v2
+    // records with no multi-core identity) even if the file name
+    // somehow matches.
+    record["config_schema"] = kConfigKeySchema;
 
     Json k = Json::object();
     k["git"] = key.gitSha;
@@ -199,6 +204,12 @@ ResultStore::readRecord(const std::string &path, const StoreKey &key,
         const Json record =
             Json::parse(raw.substr(kHeader, length));
         if (record.at("schema").asString() != kRecordSchema)
+            return false;
+        // Records predating the config-key v2 bump lack the echo (or
+        // carry a stale one); Json::at throws on the missing field,
+        // landing in the catch below — either way the record reads as
+        // absent and is self-healed away.
+        if (record.at("config_schema").asString() != kConfigKeySchema)
             return false;
         // Key echo: a hash collision or a misplaced file must read
         // as a miss, never as someone else's result.

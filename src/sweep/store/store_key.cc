@@ -28,11 +28,12 @@ hex64(std::uint64_t value)
 }
 
 std::string
-canonicalConfigString(const CampaignSpec &spec, const SweepPoint &point)
+canonicalConfigStringV1(const CampaignSpec &spec,
+                        const SweepPoint &point)
 {
-    // Field order is part of the format: append-only, never reorder.
-    // Bumping the schema line deliberately invalidates every cached
-    // result — that is the intended way to retire a format.
+    // Retired v1 format, kept verbatim so the golden-hash pin test
+    // can prove v2 actually diverged from it (a silent non-bump would
+    // serve stale single-core results to multi-core-aware code).
     std::string s;
     s += "schema=rab-config-key-v1\n";
     s += "variant=" + point.variant + "\n";
@@ -45,6 +46,45 @@ canonicalConfigString(const CampaignSpec &spec, const SweepPoint &point)
                    static_cast<int>(spec.checkLevel));
     s += strprintf("check_policy=%d\n",
                    static_cast<int>(spec.checkPolicy));
+    return s;
+}
+
+std::string
+canonicalConfigString(const CampaignSpec &spec, const SweepPoint &point)
+{
+    // Field order is part of the format: append-only, never reorder.
+    // Bumping the schema line deliberately invalidates every cached
+    // result — that is the intended way to retire a format. v2 adds
+    // the multi-core identity (core count, per-core workloads and
+    // policies); single-core points serialise as cores=1 with no
+    // per-core lines, so they too get fresh v2 hashes.
+    std::string s;
+    s += std::string("schema=") + kConfigKeySchema + "\n";
+    s += "variant=" + point.variant + "\n";
+    s += std::string("runahead=") + runaheadConfigName(point.runahead)
+        + "\n";
+    s += strprintf("prefetch=%d\n", point.prefetch ? 1 : 0);
+    s += strprintf("warmup=%llu\n", (unsigned long long)spec.warmup);
+    s += strprintf("fast_forward=%d\n", spec.fastForward ? 1 : 0);
+    s += strprintf("check_level=%d\n",
+                   static_cast<int>(spec.checkLevel));
+    s += strprintf("check_policy=%d\n",
+                   static_cast<int>(spec.checkPolicy));
+    const std::size_t cores =
+        point.isMix() ? point.mixWorkloads.size() : 1;
+    s += strprintf("cores=%zu\n", cores);
+    if (point.isMix()) {
+        for (std::size_t i = 0; i < point.mixWorkloads.size(); ++i) {
+            s += strprintf("core%zu=%s/%s\n", i,
+                           point.mixWorkloads[i].c_str(),
+                           runaheadConfigName(
+                               point.corePolicies.empty()
+                                   ? point.runahead
+                                   : point.corePolicies
+                                         [i % point.corePolicies
+                                                  .size()]));
+        }
+    }
     return s;
 }
 

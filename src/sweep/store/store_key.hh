@@ -34,15 +34,27 @@ std::uint64_t fnv1a64(const std::string &text);
 /** @p value as a fixed-width 16-digit lowercase hex string. */
 std::string hex64(std::uint64_t value);
 
+/** Current canonical config-key schema. Bumped v1 -> v2 when the
+ *  multi-core fields (cores, per-core workload/policy) were added:
+ *  every record written under v1 predates MultiSimulation and must
+ *  never be served to v2-aware code. */
+inline constexpr const char *kConfigKeySchema = "rab-config-key-v2";
+
 /**
  * Canonical serialisation of every per-point configuration field that
  * affects simulated output (variant, runahead config, prefetch,
- * warmup, fast-forward, check level/policy). Line-oriented
- * `name=value` text in an order fixed here; versioned so a future
- * field addition is an explicit, visible invalidation.
+ * warmup, fast-forward, check level/policy, core count and per-core
+ * workload/policy assignment). Line-oriented `name=value` text in an
+ * order fixed here; versioned so a future field addition is an
+ * explicit, visible invalidation.
  */
 std::string canonicalConfigString(const CampaignSpec &spec,
                                   const SweepPoint &point);
+
+/** The retired v1 serialisation (no multi-core fields), kept only so
+ *  tests can pin both golden hashes and prove the v2 bump. */
+std::string canonicalConfigStringV1(const CampaignSpec &spec,
+                                    const SweepPoint &point);
 
 /** fnv1a64 of canonicalConfigString, as hex64. */
 std::string configHashHex(const CampaignSpec &spec,

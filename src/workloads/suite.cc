@@ -238,6 +238,14 @@ findWorkload(const std::string &name)
         if (spec.params.name == name)
             return &spec;
     }
+    // The suite abbreviates a few SPEC names; accept the full
+    // benchmark names too so CLI mix specs read naturally.
+    if (name == "libquantum")
+        return findWorkload("libq");
+    if (name == "xalancbmk")
+        return findWorkload("xalanc");
+    if (name == "cactusADM")
+        return findWorkload("cactus");
     return nullptr;
 }
 

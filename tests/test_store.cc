@@ -97,11 +97,24 @@ TEST(StoreKey, GoldenConfigSerialisation)
     // here — field order, spelling, a new field — invalidates every
     // record in every store on disk. That can be the right call, but
     // it must be a *decision*: update this golden text and bump
-    // rab-config-key-v1 deliberately.
+    // rab-config-key-v2 deliberately.
     CampaignSpec spec = storeSpec();
     const std::vector<SweepPoint> grid = expandGrid(spec);
     const SweepPoint &hybrid = grid[1]; // mcf x Hybrid
     EXPECT_EQ(canonicalConfigString(spec, hybrid),
+              "schema=rab-config-key-v2\n"
+              "variant=Hybrid\n"
+              "runahead=Hybrid\n"
+              "prefetch=0\n"
+              "warmup=500\n"
+              "fast_forward=1\n"
+              "check_level=0\n"
+              "check_policy=0\n"
+              "cores=1\n");
+    // The retired v1 format must stay byte-stable too: it documents
+    // exactly what pre-multi-core records were keyed under, and the
+    // divergence below is what rejects them.
+    EXPECT_EQ(canonicalConfigStringV1(spec, hybrid),
               "schema=rab-config-key-v1\n"
               "variant=Hybrid\n"
               "runahead=Hybrid\n"
@@ -114,13 +127,43 @@ TEST(StoreKey, GoldenConfigSerialisation)
 
 TEST(StoreKey, GoldenConfigHash)
 {
-    // Golden hash of the serialisation above: byte-identical across
-    // processes, hosts and compilers (FNV-1a over a fixed string).
+    // Golden hashes of the serialisations above: byte-identical
+    // across processes, hosts and compilers (FNV-1a over fixed
+    // strings). Both versions stay pinned — v1 so the rejection
+    // boundary is itself regression-tested — and must never collide.
     CampaignSpec spec = storeSpec();
     const std::vector<SweepPoint> grid = expandGrid(spec);
     EXPECT_EQ(configHashHex(spec, grid[1]),
               hex64(fnv1a64(canonicalConfigString(spec, grid[1]))));
-    EXPECT_EQ(configHashHex(spec, grid[1]), "bd2a9d1ecb27994a");
+    EXPECT_EQ(configHashHex(spec, grid[1]), "5a868bdeb562fd6f");
+    EXPECT_EQ(hex64(fnv1a64(canonicalConfigStringV1(spec, grid[1]))),
+              "bd2a9d1ecb27994a");
+}
+
+TEST(StoreKey, MixPointsKeyOnPerCoreAssignment)
+{
+    // Two mixes that differ only in one core's workload, and two
+    // variants that differ only in one core's policy, must hash to
+    // distinct keys; homogeneous relabelings of the same assignment
+    // must not.
+    CampaignSpec spec = storeSpec();
+    spec.workloads.clear();
+    spec.variants = {parseVariantLabel("hybrid|baseline")};
+    spec.mixes = {makeMix4()};
+    CampaignSpec other = spec;
+    other.mixes[0].workloads[3] = "lbm";
+
+    const SweepPoint a = expandGrid(spec)[0];
+    const SweepPoint b = expandGrid(other)[0];
+    EXPECT_TRUE(a.isMix());
+    EXPECT_NE(canonicalConfigString(spec, a),
+              canonicalConfigString(other, b));
+    EXPECT_NE(configHashHex(spec, a), configHashHex(other, b));
+
+    CampaignSpec swapped = spec;
+    swapped.variants = {parseVariantLabel("baseline|hybrid")};
+    const SweepPoint c = expandGrid(swapped)[0];
+    EXPECT_NE(configHashHex(spec, a), configHashHex(swapped, c));
 }
 
 TEST(StoreKey, StableAcrossThreadsAndFieldWrites)
@@ -306,6 +349,48 @@ TEST(ResultStore, KeyEchoRejectsMisfiledRecord)
     EXPECT_EQ(store.corruptDiscarded(), 1u);
     // The original record is untouched.
     EXPECT_TRUE(store.lookup(key).has_value());
+}
+
+TEST(ResultStore, RejectsPreV2ConfigSchemaRecords)
+{
+    // A record written before the rab-config-key-v2 bump carries a
+    // stale (or missing) config_schema echo. Even when the file is
+    // otherwise intact — magic, version, CRC and key echo all valid —
+    // it predates the multi-core key fields and must read as a miss,
+    // never as a hit.
+    ResultStore store(storeRoot("prev2"));
+    ASSERT_TRUE(store.ok()) << store.error();
+    const CampaignSpec spec = storeSpec();
+    const PointResult pr = syntheticResult();
+    const StoreKey key = keyFor(spec, pr);
+    ASSERT_TRUE(store.put(key, pr));
+
+    // Rewrite the record in place with the schema echo downgraded to
+    // v1, recomputing the CRC so only the schema gate can reject it.
+    const std::string path = store.recordPath(key);
+    std::string raw;
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        raw = buffer.str();
+    }
+    constexpr std::size_t kHeader = 8 + 4 + 4 + 8;
+    std::string payload = raw.substr(kHeader);
+    const std::size_t at = payload.find("rab-config-key-v2");
+    ASSERT_NE(at, std::string::npos);
+    payload.replace(at, 17, "rab-config-key-v1");
+    const std::uint32_t crc = crc32(payload.data(), payload.size());
+    for (int i = 0; i < 4; ++i)
+        raw[12 + i] = static_cast<char>((crc >> (8 * i)) & 0xFFu);
+    raw = raw.substr(0, kHeader) + payload;
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(raw.data(), static_cast<std::streamsize>(raw.size()));
+    }
+
+    EXPECT_EQ(store.lookup(key), std::nullopt);
+    EXPECT_EQ(store.corruptDiscarded(), 1u);
 }
 
 TEST(ResultStore, BadRootFailsClosed)

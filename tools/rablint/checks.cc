@@ -685,7 +685,28 @@ checkStatRegistration(const std::string &path, const LexedFile &lexed,
             && std::all_of(arg.begin(), arg.end(), [](const Token *t) {
                    return t->kind == TokKind::kString;
                });
-        if (!all_strings) {
+
+        // Per-core indexed names: perCoreStatName(core, "name")
+        // expands to "core<N>.name". The helper supplies the per-core
+        // prefix and the embedded literal still carries a statically
+        // diffable identity, so registration loops over cores need no
+        // suppression. Uniqueness is keyed on the whole call spelling
+        // (index expression included): the same spelling twice is a
+        // real duplicate, while distinct constant indices are not.
+        std::string name;
+        bool per_core = false;
+        if (!all_strings && !arg.empty()
+            && arg[0]->text == "perCoreStatName") {
+            for (const Token *t : arg) {
+                if (t->kind == TokKind::kString)
+                    per_core = true;
+                name += t->text;
+            }
+            if (!per_core)
+                name.clear();
+        }
+
+        if (!all_strings && !per_core) {
             report(out, lexed, path, kCheck, toks[i].line,
                    "stat name passed to " + toks[i].text
                        + "() must be a string literal so manifest "
@@ -695,9 +716,10 @@ checkStatRegistration(const std::string &path, const LexedFile &lexed,
             continue;
         }
 
-        std::string name;
-        for (const Token *t : arg)
-            name += t->text;
+        if (!per_core) {
+            for (const Token *t : arg)
+                name += t->text;
+        }
         const std::string key = receiver + "\x1f" + name;
         const auto [it, inserted] = seen.emplace(key, toks[i].line);
         if (!inserted) {

@@ -13,6 +13,8 @@ struct StatGroup
                    const std::string &desc = "");
 };
 
+std::string perCoreStatName(int core, const std::string &name);
+
 void
 registerStats(StatGroup &core, StatGroup &memory, Counter &a, Counter &b,
               const double *value)
@@ -28,4 +30,13 @@ registerStats(StatGroup &core, StatGroup &memory, Counter &a, Counter &b,
     memory.addCounter("dram_"
                       "reads",
                       &b, "split literal");
+
+    // Per-core indexed registration loops: perCoreStatName() names
+    // are "core<N>.<literal>" — per-core unique by construction, so
+    // the literal-name rule accepts them without suppression.
+    for (int i = 0; i < 4; ++i)
+        memory.addCounter(perCoreStatName(i, "mshr_peak"), &a, "peak");
+    // Distinct constant indices are distinct names, not duplicates.
+    memory.addCounter(perCoreStatName(0, "held_now"), &a);
+    memory.addCounter(perCoreStatName(1, "held_now"), &b);
 }

@@ -14,6 +14,8 @@ struct StatGroup
                    const std::string &desc = "");
 };
 
+std::string perCoreStatName(int core, const std::string &name);
+
 void
 registerStats(StatGroup &stats, Counter &a, Counter &b,
               const std::string &dynamic_name, const double *value)
@@ -23,4 +25,11 @@ registerStats(StatGroup &stats, Counter &a, Counter &b,
     stats.addCounter(dynamic_name, &a, "oops");   // EXPECT: rab-stat-registration
     stats.addScalar("ipc", value, "committed IPC");
     stats.addScalar("ipc" + dynamic_name, value); // EXPECT: rab-stat-registration
+
+    // Per-core indexed names: the same perCoreStatName spelling twice
+    // on one group registers the same name twice — a duplicate...
+    stats.addCounter(perCoreStatName(0, "mshr_peak"), &a, "peak");
+    stats.addCounter(perCoreStatName(0, "mshr_peak"), &b, "dup"); // EXPECT: rab-stat-registration
+    // ...and a per-core name with no literal inside is still dynamic.
+    stats.addCounter(perCoreStatName(2, dynamic_name), &a); // EXPECT: rab-stat-registration
 }
