@@ -86,8 +86,10 @@ usage(int code)
         "  --workload NAME     suite workload (default mcf)\n"
         "  --all               run the whole suite\n"
         "  --config NAME       baseline | runahead | runahead-enhanced |\n"
-        "                      buffer | buffer-cc | hybrid\n"
-        "                      (multi-core default: sweep all six)\n"
+        "                      buffer | buffer-cc | hybrid | cre |\n"
+        "                      cre-hybrid\n"
+        "                      (multi-core default: sweep the six\n"
+        "                      paper configs)\n"
         "  --cores N           simulate N cores sharing the LLC, MSHR\n"
         "                      pool and DRAM (default 1)\n"
         "  --mix A,B,...       one workload per core (implies --cores\n"
@@ -141,6 +143,10 @@ parseConfig(const std::string &name)
         return RunaheadConfig::kRunaheadBufferCC;
     if (name == "hybrid")
         return RunaheadConfig::kHybrid;
+    if (name == "cre")
+        return RunaheadConfig::kCRE;
+    if (name == "cre-hybrid")
+        return RunaheadConfig::kCREHybrid;
     fatal("unknown --config '%s'", name.c_str());
 }
 

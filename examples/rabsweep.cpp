@@ -97,11 +97,12 @@ usage(int code)
         "rabsweep - parallel sweep campaigns with JSON manifests\n"
         "\n"
         "  --preset NAME       fig9 | fig10 | fig17 | smoke | active |\n"
-        "                      mix4 | interference\n"
+        "                      cre | mix4 | interference\n"
         "  --workloads A,B     explicit workload axis (suite names)\n"
         "  --configs A,B       config axis: baseline | runahead |\n"
         "                      runahead-enhanced | buffer | buffer-cc |\n"
-        "                      hybrid, each optionally with a +pf\n"
+        "                      hybrid | cre | cre-hybrid, each\n"
+        "                      optionally with a +pf\n"
         "                      suffix (e.g. hybrid+pf); '|'-joined\n"
         "                      labels (hybrid|baseline) set one policy\n"
         "                      per core of a --mix point\n"
@@ -178,11 +179,13 @@ describePresets()
 {
     std::fputs(
         "fig9   full 29-workload suite x {baseline, runahead, buffer,\n"
-        "       buffer-cc, hybrid}, no prefetching; 40k/10k sizing\n"
+        "       buffer-cc, hybrid, cre, cre-hybrid}, no prefetching;\n"
+        "       40k/10k sizing\n"
         "fig10  medium+high suite x {runahead, buffer-cc} x {no-PF,\n"
         "       PF}; 40k/10k sizing\n"
         "fig17  medium+high suite x {baseline, runahead,\n"
-        "       runahead-enhanced, buffer, buffer-cc, hybrid}; 40k/10k\n"
+        "       runahead-enhanced, buffer, buffer-cc, hybrid, cre,\n"
+        "       cre-hybrid}; 40k/10k\n"
         "smoke  pinned CI campaign: {mcf, libq, omnetpp} x {baseline,\n"
         "       hybrid}; 150k/25k sizing — do not change without\n"
         "       regenerating bench/baseline.json\n"
@@ -191,6 +194,10 @@ describePresets()
         "       the active-window hot path: {calculix, hmmer, h264} x\n"
         "       {baseline, hybrid}; 150k/25k sizing — do not change\n"
         "       without regenerating bench/baseline-active.json\n"
+        "cre    pinned CI campaign for the Continuous Runahead engine\n"
+        "       gate: {mcf, libq, omnetpp} x {buffer-cc, cre,\n"
+        "       cre-hybrid}; 150k/25k sizing — do not change without\n"
+        "       regenerating bench/baseline-cre.json\n"
         "mix4   pinned CI multi-core campaign: the mcf+libq+omnetpp+\n"
         "       h264 shared-LLC/DRAM mix x {baseline, hybrid}; 60k/15k\n"
         "       per-core sizing — do not change without regenerating\n"
@@ -220,7 +227,8 @@ buildPreset(const std::string &preset)
              {RunaheadConfig::kBaseline, RunaheadConfig::kRunahead,
               RunaheadConfig::kRunaheadBuffer,
               RunaheadConfig::kRunaheadBufferCC,
-              RunaheadConfig::kHybrid})
+              RunaheadConfig::kHybrid, RunaheadConfig::kCRE,
+              RunaheadConfig::kCREHybrid})
             spec.variants.push_back(makeVariant(config, false));
         spec.instructions = 40'000;
         spec.warmup = 10'000;
@@ -241,7 +249,8 @@ buildPreset(const std::string &preset)
               RunaheadConfig::kRunaheadEnhanced,
               RunaheadConfig::kRunaheadBuffer,
               RunaheadConfig::kRunaheadBufferCC,
-              RunaheadConfig::kHybrid})
+              RunaheadConfig::kHybrid, RunaheadConfig::kCRE,
+              RunaheadConfig::kCREHybrid})
             spec.variants.push_back(makeVariant(config, false));
         spec.instructions = 40'000;
         spec.warmup = 10'000;
@@ -279,6 +288,19 @@ buildPreset(const std::string &preset)
                          makeVariant(RunaheadConfig::kHybrid, false)};
         spec.instructions = 60'000;
         spec.warmup = 15'000;
+    } else if (preset == "cre") {
+        // Pinned: the Continuous Runahead gate's throughput baseline
+        // (bench/baseline-cre.json) is measured on exactly this grid.
+        // buffer-cc is the closest non-engine config, so the gate
+        // catches regressions in the engine's advanceTo/prefetch hot
+        // path specifically, not in shared runahead machinery.
+        spec.workloads = {"mcf", "libq", "omnetpp"};
+        spec.variants = {
+            makeVariant(RunaheadConfig::kRunaheadBufferCC, false),
+            makeVariant(RunaheadConfig::kCRE, false),
+            makeVariant(RunaheadConfig::kCREHybrid, false)};
+        spec.instructions = 150'000;
+        spec.warmup = 25'000;
     } else if (preset == "interference") {
         // The headline multi-core experiment: hold the mix4 workload
         // assignment fixed and vary only which cores run ahead.
@@ -516,11 +538,20 @@ main(int argc, char **argv)
     }
 
     if (!opts.baselineOutPath.empty()) {
+        // Interruption takes precedence over every other verdict: a
+        // partial campaign must never become a baseline (it would
+        // silently lower the bar for every future gate).
+        if (campaign.interrupted) {
+            std::fprintf(stderr,
+                         "rabsweep: refusing to write a baseline from "
+                         "an interrupted (partial) campaign\n");
+            return resolveSweepExitCode(true, false, false);
+        }
         if (campaign.failedCount() > 0) {
             std::fprintf(stderr,
                          "rabsweep: refusing to write a baseline from "
                          "a campaign with failed points\n");
-            return 5;
+            return resolveSweepExitCode(false, true, false);
         }
         if (!writeJsonFile(opts.baselineOutPath,
                            makeBaseline(campaign))) {
@@ -549,13 +580,12 @@ main(int argc, char **argv)
         std::printf("manifest -> %s\n", opts.outPath.c_str());
     }
 
-    int code = campaign.failedCount() > 0 ? 5 : 0;
-    if (campaign.interrupted) {
-        // Distinct from 5: the grid was cut short, not refuted. A
-        // gate over partial data would be meaningless — skip it.
-        return 7;
-    }
-    if (!opts.gatePath.empty()) {
+    // Exit-code precedence lives in resolveSweepExitCode (and its
+    // unit test): interruption means the grid was cut short, not
+    // refuted — a gate verdict over partial data would be meaningless,
+    // so the gate is not even evaluated.
+    bool gate_failed = false;
+    if (!campaign.interrupted && !opts.gatePath.empty()) {
         GateResult gate;
         try {
             gate = perfGate(campaign, readJsonFile(opts.gatePath),
@@ -563,13 +593,14 @@ main(int argc, char **argv)
         } catch (const JsonError &e) {
             std::fprintf(stderr, "rabsweep: gate error: %s\n",
                          e.what());
-            return 6;
+            return resolveSweepExitCode(false, false, true);
         }
         std::printf("perf gate: %s — %s\n",
                     gate.pass ? "PASS" : "FAIL",
                     gate.message.c_str());
-        if (!gate.pass)
-            code = 6;
+        gate_failed = !gate.pass;
     }
-    return code;
+    return resolveSweepExitCode(campaign.interrupted,
+                                campaign.failedCount() > 0,
+                                gate_failed);
 }

@@ -37,6 +37,14 @@ Core::Core(const CoreConfig &config, const Program *program,
     frontend_ = std::make_unique<Frontend>(config_.frontend, program_,
                                            &bp_, mem_);
 
+    if (config_.runahead.engine.enabled
+        || config_.runahead.engine.instantiateInert) {
+        // Continuous Runahead: the engine lives beside the memory
+        // controller and reads values from the architectural image —
+        // const, so it is prefetch-only by construction.
+        mem_->enableChainEngine(config_.runahead.engine, &funcMem_);
+    }
+
     resetArchState();
 
     CheckerContext checker_ctx;
@@ -50,6 +58,7 @@ Core::Core(const CoreConfig &config, const Program *program,
     checker_ctx.wbq = &wbq_;
     checker_ctx.frontend = frontend_.get();
     checker_ctx.rs = &rs_;
+    checker_ctx.engine = mem_->chainEngine();
     checker_ = std::make_unique<InvariantChecker>(
         checkLevelFromEnv(config_.checkLevel), checker_ctx);
     checker_->setPolicy(checkPolicyFromEnv(config_.checkPolicy));
@@ -720,6 +729,13 @@ Core::enterRunahead(const EntryDecision &decision, Cycle now)
         // The runahead buffer supplies rename; clock-gate the
         // front-end for the whole interval.
         frontend_->setGated(true);
+        if (ChainEngine *engine = mem_->chainEngine()) {
+            // Continuous Runahead: the chain that blocked the window
+            // keeps running at the memory controller after this
+            // interval ends, seeded with the committed register state.
+            engine->shipChain(head.pc, decision.chain, archValues_,
+                              now);
+        }
     } else if (config_.collectChainAnalysis) {
         chainAnalysis_.beginInterval();
     }

@@ -11,6 +11,7 @@
 #include "common/logging.hh"
 #include "frontend/frontend.hh"
 #include "isa/program.hh"
+#include "runahead/chain_engine.hh"
 #include "runahead/runahead_controller.hh"
 
 namespace rab
@@ -106,7 +107,8 @@ InvariantChecker::isSpeculativeModule(const char *module)
     // of dying. "runahead" covers chain use, containment and
     // checkpoint discipline around the speculative interval.
     const std::string m = module;
-    return m == "chain" || m == "chain_cache" || m == "runahead";
+    return m == "chain" || m == "chain_cache" || m == "runahead"
+        || m == "engine";
 }
 
 void
@@ -325,6 +327,14 @@ InvariantChecker::fullScan()
     checkRobIndexes();
     checkStoreQueue();
     checkRenameState();
+    if (ctx_.engine) {
+        // Continuous Runahead containment: the engine may only ever
+        // prefetch — stores stay in its slot buffers and every fill it
+        // tracks stays inside the owning core's namespaced slice.
+        std::string why;
+        if (!ctx_.engine->auditContainment(&why))
+            violate("engine", "prefetch-only", std::move(why));
+    }
     ++checksRun;
 }
 

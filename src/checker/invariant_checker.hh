@@ -50,6 +50,7 @@ class Program;
 class WritebackQueue;
 class Frontend;
 class ReservationStation;
+class ChainEngine;
 struct DynUop;
 
 /** Thrown (after logging a state dump) when an invariant fails. */
@@ -89,6 +90,9 @@ struct CheckerContext
     const Frontend *frontend = nullptr;
     const ReservationStation *rs = nullptr;
     /** @} */
+    /** Continuous Runahead engine (CRE configs only): audited for the
+     *  prefetch-only containment invariant at full check level. */
+    const ChainEngine *engine = nullptr;
 };
 
 /** The checker. One instance per Core; also constructible standalone

@@ -278,6 +278,52 @@ MultiSimulation::run()
     if (shared_)
         for (const auto &[name, value] : sharedGroup_.collect())
             r.stats.emplace(name, value);
+
+    // Chip-level energy: sum the per-core breakdowns component-wise.
+    const EnergyCoefficients &ec = config_.energy;
+    const double chip_seconds =
+        static_cast<double>(r.cycles) / (ec.clockGhz * 1e9);
+    for (const SimResult &cr : r.cores) {
+        r.energy.frontendJ += cr.energy.frontendJ;
+        r.energy.renameJ += cr.energy.renameJ;
+        r.energy.windowJ += cr.energy.windowJ;
+        r.energy.regfileJ += cr.energy.regfileJ;
+        r.energy.executeJ += cr.energy.executeJ;
+        r.energy.cacheJ += cr.energy.cacheJ;
+        r.energy.dramJ += cr.energy.dramJ;
+        r.energy.runaheadJ += cr.energy.runaheadJ;
+        r.energy.engineJ += cr.energy.engineJ;
+        r.energy.leakageJ += cr.energy.leakageJ;
+        r.energy.totalJ += cr.energy.totalJ;
+    }
+    r.energy.seconds = chip_seconds;
+    if (shared_) {
+        // Each core's own breakdown charged the LLC + DRAM static
+        // power over that core's measured window, but in shared mode
+        // there is one LLC and one DRAM channel on the chip: back out
+        // the N per-core charges and charge it once, over the chip's
+        // window (the last finisher's).
+        const double shared_static_w = ec.llcLeakageW + ec.dramStaticW;
+        double percore_static_j = 0;
+        for (const SimResult &cr : r.cores)
+            percore_static_j += shared_static_w * cr.energy.seconds;
+        const double chip_static_j = shared_static_w * chip_seconds;
+        r.energy.leakageJ += chip_static_j - percore_static_j;
+        r.energy.totalJ += chip_static_j - percore_static_j;
+
+        r.stats.emplace("shared.energy.frontend_j", r.energy.frontendJ);
+        r.stats.emplace("shared.energy.rename_j", r.energy.renameJ);
+        r.stats.emplace("shared.energy.window_j", r.energy.windowJ);
+        r.stats.emplace("shared.energy.regfile_j", r.energy.regfileJ);
+        r.stats.emplace("shared.energy.execute_j", r.energy.executeJ);
+        r.stats.emplace("shared.energy.cache_j", r.energy.cacheJ);
+        r.stats.emplace("shared.energy.dram_j", r.energy.dramJ);
+        r.stats.emplace("shared.energy.runahead_j", r.energy.runaheadJ);
+        r.stats.emplace("shared.energy.engine_j", r.energy.engineJ);
+        r.stats.emplace("shared.energy.leakage_j", r.energy.leakageJ);
+        r.stats.emplace("shared.energy.total_j", r.energy.totalJ);
+        r.stats.emplace("shared.energy.seconds", r.energy.seconds);
+    }
     return r;
 }
 

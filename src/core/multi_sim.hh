@@ -48,6 +48,18 @@ struct MultiSimResult
     std::uint64_t instructions = 0; ///< Sum over cores.
     double throughputIpc = 0;       ///< Sum(instructions) / cycles.
 
+    /**
+     * Chip-level energy. Per-core breakdowns (each computed by the
+     * same EnergyModel path a single-core run uses) are summed, but
+     * the shared LLC + DRAM static power — which every core's own
+     * breakdown charges over its own measured window — is replaced by
+     * a single charge over the chip's measured window: a 4-core chip
+     * has one LLC and one DRAM channel, not four. In isolated/owned
+     * modes the plain sum stands, since there the hierarchies really
+     * are private. Published under shared.energy.* for N > 1.
+     */
+    EnergyBreakdown energy;
+
     /** Flattened stat payload: core<i>.core.*, core<i>.mem.* and
      *  shared.* for N > 1; plain core.* / mem.* for N == 1 (matching
      *  the single-core sweep payload exactly). */

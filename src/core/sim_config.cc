@@ -17,6 +17,8 @@ runaheadConfigName(RunaheadConfig config)
       case RunaheadConfig::kRunaheadBuffer: return "Runahead-Buffer";
       case RunaheadConfig::kRunaheadBufferCC: return "RA-Buffer+CC";
       case RunaheadConfig::kHybrid: return "Hybrid";
+      case RunaheadConfig::kCRE: return "CRE";
+      case RunaheadConfig::kCREHybrid: return "CRE+Hybrid";
     }
     return "?";
 }
@@ -42,6 +44,12 @@ SimConfig::finalize()
         break;
       case RunaheadConfig::kHybrid:
         core.runahead = policyHybrid();
+        break;
+      case RunaheadConfig::kCRE:
+        core.runahead = policyCre();
+        break;
+      case RunaheadConfig::kCREHybrid:
+        core.runahead = policyCreHybrid();
         break;
     }
     mem.prefetcher.enabled = prefetch;

@@ -29,6 +29,8 @@ enum class RunaheadConfig
     kRunaheadBuffer,   ///< Runahead buffer only.
     kRunaheadBufferCC, ///< Runahead buffer + chain cache.
     kHybrid,           ///< Fig. 8 hybrid policy.
+    kCRE,              ///< Continuous Runahead engine (dissertation).
+    kCREHybrid,        ///< Hybrid policy + continuous engine.
 };
 
 const char *runaheadConfigName(RunaheadConfig config);

@@ -19,9 +19,9 @@ EnergyBreakdown::toString() const
     return strprintf(
         "total %.6f J in %.6f s (fe %.6f, rename %.6f, window %.6f, "
         "regfile %.6f, exec %.6f, cache %.6f, dram %.6f, runahead %.6f, "
-        "leak %.6f)",
+        "engine %.6f, leak %.6f)",
         totalJ, seconds, frontendJ, renameJ, windowJ, regfileJ, executeJ,
-        cacheJ, dramJ, runaheadJ, leakageJ);
+        cacheJ, dramJ, runaheadJ, engineJ, leakageJ);
 }
 
 EnergyModel::EnergyModel(const EnergyCoefficients &coeffs)
@@ -105,12 +105,27 @@ EnergyModel::compute(Core &core, std::uint64_t measured_cycles) const
               + static_cast<double>(cc.inserts.value()))
                  * c.chainCacheAccessPj);
 
+    // Continuous Runahead engine: dynamic energy per engine uop and
+    // per issued prefetch, plus its own leakage — but only when the
+    // engine exists and is enabled, so every other configuration's
+    // energy numbers are bit-identical to the pre-engine model.
+    if (const ChainEngine *engine = mem.chainEngine();
+        engine && engine->active()) {
+        e.engineJ = kPj
+            * (static_cast<double>(engine->uopsExecuted.value())
+                   * c.engineUopPj
+               + static_cast<double>(engine->prefetchesIssued.value())
+                   * c.enginePrefetchPj)
+            + c.engineLeakageW * e.seconds;
+    }
+
     e.leakageJ =
         (c.coreLeakageW + c.llcLeakageW + c.dramStaticW) * e.seconds
         + kPj * cycles * c.backgroundCorePj;
 
     e.totalJ = e.frontendJ + e.renameJ + e.windowJ + e.regfileJ
-        + e.executeJ + e.cacheJ + e.dramJ + e.runaheadJ + e.leakageJ;
+        + e.executeJ + e.cacheJ + e.dramJ + e.runaheadJ + e.engineJ
+        + e.leakageJ;
     return e;
 }
 

@@ -71,6 +71,15 @@ struct EnergyCoefficients
     double checkpointPj = 600.0; ///< RAT + PRF read, checkpoint write.
     /** @} */
 
+    /** @{ Continuous Runahead engine (CRE configs). A tiny in-order
+     *  uop loop plus its 32-entry register file; prefetches pay the
+     *  queue/LLC insertion on top of the DRAM transfer accounted in
+     *  dramAccessPj (engine fills are regular DRAM reads). */
+    double engineUopPj = 8.0;
+    double enginePrefetchPj = 20.0;
+    double engineLeakageW = 0.05;
+    /** @} */
+
     /** @{ Static power (W). */
     double coreLeakageW = 0.55;
     double llcLeakageW = 0.30;
@@ -92,6 +101,7 @@ struct EnergyBreakdown
     double cacheJ = 0;    ///< L1 + LLC.
     double dramJ = 0;     ///< DRAM dynamic.
     double runaheadJ = 0; ///< Runahead cache, chain gen, chain cache.
+    double engineJ = 0;   ///< Continuous Runahead engine (CRE only).
     double leakageJ = 0;
     double totalJ = 0;
     double seconds = 0;

@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "common/profiler.hh"
 #include "fault/fault_injector.hh"
+#include "runahead/chain_engine.hh"
 
 namespace rab
 {
@@ -24,7 +25,7 @@ MemorySystem::MemorySystem(const MemSysConfig &config,
     : config_(config), l1i_(config.l1i), l1d_(config.l1d),
       shared_(&shared), coreId_(core_id),
       addrBase_(static_cast<Addr>(core_id) << kCoreAddrShift),
-      statGroup_("mem")
+      attached_(true), statGroup_("mem")
 {
     if (core_id < 0 || core_id >= shared.numCores())
         panic("MemorySystem: core id %d outside shared range %d",
@@ -77,6 +78,9 @@ MemorySystem::regStats(bool attached)
                               &queueRejectsContended,
                               "queue-full rejections with peers holding "
                               "slots");
+        statGroup_.addCounter("addr_high_masked", &addrHighMasked,
+                              "addresses masked at the namespacing "
+                              "boundary (bits >= core-id field)");
     }
     l1i_.regStats(&statGroup_);
     l1d_.regStats(&statGroup_);
@@ -123,6 +127,15 @@ MemorySystem::access(AccessType type, Addr addr, Cycle now,
 {
     ProfScope prof(ProfPhase::kMemAccess);
     AccessResult result;
+    if (engine_)
+        engine_->advanceTo(now);
+    if (attached_ && (addr >> kCoreAddrShift) != 0) {
+        // Namespacing boundary: an address already using the core-id
+        // bits (runahead garbage values, corrupted state) would alias
+        // another core's slice after rebasing. Mask and count it.
+        ++addrHighMasked;
+        addr &= kCoreAddrMask;
+    }
     addr = rebase(addr);
     Cache &l1 = type == AccessType::kInstFetch ? l1i_ : l1d_;
     PendingMap &l1_pending =
@@ -166,6 +179,12 @@ MemorySystem::access(AccessType type, Addr addr, Cycle now,
 
     result.l1Miss = true;
 
+    if (engine_) {
+        // Timeliness crediting: was this demand miss covered by a
+        // recent engine fill?
+        engine_->noteDemandAccess(shared_->llc_.lineAddr(addr), now);
+    }
+
     // L1 miss: go to the LLC after the L1 lookup latency.
     const Cycle llc_time = now + l1.config().latency;
     bool rejected = false;
@@ -200,6 +219,30 @@ std::uint64_t
 MemorySystem::dramRequests() const
 {
     return shared_->dramRequests();
+}
+
+void
+MemorySystem::enableChainEngine(const ChainEngineConfig &config,
+                                const FunctionalMemory *func_mem)
+{
+    engine_ = std::make_unique<ChainEngine>(config, this, func_mem);
+    if (config.enabled)
+        engine_->regStats(&statGroup_);
+}
+
+EnginePrefetchResult
+MemorySystem::enginePrefetchLine(Addr vaddr, Cycle now)
+{
+    // Corrupted chains compute arbitrary 64-bit addresses; mask them
+    // below the namespacing boundary so an engine fill can never leave
+    // this core's slice (the checker's containment audit relies on
+    // this).
+    vaddr &= kCoreAddrMask;
+    const Addr line = shared_->llc_.lineAddr(rebase(vaddr));
+    EnginePrefetchResult out;
+    out.line = line;
+    shared_->enginePrefetch(*this, line, now, out);
+    return out;
 }
 
 } // namespace rab

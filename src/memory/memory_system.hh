@@ -75,6 +75,10 @@ struct MemSysConfig
 };
 
 class FaultInjector;
+class ChainEngine;
+struct ChainEngineConfig;
+struct EnginePrefetchResult;
+class FunctionalMemory;
 
 /** One core's composed view of the cache/DRAM hierarchy. */
 class MemorySystem
@@ -187,6 +191,33 @@ class MemorySystem
     /** The attached fault injector (may be null). */
     FaultInjector *faultInjector() const { return faults_; }
 
+    /**
+     * Instantiate the Continuous Runahead chain engine beside this
+     * hierarchy (see src/runahead/chain_engine.hh). @p func_mem is the
+     * architectural memory image the engine reads values from — const:
+     * the engine is prefetch-only by construction. Registers the
+     * engine.* stat subtree only when the engine is enabled, so every
+     * non-CRE stat payload is unchanged.
+     */
+    void enableChainEngine(const ChainEngineConfig &config,
+                           const FunctionalMemory *func_mem);
+
+    /** The chain engine, or null when never instantiated. */
+    ChainEngine *chainEngine() const { return engine_.get(); }
+
+    /**
+     * Issue one engine prefetch for architectural address @p vaddr at
+     * engine cycle @p now. Masks bits above the namespacing boundary
+     * (corrupted chains compute arbitrary addresses), rebases into
+     * this core's slice and line-aligns before handing the fill to
+     * SharedMemory's speculative prefetch path.
+     */
+    EnginePrefetchResult enginePrefetchLine(Addr vaddr, Cycle now);
+
+    /** Demand addresses (attached form) whose bits ≥ kCoreAddrShift
+     *  were masked at the namespacing boundary. */
+    Counter addrHighMasked;
+
   private:
     friend class SharedMemory;
 
@@ -202,8 +233,10 @@ class MemorySystem
 
     std::unique_ptr<SharedMemory> ownedShared_;
     SharedMemory *shared_;
+    std::unique_ptr<ChainEngine> engine_;
     int coreId_ = 0;
     Addr addrBase_ = 0;
+    bool attached_ = false;
 
     PendingMap l1iPending_;
     PendingMap l1dPending_;

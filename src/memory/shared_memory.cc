@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "fault/fault_injector.hh"
 #include "memory/memory_system.hh"
+#include "runahead/chain_engine.hh"
 
 namespace rab
 {
@@ -60,7 +61,14 @@ SharedMemory::ownerOf(Addr line_addr) const
     // pre-split single-core behaviour).
     const auto id =
         static_cast<std::size_t>(line_addr >> kCoreAddrShift);
-    return *cores_[id % cores_.size()];
+    if (id >= cores_.size()) {
+        // Clamps indicate corrupted state upstream of the namespacing
+        // boundary; they must never happen silently (satellite of the
+        // attached-mode masking fix — see MemorySystem::access).
+        ++ownerClamps;
+        return *cores_[id % cores_.size()];
+    }
+    return *cores_[id];
 }
 
 void
@@ -78,6 +86,9 @@ SharedMemory::regSharedStats(StatGroup *parent)
 {
     parent->addCounter("cross_core_evictions", &crossCoreEvictions,
                        "LLC victims evicted by a different core");
+    parent->addCounter("owner_clamps", &ownerClamps,
+                       "line owners clamped: core-id bits named a "
+                       "nonexistent core");
     for (int i = 0; i < numCores_; ++i) {
         parent->addCounter(
             perCoreStatName(i, "mshr_peak"),
@@ -197,6 +208,11 @@ SharedMemory::handleEviction(const Eviction &ev, MemorySystem &accessor,
     MemorySystem &owner = ownerOf(ev.lineAddr);
     const bool l1_dirty = owner.l1d().invalidate(ev.lineAddr);
     owner.l1i().invalidate(ev.lineAddr);
+    if (ChainEngine *engine = owner.chainEngine()) {
+        // Engine fills evicted before any demand reference cost their
+        // chain utility.
+        engine->noteEvicted(ev.lineAddr);
+    }
     if (&owner != &accessor) {
         ++owner.llcEvictedByOthers;
         ++crossCoreEvictions;
@@ -345,6 +361,51 @@ SharedMemory::issuePrefetches(MemorySystem &core, Cycle now)
             handleEviction(ev, core, now);
     }
     prefetchCandidates_.clear();
+}
+
+void
+SharedMemory::enginePrefetch(MemorySystem &core, Addr line_addr,
+                             Cycle now, EnginePrefetchResult &out)
+{
+    // Already resident: the engine can consume the value after an LLC
+    // round trip, and no fill is started.
+    if (llc_.probe(line_addr)) {
+        out.accepted = true;
+        out.readyCycle = now + llc_.config().latency;
+        return;
+    }
+    // In flight (demand, prefetcher, or an earlier engine fill):
+    // merge, like the MSHR path does for demand traffic.
+    const auto it = llcPending_.find(line_addr);
+    if (it != llcPending_.end() && it->second > now) {
+        out.accepted = true;
+        out.merged = true;
+        out.readyCycle = it->second;
+        return;
+    }
+    // Engine traffic is speculative: it may not take the memory-queue
+    // slots reserved for demand misses.
+    pruneOutstanding(now);
+    std::size_t limit = static_cast<std::size_t>(memQueueEntries_);
+    limit -= static_cast<std::size_t>(
+        std::min(runaheadQueueReserve_, memQueueEntries_));
+    if (outstanding_.size() >= limit)
+        return; // Rejected; the engine backs off and retries.
+
+    const DramResult dram_result =
+        dram_.access(line_addr, now, /*is_write=*/false);
+    llcPending_[line_addr] = dram_result.readyCycle;
+    if (dram_result.readyCycle > llcPendingMax_)
+        llcPendingMax_ = dram_result.readyCycle;
+    pushOutstanding(core, dram_result.readyCycle);
+    prunePending(llcPending_, now);
+    const Eviction ev = llc_.insert(line_addr, /*is_write=*/false,
+                                    /*is_prefetch=*/true);
+    if (ev.valid)
+        handleEviction(ev, core, now);
+    out.accepted = true;
+    out.issued = true;
+    out.readyCycle = dram_result.readyCycle;
 }
 
 std::uint64_t

@@ -51,6 +51,14 @@ struct MemSysConfig;
  *  and the single-core base (core 0) is the identity. */
 constexpr int kCoreAddrShift = 48;
 
+/** Mask selecting the architectural (pre-namespacing) address bits.
+ *  Addresses presented to an attached MemorySystem must fit below the
+ *  core-id field; anything above is masked at the namespacing boundary
+ *  (and counted) so it can never alias another core's slice. */
+constexpr Addr kCoreAddrMask = (Addr{1} << kCoreAddrShift) - 1;
+
+struct EnginePrefetchResult;
+
 /** "coreN.name" — the per-core indexed stat-name convention for
  *  registration loops over cores (rablint's rab-stat-registration
  *  check understands this helper; see tools/rablint). */
@@ -110,6 +118,9 @@ class SharedMemory
     /** @{ Shared-pool statistics (registered by regSharedStats only;
      *  they stay zero on a single core). */
     Counter crossCoreEvictions; ///< LLC victims owned by another core.
+    /** Line addresses whose core-id bits named a nonexistent core and
+     *  were clamped by ownerOf (corrupted state; should stay 0). */
+    mutable Counter ownerClamps;
     /** @} */
 
   private:
@@ -155,6 +166,14 @@ class SharedMemory
     /** Issue prefetch candidates produced by the prefetcher; issued
      *  prefetches are charged to the triggering @p core. */
     void issuePrefetches(MemorySystem &core, Cycle now);
+
+    /** One chain-engine prefetch for @p core's (namespaced, aligned)
+     *  @p line_addr at engine cycle @p now. Fills @p out with the
+     *  admission verdict and the fill's ready cycle. Engine traffic is
+     *  speculative: it respects the demand queue reserve and never
+     *  touches the demand counters or prefetcher training. */
+    void enginePrefetch(MemorySystem &core, Addr line_addr, Cycle now,
+                        EnginePrefetchResult &out);
 
     /** Inclusive-hierarchy eviction handling: back-invalidate the
      *  owner core's L1 copies, attribute cross-core evictions, and

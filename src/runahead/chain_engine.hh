@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Continuous Runahead chain engine (Hashemi's dissertation, "On-Chip
+ * Mechanisms to Reduce Effective Memory Access Latency", ch. 5).
+ *
+ * The paper's runahead buffer only executes filtered dependence chains
+ * *inside* runahead intervals — the chain dies when the blocking load
+ * returns. Continuous Runahead decouples the two: the chain that
+ * caused a full-window stall is shipped to a small execution engine at
+ * the memory controller, which holds its own 32-entry register file
+ * and loops the chain continuously, issuing every load address it
+ * computes as a prefetch into the real hierarchy through the shared
+ * MSHR/DRAM path. Because the engine is value-based (it reads the
+ * architectural memory image, never writes it) the loop tracks real
+ * future addresses of pointer chases instead of strides.
+ *
+ * Steering: each chain slot carries a saturating utility counter.
+ * Engine prefetches that arrive before the core's demand miss
+ * increment it; fills evicted unused or aged out unreferenced
+ * decrement it; a slot that hits zero is descheduled until the core
+ * ships the chain again. Chains whose iterations stop producing new
+ * fills (ALU-only or fully cache-resident loops) are also descheduled,
+ * which bounds the engine's execution rate.
+ *
+ * Prefetch-only invariant: the engine can read the functional memory
+ * image (const pointer — compile-enforced) but all stores it executes
+ * are contained in a per-slot forwarding buffer, and all memory
+ * traffic it emits goes through SharedMemory's prefetch path. The
+ * invariant checker audits this at full check level, including under
+ * fault injection (corrupted chains shipped from the chain cache).
+ *
+ * Timing: the engine is event-driven. MemorySystem calls advanceTo()
+ * at the head of every demand access, and the engine catches up
+ * cycle-accurately, jumping over windows where every slot is stalled
+ * on a fill. All interactions with DRAM/LLC carry the engine's own
+ * cycle timestamps, so the catch-up is exact: engine state is a
+ * function of (shipped chains, target cycle), never of the host call
+ * pattern — which is what keeps CRE runs deterministic and fast-
+ * forward transparent.
+ */
+
+#ifndef RAB_RUNAHEAD_CHAIN_ENGINE_HH
+#define RAB_RUNAHEAD_CHAIN_ENGINE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "runahead/chain.hh"
+#include "stats/stats.hh"
+
+namespace rab
+{
+
+class MemorySystem;
+class FunctionalMemory;
+
+/** Chain-engine configuration. Defaults model a 2-chain engine sized
+ *  like the chain cache it is fed from. */
+struct ChainEngineConfig
+{
+    bool enabled = false; ///< Ship chains and loop them continuously.
+
+    /** Instantiate the engine and run every MemorySystem hook without
+     *  ever accepting a chain. Test-only: the differential suite uses
+     *  this to certify the hook plumbing is side-effect free. */
+    bool instantiateInert = false;
+
+    int slots = 2;       ///< Concurrent chain contexts (chain cache size).
+    int storeBufEntries = 16; ///< Per-slot store-forwarding entries.
+
+    /** Dataflow execute bandwidth: ready uops issued per engine cycle,
+     *  with same-cycle forwarding across the engine's single ALU
+     *  cluster (the register file is 32 entries and chains are short,
+     *  so full bypass is cheap). The width is what lets a serial
+     *  15-uop chain iteration turn in ~4 cycles — faster than the
+     *  core's demand iteration, which is the precondition for running
+     *  ahead of it. Loads still publish their dest at the fill cycle. */
+    // rablint: cycle-ok (issue bandwidth per engine cycle, not a
+    // cycle count — never enters Cycle arithmetic)
+    int uopsPerCycle = 4;
+
+    /** @{ Utility steering. New/re-shipped chains start at init;
+     *  timely prefetches saturate at max; zero deschedules. */
+    int utilityInit = 4;
+    int utilityMax = 7;
+    /** @} */
+
+    /** Iterations in a row producing no new or in-flight fill before
+     *  the slot is descheduled (bounds ALU-only / cache-resident
+     *  loops). Sized to cover the one-time catch-up a freshly seeded
+     *  chain needs: it starts from *committed* register state, a full
+     *  ROB plus a runahead interval behind the core's demand frontier,
+     *  and every iteration until it overtakes hits warm lines. */
+    std::uint64_t idleIterationLimit = 64;
+
+    /** Recent-prefetch table capacity (timeliness matching). */
+    std::size_t recentEntries = 64;
+
+    // rablint: cycle-ok (bounded retry/aging knobs; applied via Cycle
+    // math against the engine's own clock)
+    int queueRetryCycles = 32; ///< Stall after a queue-full rejection.
+    int recentTtlCycles = 8192; ///< Fill age-out horizon (unused ⇒ −1).
+};
+
+/** Outcome of one engine prefetch handed to the hierarchy. */
+struct EnginePrefetchResult
+{
+    bool accepted = false; ///< Line is (or will be) on chip.
+    bool issued = false;   ///< A new DRAM fill was started for it.
+    bool merged = false;   ///< Joined a fill already in flight.
+    Cycle readyCycle = 0;  ///< When the line (and its value) is usable.
+    Addr line = 0;         ///< Namespaced, line-aligned fill address.
+};
+
+/** The Continuous Runahead engine: one per core, owned by the core's
+ *  MemorySystem, fed by the core at runahead-buffer entries. */
+class ChainEngine
+{
+  public:
+    ChainEngine(const ChainEngineConfig &config, MemorySystem *mem,
+                const FunctionalMemory *func_mem);
+
+    const ChainEngineConfig &config() const { return config_; }
+
+    /** True when the engine accepts and loops chains. An inert
+     *  instance (instantiateInert) returns false and every hook
+     *  degenerates to a no-op. */
+    bool active() const { return config_.enabled; }
+
+    /**
+     * Accept a dependence chain from the core (called at runahead
+     * entry for buffer-mode decisions). The engine seeds the slot's
+     * register file from the core's architectural values at ship time
+     * and starts looping at @p now. Re-shipping a chain PC refreshes
+     * its slot (chain + registers) and reschedules it.
+     */
+    void shipChain(Pc chain_pc, const DependenceChain &chain,
+                   const std::array<std::uint64_t, kNumArchRegs> &regs,
+                   Cycle now);
+
+    /** Catch the engine up to core cycle @p now. Idempotent; safe to
+     *  call with a non-increasing @p now (no-op). */
+    void advanceTo(Cycle now);
+
+    /** Demand-miss hook: the core is about to access @p line (already
+     *  namespaced). Matches against recent engine fills to credit
+     *  timely prefetches. */
+    void noteDemandAccess(Addr line, Cycle now);
+
+    /** Eviction hook: @p line left the LLC. If it was an engine fill
+     *  never referenced by a demand access, the owning chain loses
+     *  utility. */
+    void noteEvicted(Addr line);
+
+    /**
+     * Prefetch-only containment audit (invariant checker, full level).
+     * Verifies every store the engine ever executed was contained in
+     * its slot-local buffer and every tracked fill stays line-aligned
+     * inside the owning core's namespaced slice. Returns false and
+     * fills @p why on violation.
+     */
+    bool auditContainment(std::string *why) const;
+
+    /** @{ Statistics. */
+    Counter chainsShipped;    ///< Chains accepted from the core.
+    Counter chainReplacements;///< Ships that evicted a live slot.
+    Counter uopsExecuted;     ///< Engine uops executed.
+    Counter loadsExecuted;    ///< Loads among them.
+    Counter storeUopsSeen;    ///< Store uops encountered.
+    Counter storesContained;  ///< Stores absorbed by the slot buffer.
+    Counter prefetchesIssued; ///< New DRAM fills started.
+    Counter prefetchesTimely; ///< Fills referenced after completion.
+    Counter prefetchesLate;   ///< Fills referenced while in flight.
+    Counter prefetchesUnused; ///< Fills evicted or aged out unused.
+    Counter iterations;       ///< Completed chain loop iterations.
+    Counter deschedules;      ///< Slots parked (utility/idle).
+    Counter queueStalls;      ///< Queue-full rejections absorbed.
+    Counter pacingStalls;     ///< Credit-window (recent-table) pauses.
+    /** @} */
+
+    void regStats(StatGroup *parent);
+    StatGroup &stats() { return statGroup_; }
+
+  private:
+    struct StoreEntry
+    {
+        Addr addr = 0;
+        std::uint64_t value = 0;
+    };
+
+    /** One chain context: the Continuous Runahead Engine's register
+     *  file plus the loop cursor and steering state. */
+    struct Slot
+    {
+        bool valid = false;
+        bool running = false;
+        Pc chainPc = 0;
+        DependenceChain chain;
+        std::array<std::uint64_t, kNumArchRegs> regs{};
+        /** Scoreboard: cycle each register's value becomes consumable.
+         *  Loads write their value immediately (the runahead value
+         *  idiom — the register file carries data, the scoreboard
+         *  carries timing) but publish readiness at the fill cycle, so
+         *  only uops that actually consume a load's value wait on
+         *  memory. A pointer chase serialises on its address register;
+         *  a gather chain, whose loaded values feed nothing, loops
+         *  ahead of the demand stream — which is the whole point. */
+        std::array<Cycle, kNumArchRegs> regReady{};
+        std::vector<StoreEntry> storeBuf;
+        std::size_t index = 0;     ///< Loop cursor into chain.
+        int utility = 0;
+        Cycle stallUntil = 0;      ///< Waiting on a source / retry.
+        std::uint64_t fillsThisIteration = 0;
+        std::uint64_t idleIterations = 0;
+    };
+
+    /** A recently issued engine fill awaiting its demand reference. */
+    struct RecentFill
+    {
+        Addr line = 0;
+        Cycle readyCycle = 0;
+        Cycle issuedCycle = 0;
+        int slot = 0;
+    };
+
+    /** Execute slot @p s's next uop at engine cycle @p now. Returns
+     *  false when the slot stalled instead of consuming the uop. */
+    bool executeUop(Slot &s, Cycle now);
+
+    void finishIteration(Slot &s);
+    void bumpUtility(int slot, int delta);
+    void deschedule(Slot &s);
+    int pickShipSlot(Pc chain_pc);
+    void recordFill(Addr line, Cycle ready, Cycle now, int slot);
+    void ageRecentFills(Cycle now);
+
+    /** Earliest cycle any stalled-but-running slot becomes runnable;
+     *  0 when every slot is parked. */
+    Cycle nextRunnableCycle() const;
+
+    ChainEngineConfig config_;
+    MemorySystem *mem_;
+    /** Architectural memory image — const: the engine can read values
+     *  (that is what makes it track pointer chases) but a write path
+     *  does not compile. */
+    const FunctionalMemory *funcMem_;
+
+    std::vector<Slot> slots_;
+    std::size_t nextSlotRr_ = 0; ///< Round-robin issue pointer.
+    std::vector<RecentFill> recent_; ///< FIFO, bounded.
+    Cycle cycle_ = 0; ///< Engine-local clock (trails the core's).
+
+    StatGroup statGroup_;
+};
+
+} // namespace rab
+
+#endif // RAB_RUNAHEAD_CHAIN_ENGINE_HH

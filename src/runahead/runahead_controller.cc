@@ -62,6 +62,24 @@ policyHybrid()
     return p;
 }
 
+RunaheadPolicy
+policyCre()
+{
+    // Continuous Runahead rides on the buffer + chain-cache machinery:
+    // the chain cache is what feeds the engine.
+    RunaheadPolicy p = policyBufferChainCache();
+    p.engine.enabled = true;
+    return p;
+}
+
+RunaheadPolicy
+policyCreHybrid()
+{
+    RunaheadPolicy p = policyHybrid();
+    p.engine.enabled = true;
+    return p;
+}
+
 RunaheadController::RunaheadController(const RunaheadPolicy &policy)
     : policy_(policy),
       runaheadCache_(policy.runaheadCache),

@@ -19,6 +19,7 @@
 #include "backend/lsq.hh"
 #include "backend/rob.hh"
 #include "runahead/chain_cache.hh"
+#include "runahead/chain_engine.hh"
 #include "runahead/chain_generator.hh"
 #include "runahead/degradation_ladder.hh"
 #include "runahead/runahead_buffer.hh"
@@ -57,6 +58,7 @@ struct RunaheadPolicy
     ChainGeneratorConfig chainGen{};
     RunaheadCacheConfig runaheadCache{};
     DegradationConfig degrade{}; ///< Graceful-degradation ladder.
+    ChainEngineConfig engine{}; ///< Continuous Runahead engine (CRE).
 
     bool anyRunahead() const
     {
@@ -71,6 +73,8 @@ RunaheadPolicy policyTraditionalEnhanced();   ///< "Runahead Enhancements"
 RunaheadPolicy policyBuffer();                ///< "Runahead Buffer"
 RunaheadPolicy policyBufferChainCache();      ///< "RA Buffer + Chain Cache"
 RunaheadPolicy policyHybrid();                ///< "Hybrid"
+RunaheadPolicy policyCre();                   ///< "CRE"
+RunaheadPolicy policyCreHybrid();             ///< "CRE+Hybrid"
 /** @} */
 
 /** What to do when the ROB is blocked by an LLC miss. */

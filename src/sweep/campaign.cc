@@ -71,6 +71,10 @@ parseVariantLabel(const std::string &label)
         config = RunaheadConfig::kRunaheadBufferCC;
     else if (name == "hybrid")
         config = RunaheadConfig::kHybrid;
+    else if (name == "cre")
+        config = RunaheadConfig::kCRE;
+    else if (name == "cre-hybrid")
+        config = RunaheadConfig::kCREHybrid;
     else
         throw std::runtime_error("unknown config '" + label + "'");
     return makeVariant(config, prefetch);
@@ -226,6 +230,7 @@ runPoint(const CampaignSpec &spec, const SweepPoint &point)
             pr.result.instructions = multi.instructions;
             pr.result.cycles = multi.cycles;
             pr.result.ipc = multi.throughputIpc;
+            pr.result.energy = multi.energy;
             for (const SimResult &core : multi.cores) {
                 pr.result.runaheadIntervals += core.runaheadIntervals;
                 pr.result.dramRequests += core.dramRequests;

@@ -59,8 +59,8 @@ ConfigVariant makeVariant(RunaheadConfig config, bool prefetch);
 
 /**
  * Parse a CLI/wire config label — "baseline", "runahead",
- * "runahead-enhanced", "buffer", "buffer-cc" or "hybrid", each with
- * an optional "+pf" suffix — into a variant. A '|'-joined label
+ * "runahead-enhanced", "buffer", "buffer-cc", "hybrid", "cre" or
+ * "cre-hybrid", each with an optional "+pf" suffix — into a variant. A '|'-joined label
  * ("hybrid|baseline") assigns a policy per core of a multi-core mix
  * point; the first segment is the variant's headline config, and any
  * segment's "+pf" suffix enables the (chip-wide) prefetcher. Throws

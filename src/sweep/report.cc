@@ -283,6 +283,19 @@ perfGate(const CampaignResult &campaign, const Json &baseline,
     return gate;
 }
 
+int
+resolveSweepExitCode(bool interrupted, bool failed_points,
+                     bool gate_failed)
+{
+    if (interrupted)
+        return 7;
+    if (gate_failed)
+        return 6;
+    if (failed_points)
+        return 5;
+    return 0;
+}
+
 namespace
 {
 

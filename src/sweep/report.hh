@@ -82,6 +82,19 @@ GateResult perfGate(const CampaignResult &campaign,
                     const Json &baseline, double max_drop);
 
 /**
+ * rabsweep's exit-code precedence, in one auditable place.
+ * Interruption dominates everything: a partial manifest must never be
+ * gated (a verdict over a cut-short grid is meaningless) nor promoted
+ * to a baseline, so 7 wins over both the failed-points code (5) and
+ * the gate verdict (6). A failed gate in turn outranks failed points,
+ * matching the historical batch-mode behaviour.
+ *
+ * @return 7 interrupted | 6 gate failed | 5 points failed | 0 ok.
+ */
+int resolveSweepExitCode(bool interrupted, bool failed_points,
+                         bool gate_failed);
+
+/**
  * Merge two rab-sweep-manifest-v1 documents into one: grid axes are
  * unioned in first-appearance order, points concatenated with indices
  * rewritten sequentially, and the point/failure counters recomputed.

@@ -50,16 +50,13 @@ canonicalConfigStringV1(const CampaignSpec &spec,
 }
 
 std::string
-canonicalConfigString(const CampaignSpec &spec, const SweepPoint &point)
+canonicalConfigStringV2(const CampaignSpec &spec,
+                        const SweepPoint &point)
 {
-    // Field order is part of the format: append-only, never reorder.
-    // Bumping the schema line deliberately invalidates every cached
-    // result — that is the intended way to retire a format. v2 adds
-    // the multi-core identity (core count, per-core workloads and
-    // policies); single-core points serialise as cores=1 with no
-    // per-core lines, so they too get fresh v2 hashes.
+    // Retired v2 format (multi-core fields, no engine field), kept
+    // verbatim for the golden-hash pin, and as the base v3 extends.
     std::string s;
-    s += std::string("schema=") + kConfigKeySchema + "\n";
+    s += "schema=rab-config-key-v2\n";
     s += "variant=" + point.variant + "\n";
     s += std::string("runahead=") + runaheadConfigName(point.runahead)
         + "\n";
@@ -85,6 +82,29 @@ canonicalConfigString(const CampaignSpec &spec, const SweepPoint &point)
                                                   .size()]));
         }
     }
+    return s;
+}
+
+std::string
+canonicalConfigString(const CampaignSpec &spec, const SweepPoint &point)
+{
+    // Field order is part of the format: append-only, never reorder.
+    // Bumping the schema line deliberately invalidates every cached
+    // result — that is the intended way to retire a format. v3 is the
+    // v2 body with a bumped schema line plus the Continuous Runahead
+    // engine bit (CRE runs change the replayed stat payload).
+    std::string s = canonicalConfigStringV2(spec, point);
+    const std::string v2_line = "schema=rab-config-key-v2\n";
+    s.replace(0, v2_line.size(),
+              std::string("schema=") + kConfigKeySchema + "\n");
+    const auto uses_engine = [](RunaheadConfig rc) {
+        return rc == RunaheadConfig::kCRE
+            || rc == RunaheadConfig::kCREHybrid;
+    };
+    bool engine = uses_engine(point.runahead);
+    for (const RunaheadConfig rc : point.corePolicies)
+        engine = engine || uses_engine(rc);
+    s += strprintf("engine=%d\n", engine ? 1 : 0);
     return s;
 }
 

@@ -35,10 +35,12 @@ std::uint64_t fnv1a64(const std::string &text);
 std::string hex64(std::uint64_t value);
 
 /** Current canonical config-key schema. Bumped v1 -> v2 when the
- *  multi-core fields (cores, per-core workload/policy) were added:
- *  every record written under v1 predates MultiSimulation and must
- *  never be served to v2-aware code. */
-inline constexpr const char *kConfigKeySchema = "rab-config-key-v2";
+ *  multi-core fields (cores, per-core workload/policy) were added, and
+ *  v2 -> v3 with the Continuous Runahead engine: CRE runs register new
+ *  stats (engine.*, owner clamps, namespacing masks) that change the
+ *  replayed stat payload, so pre-engine records must never be served
+ *  to v3-aware code. */
+inline constexpr const char *kConfigKeySchema = "rab-config-key-v3";
 
 /**
  * Canonical serialisation of every per-point configuration field that
@@ -51,10 +53,14 @@ inline constexpr const char *kConfigKeySchema = "rab-config-key-v2";
 std::string canonicalConfigString(const CampaignSpec &spec,
                                   const SweepPoint &point);
 
-/** The retired v1 serialisation (no multi-core fields), kept only so
- *  tests can pin both golden hashes and prove the v2 bump. */
+/** @{ Retired serialisations (v1: no multi-core fields; v2: no engine
+ *  field), kept only so tests can pin every golden hash and prove each
+ *  schema bump actually diverged. */
 std::string canonicalConfigStringV1(const CampaignSpec &spec,
                                     const SweepPoint &point);
+std::string canonicalConfigStringV2(const CampaignSpec &spec,
+                                    const SweepPoint &point);
+/** @} */
 
 /** fnv1a64 of canonicalConfigString, as hex64. */
 std::string configHashHex(const CampaignSpec &spec,

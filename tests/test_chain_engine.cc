@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Continuous Runahead engine certification.
+ *
+ * The load-bearing guarantee is compile-in invisibility: every
+ * non-CRE configuration must be byte-identical — commit stream, cycle
+ * count, full stat payload — whether the engine is absent (the normal
+ * case: Core never instantiates it) or instantiated inert beside the
+ * memory system (ChainEngineConfig::instantiateInert), clean and under
+ * fault injection. Anything less would mean the engine's hooks in the
+ * MemorySystem hot path leak timing or state into configurations that
+ * never asked for it, invalidating every pinned baseline.
+ *
+ * The prefetch-only invariant is certified twice more: CRE's committed
+ * architectural stream must equal its non-engine base config's (the
+ * engine may only warm caches, never touch architectural state — the
+ * invariant checker audits the same property structurally at
+ * CheckLevel::kFull, which every test here runs under), and the
+ * satellite namespacing fix is pinned by feeding a >= 2^48 demand
+ * address through an attached-mode core.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hh"
+#include "memory/memory_system.hh"
+#include "memory/shared_memory.hh"
+#include "reference_interpreter.hh"
+#include "workloads/suite.hh"
+
+namespace rab
+{
+namespace
+{
+
+using test::RefCommit;
+
+constexpr RunaheadConfig kNonEngineConfigs[] = {
+    RunaheadConfig::kBaseline,         RunaheadConfig::kRunahead,
+    RunaheadConfig::kRunaheadEnhanced, RunaheadConfig::kRunaheadBuffer,
+    RunaheadConfig::kRunaheadBufferCC, RunaheadConfig::kHybrid,
+};
+
+/** Everything a differential pair compares. */
+struct RunCapture
+{
+    std::vector<RefCommit> trace;
+    std::map<std::string, double> stats;
+    SimResult result;
+};
+
+SimConfig
+makeTestConfig(RunaheadConfig rc, bool faulted)
+{
+    SimConfig config = makeConfig(rc, /*prefetch=*/false);
+    config.warmupInstructions = 2'000;
+    config.instructions = 12'000;
+    config.checkLevel = CheckLevel::kFull;
+    if (faulted) {
+        config.checkPolicy = CheckPolicy::kDegrade;
+        config.fault.enabled = true;
+        config.fault.seed = 7;
+        config.fault.chainCacheRate = 0.1;
+        config.fault.bufferUopRate = 0.1;
+    }
+    config.finalize();
+    return config;
+}
+
+RefCommit
+captureCommit(const DynUop &uop)
+{
+    RefCommit c;
+    c.pc = uop.pc;
+    c.result = uop.sop.hasDest() || uop.isStore() ? uop.result : 0;
+    c.addr = uop.sop.isMem() ? uop.effAddr : kNoAddr;
+    c.taken = uop.isControl() && uop.actualTaken;
+    return c;
+}
+
+RunCapture
+runSolo(const SimConfig &config, const std::string &workload)
+{
+    Simulation sim(config, buildSuiteWorkload(workload));
+    RunCapture cap;
+    sim.core().setCommitHook([&](const DynUop &uop) {
+        cap.trace.push_back(captureCommit(uop));
+    });
+    cap.result = sim.run();
+    cap.stats = sim.core().stats().collect();
+    const std::map<std::string, double> mem =
+        sim.memory().stats().collect();
+    cap.stats.insert(mem.begin(), mem.end());
+    return cap;
+}
+
+void
+expectIdentical(const RunCapture &a, const RunCapture &b,
+                const std::string &label)
+{
+    ASSERT_EQ(a.result.cycles, b.result.cycles) << label;
+    ASSERT_EQ(a.result.instructions, b.result.instructions) << label;
+
+    ASSERT_EQ(a.trace.size(), b.trace.size()) << label;
+    for (std::size_t i = 0; i < a.trace.size(); ++i) {
+        ASSERT_EQ(a.trace[i].pc, b.trace[i].pc)
+            << label << " uop " << i;
+        ASSERT_EQ(a.trace[i].result, b.trace[i].result)
+            << label << " uop " << i << " pc " << a.trace[i].pc;
+        ASSERT_EQ(a.trace[i].addr, b.trace[i].addr)
+            << label << " uop " << i;
+        ASSERT_EQ(a.trace[i].taken, b.trace[i].taken)
+            << label << " uop " << i;
+    }
+
+    ASSERT_EQ(a.stats.size(), b.stats.size()) << label;
+    for (const auto &[key, value] : b.stats) {
+        const auto it = a.stats.find(key);
+        ASSERT_TRUE(it != a.stats.end()) << label << " missing " << key;
+        EXPECT_EQ(it->second, value) << label << " stat " << key;
+    }
+}
+
+void
+runInertDifferential(bool faulted)
+{
+    for (const RunaheadConfig rc : kNonEngineConfigs) {
+        const SimConfig absent = makeTestConfig(rc, faulted);
+        SimConfig inert = absent;
+        // Instantiate the engine beside the memory system with every
+        // hook live but config.enabled false: it must register no
+        // stats, issue nothing, and perturb nothing.
+        inert.core.runahead.engine.instantiateInert = true;
+        const std::string label = std::string(runaheadConfigName(rc))
+            + (faulted ? "+faults" : "");
+        expectIdentical(runSolo(absent, "mcf"),
+                        runSolo(inert, "mcf"), label);
+    }
+}
+
+/** Non-CRE configs are byte-identical with the engine compiled in but
+ *  disabled: commit stream, cycles, and the full stat payload. */
+TEST(ChainEngine, InertEngineIsByteInvisible)
+{
+    runInertDifferential(/*faulted=*/false);
+}
+
+/** The same invisibility must hold with fault injection active. */
+TEST(ChainEngine, InertEngineIsByteInvisibleUnderFaults)
+{
+    runInertDifferential(/*faulted=*/true);
+}
+
+/** Prefetch-only: CRE commits exactly what its non-engine base config
+ *  commits (same architectural stream, uop for uop) — the engine may
+ *  change timing but never architectural state. Runs under the full
+ *  invariant checker, whose engine audit enforces the same property
+ *  structurally every scan. */
+TEST(ChainEngine, CreCommitStreamMatchesNonEngineBase)
+{
+    const RunCapture base = runSolo(
+        makeTestConfig(RunaheadConfig::kRunaheadBufferCC, false), "mcf");
+    const RunCapture cre =
+        runSolo(makeTestConfig(RunaheadConfig::kCRE, false), "mcf");
+
+    ASSERT_EQ(base.trace.size(), cre.trace.size());
+    for (std::size_t i = 0; i < base.trace.size(); ++i) {
+        ASSERT_EQ(base.trace[i].pc, cre.trace[i].pc) << " uop " << i;
+        ASSERT_EQ(base.trace[i].result, cre.trace[i].result)
+            << " uop " << i << " pc " << base.trace[i].pc;
+        ASSERT_EQ(base.trace[i].addr, cre.trace[i].addr) << " uop " << i;
+    }
+}
+
+/** CRE smoke on the memory-bound headline workload: chains get
+ *  shipped, the engine loops them and issues prefetches, some arrive
+ *  before the demand stream needs them, demand LLC misses drop versus
+ *  the identical config without the engine, and the energy model
+ *  charges the engine component. */
+TEST(ChainEngine, CreEngineReducesDemandMissesOnMcf)
+{
+    const RunCapture base = runSolo(
+        makeTestConfig(RunaheadConfig::kRunaheadBufferCC, false), "mcf");
+    const RunCapture cre =
+        runSolo(makeTestConfig(RunaheadConfig::kCRE, false), "mcf");
+
+    ASSERT_TRUE(cre.stats.count("mem.engine.chains_shipped"));
+    EXPECT_GT(cre.stats.at("mem.engine.chains_shipped"), 0.0);
+    EXPECT_GT(cre.stats.at("mem.engine.iterations"), 0.0);
+    EXPECT_GT(cre.stats.at("mem.engine.prefetches_issued"), 0.0);
+    EXPECT_GT(cre.stats.at("mem.engine.prefetches_timely"), 0.0);
+
+    // The engine subtree must not exist in the non-engine payload.
+    EXPECT_EQ(base.stats.count("mem.engine.prefetches_issued"), 0u);
+
+    EXPECT_LT(cre.stats.at("mem.llc_demand_misses"),
+              base.stats.at("mem.llc_demand_misses"));
+
+    EXPECT_GT(cre.result.energy.engineJ, 0.0);
+    EXPECT_EQ(base.result.energy.engineJ, 0.0);
+    EXPECT_GT(cre.result.energy.totalJ, 0.0);
+}
+
+/** CRE must be deterministic: two identical runs produce identical
+ *  engine counters and cycle counts (the sweep store and canonical
+ *  manifests depend on it). */
+TEST(ChainEngine, CreIsDeterministic)
+{
+    const SimConfig config = makeTestConfig(RunaheadConfig::kCRE, false);
+    const RunCapture a = runSolo(config, "mcf");
+    const RunCapture b = runSolo(config, "mcf");
+    expectIdentical(a, b, "cre-determinism");
+}
+
+/** Satellite regression: a demand address with bits at or above the
+ *  core-namespacing boundary (>= 2^48) fed through an attached-mode
+ *  core must be masked at the boundary — counted, not silently
+ *  clamped into another core's slice by ownerOf. */
+TEST(ChainEngine, HighBitDemandAddressMaskedInAttachedMode)
+{
+    SimConfig config = makeConfig(RunaheadConfig::kBaseline, false);
+    config.finalize();
+
+    SharedMemory shared(config.mem, 2);
+    MemorySystem core0(config.mem, shared, 0);
+    MemorySystem core1(config.mem, shared, 1);
+
+    const Addr high = (Addr{1} << kCoreAddrShift) | 0x4'1000;
+    core0.access(AccessType::kLoad, high, /*now=*/1);
+    EXPECT_EQ(core0.addrHighMasked.value(), 1u);
+    EXPECT_EQ(core1.addrHighMasked.value(), 0u);
+    // The mask keeps every namespaced line decodable to a real core:
+    // ownerOf never has to clamp.
+    EXPECT_EQ(shared.ownerClamps.value(), 0u);
+
+    // The masked access is the low alias: the same address without
+    // the high bit now hits the line the first access filled (or at
+    // worst merges with its in-flight miss) instead of missing in a
+    // foreign slice.
+    const AccessResult second =
+        core0.access(AccessType::kLoad, 0x4'1000, /*now=*/1'000'000);
+    EXPECT_FALSE(second.llcMiss);
+}
+
+} // namespace
+} // namespace rab

@@ -97,11 +97,25 @@ TEST(StoreKey, GoldenConfigSerialisation)
     // here — field order, spelling, a new field — invalidates every
     // record in every store on disk. That can be the right call, but
     // it must be a *decision*: update this golden text and bump
-    // rab-config-key-v2 deliberately.
+    // rab-config-key-v3 deliberately.
     CampaignSpec spec = storeSpec();
     const std::vector<SweepPoint> grid = expandGrid(spec);
     const SweepPoint &hybrid = grid[1]; // mcf x Hybrid
     EXPECT_EQ(canonicalConfigString(spec, hybrid),
+              "schema=rab-config-key-v3\n"
+              "variant=Hybrid\n"
+              "runahead=Hybrid\n"
+              "prefetch=0\n"
+              "warmup=500\n"
+              "fast_forward=1\n"
+              "check_level=0\n"
+              "check_policy=0\n"
+              "cores=1\n"
+              "engine=0\n");
+    // The retired formats must stay byte-stable too: they document
+    // exactly what pre-v3 records were keyed under, and the
+    // divergences below are what reject them.
+    EXPECT_EQ(canonicalConfigStringV2(spec, hybrid),
               "schema=rab-config-key-v2\n"
               "variant=Hybrid\n"
               "runahead=Hybrid\n"
@@ -111,9 +125,6 @@ TEST(StoreKey, GoldenConfigSerialisation)
               "check_level=0\n"
               "check_policy=0\n"
               "cores=1\n");
-    // The retired v1 format must stay byte-stable too: it documents
-    // exactly what pre-multi-core records were keyed under, and the
-    // divergence below is what rejects them.
     EXPECT_EQ(canonicalConfigStringV1(spec, hybrid),
               "schema=rab-config-key-v1\n"
               "variant=Hybrid\n"
@@ -125,17 +136,46 @@ TEST(StoreKey, GoldenConfigSerialisation)
               "check_policy=0\n");
 }
 
+TEST(StoreKey, EngineConfigsKeyDistinctly)
+{
+    // CRE and its non-engine base (buffer-cc) share every v2 field
+    // but not the engine: they must never alias in the store. The
+    // engine bit also derives from per-core policies of a mix.
+    CampaignSpec spec = storeSpec();
+    spec.variants = {makeVariant(RunaheadConfig::kRunaheadBufferCC,
+                                 false),
+                     makeVariant(RunaheadConfig::kCRE, false)};
+    const std::vector<SweepPoint> grid = expandGrid(spec);
+    EXPECT_NE(configHashHex(spec, grid[0]),
+              configHashHex(spec, grid[1]));
+    EXPECT_NE(canonicalConfigString(spec, grid[0]),
+              canonicalConfigString(spec, grid[1]));
+
+    CampaignSpec mix = storeSpec();
+    mix.workloads.clear();
+    mix.variants = {parseVariantLabel("cre|baseline")};
+    mix.mixes = {{"duo", {"mcf", "libq"}}};
+    const SweepPoint p = expandGrid(mix)[0];
+    ASSERT_TRUE(p.isMix());
+    EXPECT_NE(canonicalConfigString(mix, p)
+                  .find("engine=1\n"),
+              std::string::npos);
+}
+
 TEST(StoreKey, GoldenConfigHash)
 {
     // Golden hashes of the serialisations above: byte-identical
     // across processes, hosts and compilers (FNV-1a over fixed
-    // strings). Both versions stay pinned — v1 so the rejection
-    // boundary is itself regression-tested — and must never collide.
+    // strings). All versions stay pinned — the retired ones so each
+    // rejection boundary is itself regression-tested — and must never
+    // collide.
     CampaignSpec spec = storeSpec();
     const std::vector<SweepPoint> grid = expandGrid(spec);
     EXPECT_EQ(configHashHex(spec, grid[1]),
               hex64(fnv1a64(canonicalConfigString(spec, grid[1]))));
-    EXPECT_EQ(configHashHex(spec, grid[1]), "5a868bdeb562fd6f");
+    EXPECT_EQ(configHashHex(spec, grid[1]), "315f5b6d103e06f3");
+    EXPECT_EQ(hex64(fnv1a64(canonicalConfigStringV2(spec, grid[1]))),
+              "5a868bdeb562fd6f");
     EXPECT_EQ(hex64(fnv1a64(canonicalConfigStringV1(spec, grid[1]))),
               "bd2a9d1ecb27994a");
 }
@@ -351,14 +391,14 @@ TEST(ResultStore, KeyEchoRejectsMisfiledRecord)
     EXPECT_TRUE(store.lookup(key).has_value());
 }
 
-TEST(ResultStore, RejectsPreV2ConfigSchemaRecords)
+TEST(ResultStore, RejectsStaleConfigSchemaRecords)
 {
-    // A record written before the rab-config-key-v2 bump carries a
+    // A record written before the rab-config-key-v3 bump carries a
     // stale (or missing) config_schema echo. Even when the file is
     // otherwise intact — magic, version, CRC and key echo all valid —
-    // it predates the multi-core key fields and must read as a miss,
+    // it predates the engine key field and must read as a miss,
     // never as a hit.
-    ResultStore store(storeRoot("prev2"));
+    ResultStore store(storeRoot("prev3"));
     ASSERT_TRUE(store.ok()) << store.error();
     const CampaignSpec spec = storeSpec();
     const PointResult pr = syntheticResult();
@@ -366,7 +406,7 @@ TEST(ResultStore, RejectsPreV2ConfigSchemaRecords)
     ASSERT_TRUE(store.put(key, pr));
 
     // Rewrite the record in place with the schema echo downgraded to
-    // v1, recomputing the CRC so only the schema gate can reject it.
+    // v2, recomputing the CRC so only the schema gate can reject it.
     const std::string path = store.recordPath(key);
     std::string raw;
     {
@@ -377,9 +417,9 @@ TEST(ResultStore, RejectsPreV2ConfigSchemaRecords)
     }
     constexpr std::size_t kHeader = 8 + 4 + 4 + 8;
     std::string payload = raw.substr(kHeader);
-    const std::size_t at = payload.find("rab-config-key-v2");
+    const std::size_t at = payload.find("rab-config-key-v3");
     ASSERT_NE(at, std::string::npos);
-    payload.replace(at, 17, "rab-config-key-v1");
+    payload.replace(at, 17, "rab-config-key-v2");
     const std::uint32_t crc = crc32(payload.data(), payload.size());
     for (int i = 0; i < 4; ++i)
         raw[12 + i] = static_cast<char>((crc >> (8 * i)) & 0xFFu);

@@ -248,6 +248,63 @@ TEST(PerfGate, FailedPointsFailTheGate)
     EXPECT_NE(gate.message.find("failed"), std::string::npos);
 }
 
+TEST(PerfGate, ExitCodePrecedence)
+{
+    // rabsweep's exit contract: interruption (7) dominates everything
+    // — a partial manifest must never be gated or promoted to a
+    // baseline — and a failed gate (6) outranks failed points (5),
+    // matching the historical batch behaviour (the gate itself fails
+    // when points failed).
+    EXPECT_EQ(resolveSweepExitCode(false, false, false), 0);
+    EXPECT_EQ(resolveSweepExitCode(false, true, false), 5);
+    EXPECT_EQ(resolveSweepExitCode(false, false, true), 6);
+    EXPECT_EQ(resolveSweepExitCode(false, true, true), 6);
+    EXPECT_EQ(resolveSweepExitCode(true, false, false), 7);
+    EXPECT_EQ(resolveSweepExitCode(true, true, false), 7);
+    EXPECT_EQ(resolveSweepExitCode(true, false, true), 7);
+    EXPECT_EQ(resolveSweepExitCode(true, true, true), 7);
+}
+
+TEST(Campaign, MixPointsCarryChipEnergy)
+{
+    // Multi-core mix points must report chip-level energy in the
+    // manifest (a MultiSimulation point used to leave energy_total_j
+    // at zero), and the payload must be deterministic. The once-per-
+    // chip static-power accounting itself is certified in
+    // test_multicore, where the per-core breakdowns are visible.
+    CampaignSpec spec;
+    spec.name = "mix-energy";
+    spec.mixes = {{"duo", {"mcf", "libq"}}};
+    spec.variants = {makeVariant(RunaheadConfig::kBaseline, false),
+                     makeVariant(RunaheadConfig::kHybrid, false)};
+    spec.instructions = 2'000;
+    spec.warmup = 500;
+
+    const CampaignResult a = runCampaign(spec, 2);
+    ASSERT_EQ(a.failedCount(), 0u);
+    for (const PointResult &pr : a.points) {
+        EXPECT_GT(pr.result.energy.totalJ, 0.0) << pr.point.variant;
+        EXPECT_GT(pr.result.energy.dramJ, 0.0) << pr.point.variant;
+        ASSERT_TRUE(pr.stats.count("shared.energy.total_j"))
+            << pr.point.variant;
+        EXPECT_EQ(pr.stats.at("shared.energy.total_j"),
+                  pr.result.energy.totalJ)
+            << pr.point.variant;
+        EXPECT_TRUE(pr.stats.count("shared.energy.dram_j"))
+            << pr.point.variant;
+        EXPECT_TRUE(pr.stats.count("shared.energy.leakage_j"))
+            << pr.point.variant;
+    }
+
+    // The manifest serialises it, byte-identically across runs.
+    const Json manifest = campaignManifest(a, /*canonical=*/true);
+    EXPECT_GT(manifest.at("points").at(0).at("metrics")
+                  .at("energy_total_j").asDouble(),
+              0.0);
+    const CampaignResult b = runCampaign(spec, 1);
+    EXPECT_EQ(campaignManifest(b, true).dump(), manifest.dump());
+}
+
 TEST(Campaign, SeedsVaryTheWorkload)
 {
     CampaignSpec spec;
