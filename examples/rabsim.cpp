@@ -14,9 +14,12 @@
  *   rabsim --workload mcf --rob 256 --buffer 64 --mem-queue 128
  *   rabsim --workload mcf --config hybrid --fault-rate 0.01 \
  *          --check cheap --check-policy degrade
+ *   rabsim --workload mcf --warmup 50000 --snapshot-out warm.rabsnap
+ *   rabsim --workload mcf --warmup 50000 --snapshot-in warm.rabsnap
  *
  * Exit codes: 0 success, 3 watchdog gave up (forward progress lost),
- * 4 invariant violation escaped (checker in throw policy).
+ * 4 invariant violation escaped (checker in throw policy), 8 snapshot
+ * load failed under --snapshot-strict.
  */
 
 #include <cstdio>
@@ -33,6 +36,7 @@
 #include "core/multi_sim.hh"
 #include "core/simulation.hh"
 #include "fault/watchdog.hh"
+#include "snapshot/snapshot.hh"
 #include "trace/trace.hh"
 #include "workloads/suite.hh"
 
@@ -62,6 +66,9 @@ struct Options
     bool listWorkloads = false;
     bool printConfig = false;
     std::string tracePath;
+    std::string snapshotOut;
+    std::string snapshotIn;
+    bool snapshotStrict = false;
     CheckLevel checkLevel = CheckLevel::kOff;
     CheckPolicy checkPolicy = CheckPolicy::kThrow;
     FaultConfig fault{};
@@ -102,7 +109,17 @@ usage(int code)
         "  --warmup N          warmup instructions (default 25000)\n"
         "  --stats             dump the full statistics table\n"
         "  --json              dump statistics as JSON\n"
-        "  --trace FILE        capture a retirement trace (.rabt)\n"
+        "  --trace-out FILE    capture a retirement trace of the\n"
+        "                      measured region (.rabt; --trace is an\n"
+        "                      alias)\n"
+        "  --snapshot-out FILE write a whole-simulator snapshot at the\n"
+        "                      warmup boundary, then run as usual\n"
+        "  --snapshot-in FILE  restore the warmup snapshot instead of\n"
+        "                      re-running warmup (same --workload,\n"
+        "                      --warmup and config flags required)\n"
+        "  --snapshot-strict   exit 8 when the snapshot cannot be\n"
+        "                      loaded, instead of falling back to a\n"
+        "                      straight-line warmup\n"
         "  --check LEVEL       invariant checking: off | cheap | full\n"
         "                      (RAB_CHECK_LEVEL overrides)\n"
         "  --check-policy P    violation handling: throw | degrade\n"
@@ -194,8 +211,14 @@ parseArgs(int argc, char **argv)
             opts.dumpStats = true;
         else if (arg == "--json")
             opts.dumpJson = true;
-        else if (arg == "--trace")
+        else if (arg == "--trace" || arg == "--trace-out")
             opts.tracePath = next(i);
+        else if (arg == "--snapshot-out")
+            opts.snapshotOut = next(i);
+        else if (arg == "--snapshot-in")
+            opts.snapshotIn = next(i);
+        else if (arg == "--snapshot-strict")
+            opts.snapshotStrict = true;
         else if (arg == "--check")
             opts.checkLevel = parseCheckLevel(next(i));
         else if (arg == "--check-policy")
@@ -287,35 +310,70 @@ int
 runOne(const Options &opts, const std::string &workload)
 {
     const SimConfig config = makeSimConfig(opts);
-    Simulation sim(config, buildSuiteWorkload(workload));
+    const auto make_sim = [&] {
+        return std::make_unique<Simulation>(
+            config, buildSuiteWorkload(workload));
+    };
+    std::unique_ptr<Simulation> sim = make_sim();
 
-    std::unique_ptr<TraceWriter> writer;
-    if (!opts.tracePath.empty()) {
-        writer = std::make_unique<TraceWriter>(opts.tracePath);
-        sim.core().setCommitHook(
-            [&](const DynUop &uop) { writer->record(uop); });
+    // Warmup: restored from a snapshot, or run straight-line (and
+    // optionally captured). Snapshot diagnostics go to stderr so
+    // stdout stays byte-comparable between snapshot and cold runs.
+    bool restored = false;
+    if (!opts.snapshotIn.empty()) {
+        try {
+            const std::string payload =
+                readSnapshotFile(opts.snapshotIn);
+            restoreSnapshot(*sim, payload,
+                            SnapshotRestoreMode::kExact);
+            restored = true;
+        } catch (const SnapshotError &e) {
+            if (opts.snapshotStrict) {
+                std::fprintf(stderr, "rabsim: %s\n", e.what());
+                return 8;
+            }
+            std::fprintf(stderr,
+                         "rabsim: %s; falling back to straight-line "
+                         "warmup\n",
+                         e.what());
+            sim = make_sim(); // A failed restore taints the state.
+        }
+    }
+    if (!restored) {
+        sim->runWarmup();
+        if (!opts.snapshotOut.empty()) {
+            const std::string payload = captureSnapshot(*sim);
+            writeSnapshotFile(opts.snapshotOut, payload);
+            std::fprintf(
+                stderr, "rabsim: snapshot %s (%zu bytes) -> %s\n",
+                snapshotHashHex(snapshotContentHash(payload)).c_str(),
+                payload.size(), opts.snapshotOut.c_str());
+        }
     }
 
-    const SimResult result = sim.run();
+    if (!opts.tracePath.empty())
+        sim->enableTrace(opts.tracePath);
+
+    const SimResult result = sim->runMeasured();
     std::printf("%s\n", result.toString().c_str());
 
-    if (writer) {
-        writer->close();
-        std::printf("trace: %llu records -> %s\n",
-                    (unsigned long long)writer->recordCount(),
-                    opts.tracePath.c_str());
+    if (!opts.tracePath.empty()) {
+        std::fprintf(
+            stderr, "rabsim: trace %llu records -> %s\n",
+            (unsigned long long)summarizeTrace(opts.tracePath).totalUops,
+            opts.tracePath.c_str());
     }
     if (opts.dumpStats) {
-        sim.core().stats().dump(std::cout);
-        sim.memory().stats().dump(std::cout);
-        if (sim.faults())
-            sim.faults()->stats().dump(std::cout);
+        sim->core().stats().dump(std::cout);
+        sim->memory().stats().dump(std::cout);
+        if (sim->faults())
+            sim->faults()->stats().dump(std::cout);
     }
     if (opts.dumpJson) {
-        sim.core().stats().dumpJson(std::cout);
-        sim.memory().stats().dumpJson(std::cout);
-        if (sim.faults())
-            sim.faults()->stats().dumpJson(std::cout);
+        sim->core().stats().dumpJson(std::cout);
+        sim->memory().stats().dumpJson(std::cout);
+        if (sim->faults())
+            sim->faults()->stats().dumpJson(std::cout);
     }
     return 0;
 }

@@ -70,6 +70,8 @@ struct Options
     std::string baselineOutPath;
     bool listPresets = false;
     bool fastForward = true;
+    bool snapshotWarmup = false; ///< Shared checkpointed warmup.
+    bool snapshotNoShare = false; ///< Bench control arm: no sharing.
     std::string storeDir;   ///< Result-store root ("" = no store).
     std::string servePath;  ///< Daemon socket ("" = batch mode).
     std::size_t maxJobs = 4;
@@ -123,6 +125,14 @@ usage(int code)
         "  --write-baseline F  write a new baseline and exit\n"
         "  --no-fast-forward   disable the cycle-loop fast-forward\n"
         "                      engine in every point (debugging)\n"
+        "  --snapshot-warmup   warm each (workload, seed, prefetch)\n"
+        "                      group once under the baseline policy,\n"
+        "                      snapshot it, and fork every variant\n"
+        "                      from the shared image (with --store the\n"
+        "                      image itself is cached across runs)\n"
+        "  --snapshot-no-share (with --snapshot-warmup) build a\n"
+        "                      private image per point — benchmark\n"
+        "                      control arm isolating what sharing buys\n"
         "  --list-presets      describe the presets and exit\n"
         "  --store DIR         crash-safe result store: cached points\n"
         "                      are reused, fresh ones persisted, so a\n"
@@ -364,6 +374,10 @@ parseArgs(int argc, char **argv)
             opts.gateThreshold = std::atof(next(i));
         else if (arg == "--write-baseline")
             opts.baselineOutPath = next(i);
+        else if (arg == "--snapshot-warmup")
+            opts.snapshotWarmup = true;
+        else if (arg == "--snapshot-no-share")
+            opts.snapshotNoShare = true;
         else if (arg == "--no-fast-forward")
             opts.fastForward = false;
         else if (arg == "--list-presets")
@@ -434,6 +448,7 @@ buildSpec(const Options &opts)
     if (opts.warmup > 0)
         spec.warmup = opts.warmup;
     spec.fastForward = opts.fastForward;
+    spec.snapshotWarmup = opts.snapshotWarmup;
     spec.retryLimit = opts.retryLimit;
     spec.retryBackoffMs = opts.retryBackoffMs;
     if ((spec.workloads.empty() && spec.mixes.empty())
@@ -476,6 +491,11 @@ printSummary(const CampaignResult &campaign)
                     (unsigned long long)campaign.storeHits,
                     (unsigned long long)campaign.storeMisses,
                     (unsigned long long)campaign.storeCorrupt);
+    }
+    if (campaign.storeSnapshotHits + campaign.storeSnapshotMisses > 0) {
+        std::printf("warmup snapshots: %llu hit(s), %llu miss(es)\n",
+                    (unsigned long long)campaign.storeSnapshotHits,
+                    (unsigned long long)campaign.storeSnapshotMisses);
     }
 }
 
@@ -524,6 +544,7 @@ main(int argc, char **argv)
     CampaignRunOptions run_options;
     run_options.store = store.get();
     run_options.stop = &g_interrupted;
+    run_options.snapshotNoShare = opts.snapshotNoShare;
     std::signal(SIGINT, onInterrupt);
     const CampaignResult campaign =
         runCampaign(spec, threads, run_options);

@@ -94,6 +94,7 @@ struct CoreConfig
 /** The core. */
 class Core
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     Core(const CoreConfig &config, const Program *program,
          MemorySystem *mem);

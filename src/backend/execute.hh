@@ -32,6 +32,7 @@ struct WbEvent
  */
 class WritebackQueue
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     void schedule(Cycle when, int rob_slot, SeqNum seq);
 
@@ -55,6 +56,7 @@ class WritebackQueue
 /** Issue-port budget for one cycle: total width plus D-cache ports. */
 class IssuePorts
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     IssuePorts(int width, int mem_ports)
         : width_(width), memPorts_(mem_ports)

@@ -42,6 +42,7 @@ struct SqSearch
 /** In-order store queue. */
 class StoreQueue
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     /** One store's state (public so the invariant checker can audit the
      *  queue against the ROB). */

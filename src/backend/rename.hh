@@ -22,6 +22,7 @@ namespace rab
 /** Physical register file with ready/poison/provenance bits. */
 class PhysRegFile
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     explicit PhysRegFile(int num_regs);
 
@@ -77,6 +78,7 @@ class PhysRegFile
 /** Architectural-register → physical-register map with checkpoints. */
 class Rat
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     Rat();
 

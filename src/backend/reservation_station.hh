@@ -34,6 +34,7 @@ namespace rab
 /** The unified reservation station. */
 class ReservationStation
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     explicit ReservationStation(int capacity);
 

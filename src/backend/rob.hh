@@ -35,6 +35,7 @@ namespace rab
 /** The reorder buffer. */
 class Rob
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     explicit Rob(int capacity);
 

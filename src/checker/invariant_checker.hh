@@ -99,6 +99,7 @@ struct CheckerContext
  *  around individual structures for unit tests. */
 class InvariantChecker
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     InvariantChecker(CheckLevel level, const CheckerContext &ctx);
 

@@ -18,6 +18,7 @@ namespace rab
 /** Seedable xorshift64* PRNG. Cheap, deterministic, decent quality. */
 class Rng
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
 

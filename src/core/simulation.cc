@@ -1,6 +1,7 @@
 #include "core/simulation.hh"
 
 #include "common/logging.hh"
+#include "trace/trace.hh"
 #include "workloads/suite.hh"
 
 namespace rab
@@ -58,6 +59,13 @@ Simulation::~Simulation()
 SimResult
 Simulation::run()
 {
+    runWarmup();
+    return runMeasured();
+}
+
+void
+Simulation::runWarmup()
+{
     // Warmup: fills caches, trains the branch predictor and the
     // prefetcher; then reset every counter so the measured region is
     // clean.
@@ -66,10 +74,32 @@ Simulation::run()
         core_->stats().resetCounters();
         mem_->stats().resetCounters();
     }
+}
+
+void
+Simulation::enableTrace(const std::string &path)
+{
+    tracePath_ = path;
+}
+
+SimResult
+Simulation::runMeasured()
+{
+    std::unique_ptr<TraceWriter> trace;
+    if (!tracePath_.empty()) {
+        trace = std::make_unique<TraceWriter>(tracePath_);
+        core_->setCommitHook(
+            [&trace](const DynUop &uop) { trace->record(uop); });
+    }
 
     const Cycle start_cycle = core_->cycle();
     core_->run(config_.instructions, config_.maxCycles);
     const Cycle cycles = core_->cycle() - start_cycle;
+
+    if (trace) {
+        core_->setCommitHook(nullptr);
+        trace->close();
+    }
 
     return collectSimResult(config_, program_.name(), config_.runahead,
                             *core_, *mem_, faults_.get(), cycles);

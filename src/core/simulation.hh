@@ -71,6 +71,7 @@ struct SimResult
 /** One simulation run. */
 class Simulation
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     /**
      * @p config must be finalize()d.
@@ -89,9 +90,24 @@ class Simulation
     /** Run warmup + measured region and collect the result. */
     SimResult run();
 
+    /** Run only the warmup region and reset every stat counter (the
+     *  snapshot capture point). No-op when warmupInstructions == 0. */
+    void runWarmup();
+
+    /** Run only the measured region and collect the result. Call after
+     *  runWarmup(), or after restoring a warmup snapshot. */
+    SimResult runMeasured();
+
+    /** Stream the measured region's retired uops to a binary trace
+     *  file (src/trace format). Installs the core's commit hook for
+     *  the measured region only, so the trace record count equals the
+     *  committed-uop counter. Call before run()/runMeasured(). */
+    void enableTrace(const std::string &path);
+
     Core &core() { return *core_; }
     MemorySystem &memory() { return *mem_; }
     const Program &program() const { return program_; }
+    const SimConfig &config() const { return config_; }
 
     /** The fault injector, or nullptr when injection is disabled. */
     FaultInjector *faults() { return faults_.get(); }
@@ -102,6 +118,7 @@ class Simulation
     std::unique_ptr<FaultInjector> faults_;
     std::unique_ptr<MemorySystem> mem_;
     std::unique_ptr<Core> core_;
+    std::string tracePath_; ///< Empty when tracing is disabled.
 };
 
 /**

@@ -98,6 +98,7 @@ struct FaultConfig
  *  queue). */
 class FaultInjector
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     explicit FaultInjector(const FaultConfig &config);
 

@@ -65,6 +65,7 @@ class WatchdogTimeout : public std::runtime_error
  *  flush when told to recover. */
 class ForwardProgressWatchdog
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     explicit ForwardProgressWatchdog(const WatchdogConfig &config);
 

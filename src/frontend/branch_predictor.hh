@@ -41,6 +41,7 @@ struct BranchPrediction
 /** The hybrid predictor. */
 class BranchPredictor
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     explicit BranchPredictor(const BranchPredictorConfig &config);
 

@@ -48,6 +48,7 @@ struct FetchedUop
 /** The fetch + decode front-end. */
 class Frontend
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     Frontend(const FrontendConfig &config, const Program *program,
              BranchPredictor *bp, MemorySystem *mem);

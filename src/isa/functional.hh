@@ -27,6 +27,7 @@ namespace rab
  */
 class FunctionalMemory
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     using BackgroundFn = std::function<std::uint64_t(Addr)>;
 

@@ -50,6 +50,7 @@ struct Eviction
 /** Set-associative write-back cache with true-LRU replacement. */
 class Cache
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     explicit Cache(const CacheConfig &config);
 

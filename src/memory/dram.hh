@@ -51,6 +51,7 @@ struct DramResult
 /** The DDR3 device model. */
 class Dram
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     explicit Dram(const DramConfig &config);
 

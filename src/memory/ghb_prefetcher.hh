@@ -37,6 +37,7 @@ struct GhbPrefetcherConfig
 /** The GHB PC/DC prefetcher. */
 class GhbPrefetcher
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     explicit GhbPrefetcher(const GhbPrefetcherConfig &config,
                            int line_bytes);

@@ -83,6 +83,7 @@ class FunctionalMemory;
 /** One core's composed view of the cache/DRAM hierarchy. */
 class MemorySystem
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     /** Single-core form: owns its SharedMemory privately. */
     explicit MemorySystem(const MemSysConfig &config);

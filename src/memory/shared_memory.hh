@@ -67,6 +67,7 @@ std::string perCoreStatName(int core, const std::string &name);
 /** The chip-shared half of the memory hierarchy. */
 class SharedMemory
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     /** @p config supplies the LLC/DRAM/prefetcher/queue parameters;
      *  the L1 fields are ignored here (they are per-core). */

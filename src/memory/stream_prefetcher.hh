@@ -41,6 +41,7 @@ struct PrefetcherConfig
 /** The prefetcher. Owned and driven by MemorySystem. */
 class StreamPrefetcher
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     explicit StreamPrefetcher(const PrefetcherConfig &config,
                               int line_bytes);

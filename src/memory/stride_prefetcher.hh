@@ -35,6 +35,7 @@ struct StridePrefetcherConfig
 /** The stride prefetcher. */
 class StridePrefetcher
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     explicit StridePrefetcher(const StridePrefetcherConfig &config,
                               int line_bytes);

@@ -29,6 +29,7 @@ namespace rab
 /** The runahead chain analyser. */
 class ChainAnalysis
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     /**
      * @param window     executed-op history depth.

@@ -22,6 +22,7 @@ namespace rab
 /** The chain cache. Table 1: two 32-uop entries. */
 class ChainCache
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     explicit ChainCache(int entries);
 

@@ -119,6 +119,7 @@ struct EnginePrefetchResult
  *  MemorySystem, fed by the core at runahead-buffer entries. */
 class ChainEngine
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     ChainEngine(const ChainEngineConfig &config, MemorySystem *mem,
                 const FunctionalMemory *func_mem);

@@ -60,6 +60,7 @@ struct ChainResult
  *  pooled scratch buffers (reused, never observable in results). */
 class ChainGenerator
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     explicit ChainGenerator(const ChainGeneratorConfig &config);
 

@@ -58,6 +58,7 @@ struct DegradationConfig
 /** The ladder. */
 class DegradationLadder
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     explicit DegradationLadder(const DegradationConfig &config);
 

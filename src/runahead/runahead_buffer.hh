@@ -20,6 +20,7 @@ namespace rab
 /** The runahead buffer. */
 class RunaheadBuffer
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     explicit RunaheadBuffer(int capacity);
 

@@ -30,6 +30,7 @@ struct RunaheadCacheConfig
 /** The runahead store-data cache. */
 class RunaheadCache
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     explicit RunaheadCache(const RunaheadCacheConfig &config);
 

@@ -90,6 +90,7 @@ struct EntryDecision
 /** The controller. */
 class RunaheadController
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     explicit RunaheadController(const RunaheadPolicy &policy);
 

@@ -1,0 +1,1519 @@
+/**
+ * @file
+ * Whole-simulator snapshot capture/restore.
+ *
+ * This translation unit holds every per-component serializer
+ * (SnapshotAccess::io definitions — the single save/load description
+ * of each class's state), the section framing, the config digests and
+ * the CRC-framed file I/O. Keeping all of it in one TU means the
+ * component headers stay free of serialization code beyond their one
+ * `friend struct SnapshotAccess;` line.
+ *
+ * Payload layout (DESIGN.md §16):
+ *   "RABSNAP1" + u32 formatVersion + sections, each u32 tag + u64
+ *   length + body:
+ *     META  digests, identity, fork-safety, presence flags
+ *     CORE  the full core pipeline (+ checker, watchdog, RNG-free)
+ *     VRNT  variant-specific: runahead controller + chain analysis
+ *     MEM   the memory hierarchy incl. the owned SharedMemory
+ *     ENGN  Continuous Runahead engine (presence flag + state)
+ *     FALT  fault injector (presence flag + RNG cursor + counters)
+ *
+ * Fork-mode restore length-skips VRNT and ENGN: a config variant keeps
+ * its freshly constructed runahead structures and re-derives everything
+ * variant-specific, which is only sound when the image was captured
+ * outside any runahead interval (META.forkSafe).
+ *
+ * Not serialized, by design: config structs and config-derived fields
+ * (the restoring simulation is constructed from its own config, which
+ * the digests gate), wiring pointers, std::function members (the
+ * functional-memory background and commit hooks are reinstalled by
+ * construction), StatGroup registrations, and pure scratch buffers
+ * that are overwritten before every use (RS selection buffer, WBQ
+ * ready buffer, prefetch candidate list, chain-generator SRSL,
+ * checker reference marks).
+ */
+
+#include "snapshot/snapshot.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <queue>
+
+#include "backend/core.hh"
+#include "common/logging.hh"
+#include "core/simulation.hh"
+#include "snapshot/archive.hh"
+
+namespace rab
+{
+
+/* ------------------------------------------------------------------ */
+/* Per-component serializers.                                          */
+/* ------------------------------------------------------------------ */
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, Counter &v)
+{
+    field(ar, v.value_);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, Distribution &v)
+{
+    field(ar, v.low_);
+    field(ar, v.high_);
+    field(ar, v.bucketSize_);
+    field(ar, v.buckets_);
+    field(ar, v.underflow_);
+    field(ar, v.overflow_);
+    field(ar, v.samples_);
+    field(ar, v.sum_);
+    field(ar, v.min_);
+    field(ar, v.max_);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, Rng &v)
+{
+    field(ar, v.state_);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, Uop &v)
+{
+    field(ar, v.op);
+    field(ar, v.func);
+    field(ar, v.cond);
+    field(ar, v.dest);
+    field(ar, v.src1);
+    field(ar, v.src2);
+    field(ar, v.imm);
+    field(ar, v.target);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, DynUop &v)
+{
+    field(ar, v.seq);
+    field(ar, v.pc);
+    field(ar, v.sop);
+    field(ar, v.pdst);
+    field(ar, v.psrc1);
+    field(ar, v.psrc2);
+    field(ar, v.prevPdst);
+    field(ar, v.inRs);
+    field(ar, v.issued);
+    field(ar, v.executed);
+    field(ar, v.completed);
+    field(ar, v.poisoned);
+    field(ar, v.memIssued);
+    field(ar, v.llcMiss);
+    field(ar, v.offChipWait);
+    field(ar, v.readyAt);
+    field(ar, v.v1);
+    field(ar, v.v2);
+    field(ar, v.result);
+    field(ar, v.effAddr);
+    field(ar, v.missIssueInstrNum);
+    field(ar, v.sqIndex);
+    field(ar, v.forwarded);
+    field(ar, v.isRunahead);
+    field(ar, v.fromRunaheadBuffer);
+    field(ar, v.srcFromOffChip);
+    field(ar, v.predTaken);
+    field(ar, v.actualTaken);
+    field(ar, v.mispredicted);
+    field(ar, v.predTarget);
+    field(ar, v.nextPc);
+    field(ar, v.historySnapshot);
+    field(ar, v.instrNum);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, ChainOp &v)
+{
+    field(ar, v.pc);
+    field(ar, v.sop);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, FetchedUop &v)
+{
+    field(ar, v.pc);
+    field(ar, v.sop);
+    field(ar, v.predTaken);
+    field(ar, v.predTarget);
+    field(ar, v.historySnapshot);
+    field(ar, v.readyCycle);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, WbEvent &v)
+{
+    field(ar, v.when);
+    field(ar, v.robSlot);
+    field(ar, v.seq);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, ArchCheckpoint &v)
+{
+    field(ar, v.values);
+    field(ar, v.branchHistory);
+    field(ar, v.ras);
+    field(ar, v.resumePc);
+    field(ar, v.valid);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, BranchPredictor &v)
+{
+    field(ar, v.history_);
+    field(ar, v.bimodal_);
+    field(ar, v.gshare_);
+    field(ar, v.chooser_);
+    fieldSeq(ar, v.btb_, [](Ar &a, auto &e) {
+        field(a, e.valid);
+        field(a, e.pc);
+        field(a, e.target);
+    });
+    field(ar, v.ras_);
+    io(ar, v.lookups);
+    io(ar, v.mispredicts);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, Frontend &v)
+{
+    field(ar, v.fetchPc_);
+    field(ar, v.gated_);
+    field(ar, v.stalledUntil_);
+    field(ar, v.queue_);
+    field(ar, v.queueHead_);
+    field(ar, v.queueCount_);
+    io(ar, v.fetchedUops);
+    io(ar, v.activeCycles);
+    io(ar, v.gatedCycles);
+    io(ar, v.idleCycles);
+    io(ar, v.icacheStallCycles);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, PhysRegFile &v)
+{
+    fieldSeq(ar, v.regs_, [](Ar &a, auto &r) {
+        field(a, r.value);
+        field(a, r.ready);
+        field(a, r.poisoned);
+        field(a, r.offChip);
+        field(a, r.allocated);
+    });
+    field(ar, v.freeList_);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, Rat &v)
+{
+    field(ar, v.map_);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, Rob &v)
+{
+    const auto io_ends = [](Ar &a, auto &ends) {
+        field(a, ends.front);
+        field(a, ends.back);
+    };
+    const auto io_links = [](Ar &a, auto &l) {
+        field(a, l.prev);
+        field(a, l.next);
+    };
+    field(ar, v.head_);
+    field(ar, v.size_);
+    field(ar, v.entries_); // Whole ring, dead slots included: exact.
+    field(ar, v.live_);
+    fieldSeq(ar, v.pcCells_, [&](Ar &a, auto &c) {
+        field(a, c.pc);
+        io_ends(a, c.ends);
+        field(a, c.used);
+    });
+    field(ar, v.pcMask_);
+    field(ar, v.pcUsed_);
+    field(ar, v.pcCellOf_);
+    fieldSeq(ar, v.pcLinks_, io_links);
+    fieldSeq(ar, v.regIndex_, io_ends);
+    fieldSeq(ar, v.regLinks_, io_links);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, ReservationStation &v)
+{
+    field(ar, v.size_);
+    fieldSeq(ar, v.entries_, [](Ar &a, auto &e) {
+        field(a, e.valid);
+        field(a, e.wait1);
+        field(a, e.wait2);
+        field(a, e.robSlot);
+        field(a, e.seq);
+        field(a, e.src1);
+        field(a, e.src2);
+    });
+    field(ar, v.freeSlots_);
+    field(ar, v.readyList_);
+    field(ar, v.waiters_); // Exact, stale entries included: the drain
+                           // order of a wakeup list is visible.
+    io(ar, v.inserts);
+    io(ar, v.wakeups);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, StoreQueue &v)
+{
+    fieldSeq(ar, v.entries_, [](Ar &a, auto &e) {
+        field(a, e.seq);
+        field(a, e.robSlot);
+        field(a, e.wordAddr);
+        field(a, e.data);
+        field(a, e.dataReady);
+        field(a, e.addrPoisoned);
+        field(a, e.dataPoisoned);
+    });
+    io(ar, v.forwards);
+    io(ar, v.unknownAddrStalls);
+    io(ar, v.searches);
+}
+
+namespace
+{
+
+/** Expose a priority_queue's underlying container (protected member
+ *  `c`). Round-tripping the raw heap vector is exact: std heap
+ *  operations are deterministic functions of the container contents. */
+template <class T, class C, class Cmp>
+C &
+pqContainer(std::priority_queue<T, C, Cmp> &q)
+{
+    struct Hack : std::priority_queue<T, C, Cmp>
+    {
+        static C &get(std::priority_queue<T, C, Cmp> &pq)
+        {
+            return pq.*&Hack::c;
+        }
+    };
+    return Hack::get(q);
+}
+
+} // namespace
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, WritebackQueue &v)
+{
+    field(ar, pqContainer(v.heap_));
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, IssuePorts &v)
+{
+    field(ar, v.usedWidth_);
+    field(ar, v.usedMem_);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, FunctionalMemory &v)
+{
+    field(ar, v.mem_); // Sorted by address on save (see archive.hh).
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, Cache &v)
+{
+    fieldSeq(ar, v.lines_, [](Ar &a, auto &l) {
+        field(a, l.valid);
+        field(a, l.dirty);
+        field(a, l.prefetched);
+        field(a, l.tag);
+        field(a, l.lruStamp);
+    });
+    field(ar, v.lruCounter_);
+    field(ar, v.mruWay_);
+    field(ar, v.validMask_);
+    io(ar, v.hits);
+    io(ar, v.misses);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, Dram &v)
+{
+    fieldSeq(ar, v.banks_, [](Ar &a, auto &b) {
+        field(a, b.rowOpen);
+        field(a, b.openRow);
+        field(a, b.freeAt);
+    });
+    field(ar, v.busFreeAt_);
+    io(ar, v.reads);
+    io(ar, v.writes);
+    io(ar, v.rowHits);
+    io(ar, v.rowConflicts);
+    io(ar, v.latencySum);
+    io(ar, v.queueWaitSum);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, StreamPrefetcher &v)
+{
+    field(ar, v.distance_); // FDP-mutable aggressiveness.
+    field(ar, v.degree_);
+    fieldSeq(ar, v.streams_, [](Ar &a, auto &s) {
+        field(a, s.valid);
+        field(a, s.confirmations);
+        field(a, s.direction);
+        field(a, s.lastDemand);
+        field(a, s.head);
+        field(a, s.lruStamp);
+    });
+    field(ar, v.lruCounter_);
+    field(ar, v.intervalIssued_);
+    field(ar, v.intervalUseful_);
+    io(ar, v.issued);
+    io(ar, v.useful);
+    io(ar, v.unused);
+    io(ar, v.streamsAllocated);
+    io(ar, v.fdpDowngrades);
+    io(ar, v.fdpUpgrades);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, StridePrefetcher &v)
+{
+    fieldSeq(ar, v.table_, [](Ar &a, auto &e) {
+        field(a, e.valid);
+        field(a, e.pc);
+        field(a, e.lastLine);
+        field(a, e.stride);
+        field(a, e.confidence);
+        field(a, e.prefetched);
+    });
+    io(ar, v.issued);
+    io(ar, v.useful);
+    io(ar, v.unused);
+    io(ar, v.confirmations);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, GhbPrefetcher &v)
+{
+    fieldSeq(ar, v.ghb_, [](Ar &a, auto &e) {
+        field(a, e.line);
+        field(a, e.pc);
+        field(a, e.prev);
+        field(a, e.gen);
+    });
+    fieldSeq(ar, v.index_, [](Ar &a, auto &e) {
+        field(a, e.valid);
+        field(a, e.pc);
+        field(a, e.head);
+        field(a, e.gen);
+    });
+    field(ar, v.nextGen_);
+    field(ar, v.nextSlot_);
+    io(ar, v.issued);
+    io(ar, v.useful);
+    io(ar, v.unused);
+    io(ar, v.correlations);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, SharedMemory &v)
+{
+    io(ar, v.llc_);
+    io(ar, v.dram_);
+    io(ar, v.prefetcher_);
+    io(ar, v.stridePf_);
+    io(ar, v.ghbPf_);
+    field(ar, v.llcPending_);
+    field(ar, v.llcPendingMax_);
+    fieldSeq(ar, pqContainer(v.outstanding_), [](Ar &a, auto &m) {
+        field(a, m.ready);
+        field(a, m.core);
+    });
+    field(ar, v.heldNow_);
+    field(ar, v.mshrPeak_);
+    io(ar, v.crossCoreEvictions);
+    io(ar, v.ownerClamps);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, MemorySystem &v)
+{
+    io(ar, v.l1i_);
+    io(ar, v.l1d_);
+    field(ar, v.l1iPending_);
+    field(ar, v.l1dPending_);
+    field(ar, v.l1iPendingMax_);
+    field(ar, v.l1dPendingMax_);
+    io(ar, v.demandLoads);
+    io(ar, v.demandStores);
+    io(ar, v.llcDemandMisses);
+    io(ar, v.llcLoadMisses);
+    io(ar, v.queueRejects);
+    io(ar, v.prefetchesIssued);
+    io(ar, v.mshrMerges);
+    io(ar, v.memRetries);
+    io(ar, v.memTimeouts);
+    io(ar, v.memRetryFailures);
+    io(ar, v.queueFaultStalls);
+    io(ar, v.llcEvictedByOthers);
+    io(ar, v.bankConflicts);
+    io(ar, v.bankConflictWaitCycles);
+    io(ar, v.sharedMshrPeersHeld);
+    io(ar, v.queueRejectsContended);
+    io(ar, v.addrHighMasked);
+    io(ar, *v.shared_); // Single-core: the privately owned hierarchy.
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, RunaheadCache &v)
+{
+    fieldSeq(ar, v.lines_, [](Ar &a, auto &l) {
+        field(a, l.valid);
+        field(a, l.tag);
+        field(a, l.data);
+        field(a, l.lruStamp);
+    });
+    field(ar, v.lruCounter_);
+    io(ar, v.writes);
+    io(ar, v.readHits);
+    io(ar, v.readMisses);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, RunaheadBuffer &v)
+{
+    field(ar, v.active_);
+    field(ar, v.chain_);
+    field(ar, v.index_);
+    field(ar, v.iterations_);
+    io(ar, v.fills);
+    io(ar, v.opsIssued);
+    io(ar, v.loops);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, ChainCache &v)
+{
+    fieldSeq(ar, v.slots_, [](Ar &a, auto &s) {
+        field(a, s.valid);
+        field(a, s.pc);
+        field(a, s.chain);
+        field(a, s.lruStamp);
+    });
+    field(ar, v.lruCounter_);
+    io(ar, v.hits);
+    io(ar, v.misses);
+    io(ar, v.inserts);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, ChainGenerator &v)
+{
+    // The SRSL / included-set working buffers are per-call scratch.
+    io(ar, v.attempts);
+    io(ar, v.noPcMatch);
+    io(ar, v.overflows);
+    io(ar, v.generatedChains);
+    io(ar, v.generatedOps);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, ChainAnalysis &v)
+{
+    field(ar, v.inInterval_);
+    // history_ maps SeqNum -> private Rec: serialized inline, in key
+    // order (std::map iteration).
+    std::uint64_t n = fieldCount(ar, v.history_.size());
+    if constexpr (!Ar::kIsLoad) {
+        for (auto &kv : v.history_) {
+            SeqNum seq = kv.first;
+            field(ar, seq);
+            field(ar, kv.second.pc);
+            field(ar, kv.second.dest);
+            field(ar, kv.second.src1);
+            field(ar, kv.second.src2);
+        }
+    } else {
+        v.history_.clear();
+        auto hint = v.history_.end();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            SeqNum seq = 0;
+            field(ar, seq);
+            typename std::decay_t<decltype(v.history_)>::mapped_type
+                rec{};
+            field(ar, rec.pc);
+            field(ar, rec.dest);
+            field(ar, rec.src1);
+            field(ar, rec.src2);
+            hint = v.history_.emplace_hint(hint, seq, rec);
+        }
+    }
+    field(ar, v.intervalSignatures_);
+    field(ar, v.intervalNecessary_);
+    field(ar, v.intervalExecuted_);
+    io(ar, v.opsExecuted);
+    io(ar, v.opsNecessary);
+    io(ar, v.chainsTotal);
+    io(ar, v.chainsRepeated);
+    io(ar, v.chainLengthSum);
+    io(ar, v.chainsMeasured);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, DegradationLadder &v)
+{
+    field(ar, v.level_);
+    field(ar, v.faultsAtLevel_);
+    field(ar, v.cycle_);
+    field(ar, v.lastFaultCycle_);
+    field(ar, v.levelValue_);
+    io(ar, v.faultsObserved);
+    io(ar, v.degradeSteps);
+    io(ar, v.reenableSteps);
+    io(ar, v.toNoChainCache);
+    io(ar, v.toNoBuffer);
+    io(ar, v.toNoRunahead);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, ChainEngine &v)
+{
+    fieldSeq(ar, v.slots_, [](Ar &a, auto &s) {
+        field(a, s.valid);
+        field(a, s.running);
+        field(a, s.chainPc);
+        field(a, s.chain);
+        field(a, s.regs);
+        field(a, s.regReady);
+        fieldSeq(a, s.storeBuf, [](Ar &aa, auto &st) {
+            field(aa, st.addr);
+            field(aa, st.value);
+        });
+        field(a, s.index);
+        field(a, s.utility);
+        field(a, s.stallUntil);
+        field(a, s.fillsThisIteration);
+        field(a, s.idleIterations);
+    });
+    field(ar, v.nextSlotRr_);
+    fieldSeq(ar, v.recent_, [](Ar &a, auto &f) {
+        field(a, f.line);
+        field(a, f.readyCycle);
+        field(a, f.issuedCycle);
+        field(a, f.slot);
+    });
+    field(ar, v.cycle_);
+    io(ar, v.chainsShipped);
+    io(ar, v.chainReplacements);
+    io(ar, v.uopsExecuted);
+    io(ar, v.loadsExecuted);
+    io(ar, v.storeUopsSeen);
+    io(ar, v.storesContained);
+    io(ar, v.prefetchesIssued);
+    io(ar, v.prefetchesTimely);
+    io(ar, v.prefetchesLate);
+    io(ar, v.prefetchesUnused);
+    io(ar, v.iterations);
+    io(ar, v.deschedules);
+    io(ar, v.queueStalls);
+    io(ar, v.pacingStalls);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, RunaheadController &v)
+{
+    field(ar, v.mode_);
+    field(ar, v.blockingReady_);
+    field(ar, v.bufferIssueStart_);
+    field(ar, v.enteredAt_);
+    field(ar, v.missesAtEntry_);
+    field(ar, v.farthestInstr_);
+    io(ar, v.intervalLengths_);
+    io(ar, v.intervalMlp_);
+    io(ar, v.runaheadCache_);
+    io(ar, v.chainGen_);
+    io(ar, v.chainCache_);
+    io(ar, v.buffer_);
+    io(ar, v.ladder_);
+    io(ar, v.intervals);
+    io(ar, v.traditionalIntervals);
+    io(ar, v.bufferIntervals);
+    io(ar, v.cyclesTraditional);
+    io(ar, v.cyclesBuffer);
+    io(ar, v.chainGenCycles);
+    io(ar, v.runaheadMisses);
+    io(ar, v.suppressedShort);
+    io(ar, v.suppressedOverlap);
+    io(ar, v.noChainNoEntry);
+    io(ar, v.chainCacheExactHits);
+    io(ar, v.chainCacheCheckedHits);
+    io(ar, v.checkpoints);
+    io(ar, v.pcCamSearches);
+    io(ar, v.regCamSearches);
+    io(ar, v.sqCamSearches);
+    io(ar, v.robChainReads);
+    io(ar, v.speculativeFaults);
+    io(ar, v.cachedChainsRejected);
+    io(ar, v.degradedNoEntry);
+    io(ar, v.degradedTraditional);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, FaultInjector &v)
+{
+    io(ar, v.rng_);
+    field(ar, v.stallUntil_);
+    io(ar, v.chainCorruptions);
+    io(ar, v.uopFlips);
+    io(ar, v.dramDrops);
+    io(ar, v.dramDelays);
+    io(ar, v.memStallWindows);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, ForwardProgressWatchdog &v)
+{
+    field(ar, v.lastFireRetired_);
+    field(ar, v.firedBefore_);
+    field(ar, v.consecutive_);
+    io(ar, v.fires);
+    io(ar, v.recoveries);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, InvariantChecker &v)
+{
+    field(ar, v.now_);
+    field(ar, v.inRunahead_);
+    field(ar, v.entrySnapshot_);
+    io(ar, v.checksRun);
+    io(ar, v.violations);
+    io(ar, v.violationsRouted);
+}
+
+template <class Ar>
+void
+SnapshotAccess::io(Ar &ar, Core &v)
+{
+    io(ar, v.funcMem_);
+    io(ar, v.bp_);
+    io(ar, *v.frontend_);
+    io(ar, v.prf_);
+    io(ar, v.rat_);
+    field(ar, v.archValues_);
+    io(ar, v.rob_);
+    io(ar, v.rs_);
+    io(ar, v.sq_);
+    io(ar, v.wbq_);
+    io(ar, v.ports_);
+    io(ar, v.watchdog_);
+    io(ar, v.checkpoint_);
+    io(ar, *v.checker_);
+    field(ar, v.cycle_);
+    field(ar, v.seqCounter_);
+    field(ar, v.retired_);
+    field(ar, v.fetchedInstrNum_);
+    field(ar, v.retiredAtEntry_);
+    field(ar, v.pseudoRetiredInterval_);
+    field(ar, v.lastCommitCycle_);
+    field(ar, v.stallCyclesSinceCommit_);
+    field(ar, v.renameProgress_);
+    field(ar, v.entryDenied_);
+    field(ar, v.entryDeniedSeq_);
+    field(ar, v.entryDeniedLadderSteps_);
+    field(ar, v.pipelineActivity_);
+    field(ar, v.resumePc_);
+    io(ar, v.committedUops);
+    io(ar, v.pseudoRetiredUops);
+    io(ar, v.renamedUops);
+    io(ar, v.issuedUops);
+    io(ar, v.issuedMemUops);
+    io(ar, v.prfReads);
+    io(ar, v.prfWrites);
+    io(ar, v.robWrites);
+    io(ar, v.robReads);
+    io(ar, v.memStallCycles);
+    io(ar, v.stallLoadOther);
+    io(ar, v.stallExec);
+    io(ar, v.stallEmptyRob);
+    io(ar, v.robFullCycles);
+    io(ar, v.squashedUops);
+    io(ar, v.fig2MissTotal);
+    io(ar, v.fig2MissSrcOnChip);
+    io(ar, v.loadsForwarded);
+    io(ar, v.runaheadCacheForwards);
+    io(ar, v.loadQueueRetries);
+    io(ar, v.storeQueueRetries);
+    io(ar, v.memFaultRetries);
+    io(ar, v.watchdogFlushes);
+    io(ar, v.ffWindows);
+    io(ar, v.ffSkippedCycles);
+}
+
+/* ------------------------------------------------------------------ */
+/* Hashes, digests, framing.                                           */
+/* ------------------------------------------------------------------ */
+
+namespace
+{
+
+std::uint64_t
+fnv1a64(const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint32_t
+crc32(const void *data, std::size_t n)
+{
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint32_t c = 0xffffffffu;
+    for (std::size_t i = 0; i < n; ++i)
+        c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+/** Section tags (little-endian fourcc). */
+constexpr std::uint32_t kSecMeta = 0x4154454du;    // "META"
+constexpr std::uint32_t kSecCore = 0x45524f43u;    // "CORE"
+constexpr std::uint32_t kSecVariant = 0x544e5256u; // "VRNT"
+constexpr std::uint32_t kSecMem = 0x204d454du;     // "MEM "
+constexpr std::uint32_t kSecEngine = 0x4e474e45u;  // "ENGN"
+constexpr std::uint32_t kSecFault = 0x544c4146u;   // "FALT"
+
+constexpr char kPayloadMagic[8] = {'R', 'A', 'B', 'S',
+                                   'N', 'A', 'P', '1'};
+constexpr char kFileMagic[8] = {'R', 'A', 'B', 'S', 'N', 'A', 'P', 'F'};
+
+template <class Ar>
+void
+ioMeta(Ar &ar, SnapshotMeta &m)
+{
+    field(ar, m.formatVersion);
+    field(ar, m.configDigest);
+    field(ar, m.warmupDigest);
+    field(ar, m.forkSafe);
+    field(ar, m.workload);
+    field(ar, m.programSize);
+    field(ar, m.programHash);
+    field(ar, m.warmupInstructions);
+    field(ar, m.cycle);
+    field(ar, m.retired);
+    field(ar, m.faultPresent);
+    field(ar, m.enginePresent);
+}
+
+/** Begin a tagged section; returns the body-start offset for the
+ *  later length back-patch. */
+std::size_t
+beginSection(SnapshotWriter &w, std::uint32_t tag)
+{
+    field(w, tag);
+    std::uint64_t len_placeholder = 0;
+    field(w, len_placeholder);
+    return w.size();
+}
+
+void
+endSection(SnapshotWriter &w, std::size_t body_start)
+{
+    const std::uint64_t len = w.size() - body_start;
+    for (std::size_t i = 0; i < 8; ++i) {
+        w.buffer()[body_start - 8 + i] =
+            static_cast<char>(len >> (8 * i));
+    }
+}
+
+/** Read one section header and bounds-check its length. */
+void
+readSectionHeader(SnapshotReader &r, std::uint32_t expected_tag,
+                  std::uint64_t &len)
+{
+    std::uint32_t tag = 0;
+    field(r, tag);
+    if (tag != expected_tag) {
+        throw SnapshotError(SnapshotErrorKind::kFormat,
+                            strprintf("unexpected section tag %08x "
+                                      "(expected %08x)",
+                                      tag, expected_tag));
+    }
+    field(r, len);
+    if (len > r.remaining()) {
+        throw SnapshotError(SnapshotErrorKind::kTruncated,
+                            "section length exceeds payload");
+    }
+}
+
+/** Run @p body and verify it consumed exactly the section length. */
+template <class Fn>
+void
+readSection(SnapshotReader &r, std::uint32_t tag, Fn body)
+{
+    std::uint64_t len = 0;
+    readSectionHeader(r, tag, len);
+    const std::size_t start = r.offset();
+    body();
+    if (r.offset() - start != len) {
+        throw SnapshotError(SnapshotErrorKind::kFormat,
+                            strprintf("section %08x body size mismatch "
+                                      "(%zu consumed, %llu framed)",
+                                      tag, r.offset() - start,
+                                      (unsigned long long)len));
+    }
+}
+
+void
+appendKv(std::string &s, const char *key, std::uint64_t value)
+{
+    s += strprintf("%s=%llu\n", key, (unsigned long long)value);
+}
+
+void
+appendKvS(std::string &s, const char *key, const std::string &value)
+{
+    s += key;
+    s += '=';
+    s += value;
+    s += '\n';
+}
+
+void
+appendKvD(std::string &s, const char *key, double value)
+{
+    s += strprintf("%s=%.17g\n", key, value);
+}
+
+/** Canonical string of every config field that shapes warmup state:
+ *  memory hierarchy, prefetchers, core structure, workload budget and
+ *  fault schedule — nothing variant-specific. Shared by both digests
+ *  (the exact digest appends the variant fields). */
+std::string
+warmupCanonical(const SimConfig &c)
+{
+    std::string s = "schema=rab-snapshot-warmup-v1\n";
+    appendKv(s, "prefetch", c.prefetch ? 1 : 0);
+    appendKv(s, "warmup_instructions", c.warmupInstructions);
+    appendKv(s, "num_cores", static_cast<std::uint64_t>(c.numCores));
+    appendKv(s, "check_level", static_cast<std::uint64_t>(c.checkLevel));
+    appendKv(s, "check_policy",
+             static_cast<std::uint64_t>(c.checkPolicy));
+
+    const MemSysConfig &m = c.mem;
+    const auto cache = [&](const char *pfx, const CacheConfig &cc) {
+        s += strprintf("%s=%llu/%d/%d/%d\n", pfx,
+                       (unsigned long long)cc.sizeBytes,
+                       cc.associativity, cc.lineBytes, cc.latency);
+    };
+    cache("l1i", m.l1i);
+    cache("l1d", m.l1d);
+    cache("llc", m.llc);
+    appendKvD(s, "dram_core_ghz", m.dram.coreClockGhz);
+    appendKvD(s, "dram_bus_mhz", m.dram.busClockMhz);
+    appendKv(s, "dram_channels",
+             static_cast<std::uint64_t>(m.dram.channels));
+    appendKv(s, "dram_banks",
+             static_cast<std::uint64_t>(m.dram.banksPerChannel));
+    appendKv(s, "dram_row_bytes", m.dram.rowBytes);
+    appendKvD(s, "dram_cas_ns", m.dram.casNs);
+    appendKv(s, "mem_queue_entries",
+             static_cast<std::uint64_t>(m.memQueueEntries));
+    appendKv(s, "runahead_queue_reserve",
+             static_cast<std::uint64_t>(m.runaheadQueueReserve));
+    appendKv(s, "mem_retry_limit",
+             static_cast<std::uint64_t>(m.memRetryLimit));
+    appendKv(s, "mem_timeout_cycles", m.memTimeoutCycles);
+    appendKv(s, "mem_retry_backoff_cycles", m.memRetryBackoffCycles);
+    appendKv(s, "prefetcher_kind",
+             static_cast<std::uint64_t>(m.prefetcherKind));
+    appendKv(s, "pf_enabled", m.prefetcher.enabled ? 1 : 0);
+    appendKv(s, "pf_streams",
+             static_cast<std::uint64_t>(m.prefetcher.streams));
+    appendKv(s, "pf_distance",
+             static_cast<std::uint64_t>(m.prefetcher.distance));
+    appendKv(s, "pf_degree",
+             static_cast<std::uint64_t>(m.prefetcher.degree));
+    appendKv(s, "pf_fdp", m.prefetcher.fdpThrottle ? 1 : 0);
+    appendKv(s, "pf_fdp_interval",
+             static_cast<std::uint64_t>(m.prefetcher.fdpInterval));
+    appendKv(s, "stride_entries",
+             static_cast<std::uint64_t>(m.stridePrefetcher.entries));
+    appendKv(s, "stride_degree",
+             static_cast<std::uint64_t>(m.stridePrefetcher.degree));
+    appendKv(s, "ghb_history",
+             static_cast<std::uint64_t>(m.ghbPrefetcher.historyEntries));
+    appendKv(s, "ghb_index",
+             static_cast<std::uint64_t>(m.ghbPrefetcher.indexEntries));
+
+    const CoreConfig &k = c.core;
+    appendKv(s, "fetch_width", static_cast<std::uint64_t>(k.fetchWidth));
+    appendKv(s, "rename_width",
+             static_cast<std::uint64_t>(k.renameWidth));
+    appendKv(s, "issue_width", static_cast<std::uint64_t>(k.issueWidth));
+    appendKv(s, "commit_width",
+             static_cast<std::uint64_t>(k.commitWidth));
+    appendKv(s, "rob_entries", static_cast<std::uint64_t>(k.robEntries));
+    appendKv(s, "rs_entries", static_cast<std::uint64_t>(k.rsEntries));
+    appendKv(s, "sq_entries", static_cast<std::uint64_t>(k.sqEntries));
+    appendKv(s, "num_phys_regs",
+             static_cast<std::uint64_t>(k.numPhysRegs));
+    appendKv(s, "mem_ports", static_cast<std::uint64_t>(k.memPorts));
+    appendKv(s, "redirect_penalty",
+             static_cast<std::uint64_t>(k.redirectPenalty));
+    appendKv(s, "exit_penalty",
+             static_cast<std::uint64_t>(k.exitPenalty));
+    appendKv(s, "stall_entry_cycles", k.stallEntryCycles);
+    appendKv(s, "min_runahead_distance",
+             static_cast<std::uint64_t>(k.minRunaheadDistance));
+    appendKv(s, "deadlock_cycles", k.deadlockCycles);
+    appendKv(s, "watchdog_cycles", k.watchdog.cycles);
+    appendKv(s, "watchdog_give_up",
+             static_cast<std::uint64_t>(k.watchdog.giveUpAfter));
+    appendKv(s, "watchdog_max_recoveries",
+             static_cast<std::uint64_t>(k.watchdog.maxRecoveries));
+    appendKv(s, "fe_decode_depth",
+             static_cast<std::uint64_t>(k.frontend.decodeDepth));
+    appendKv(s, "fe_queue_entries",
+             static_cast<std::uint64_t>(k.frontend.fetchQueueEntries));
+    appendKv(s, "fe_uop_bytes",
+             static_cast<std::uint64_t>(k.frontend.uopBytes));
+    appendKv(s, "fe_inst_base", k.frontend.instBase);
+    appendKv(s, "bp_history_bits",
+             static_cast<std::uint64_t>(k.bp.historyBits));
+    appendKv(s, "bp_bimodal",
+             static_cast<std::uint64_t>(k.bp.bimodalEntries));
+    appendKv(s, "bp_gshare",
+             static_cast<std::uint64_t>(k.bp.gshareEntries));
+    appendKv(s, "bp_chooser",
+             static_cast<std::uint64_t>(k.bp.chooserEntries));
+    appendKv(s, "bp_btb", static_cast<std::uint64_t>(k.bp.btbEntries));
+    appendKv(s, "bp_ras", static_cast<std::uint64_t>(k.bp.rasEntries));
+
+    const FaultConfig &f = c.fault;
+    appendKv(s, "fault_enabled", f.enabled ? 1 : 0);
+    appendKv(s, "fault_seed", f.seed);
+    appendKvD(s, "fault_chain_cache_rate", f.chainCacheRate);
+    appendKvD(s, "fault_buffer_uop_rate", f.bufferUopRate);
+    appendKvD(s, "fault_dram_drop_rate", f.dramDropRate);
+    appendKvD(s, "fault_dram_delay_rate", f.dramDelayRate);
+    appendKv(s, "fault_dram_delay_max",
+             static_cast<std::uint64_t>(f.dramDelayMaxCycles));
+    appendKvD(s, "fault_mem_stall_rate", f.memStallRate);
+    appendKv(s, "fault_mem_stall_cycles",
+             static_cast<std::uint64_t>(f.memStallCycles));
+    return s;
+}
+
+/** The exact digest's extra, variant-specific fields. Deliberately
+ *  excluded from both digests: `instructions` / `maxCycles` (resuming
+ *  with a different measured budget is the point of a snapshot) and
+ *  `fastForward` (certified behaviour-preserving). */
+std::string
+exactCanonical(const SimConfig &c)
+{
+    std::string s = warmupCanonical(c);
+    s += "schema2=rab-snapshot-exact-v1\n";
+    appendKvS(s, "runahead", runaheadConfigName(c.runahead));
+    appendKv(s, "reference_scans", c.referenceScans ? 1 : 0);
+    appendKv(s, "collect_chain_analysis",
+             c.core.collectChainAnalysis ? 1 : 0);
+
+    const RunaheadPolicy &p = c.core.runahead;
+    appendKv(s, "ra_traditional", p.traditionalEnabled ? 1 : 0);
+    appendKv(s, "ra_buffer", p.bufferEnabled ? 1 : 0);
+    appendKv(s, "ra_chain_cache", p.chainCacheEnabled ? 1 : 0);
+    appendKv(s, "ra_hybrid", p.hybrid ? 1 : 0);
+    appendKv(s, "ra_enhancements", p.enhancements ? 1 : 0);
+    appendKv(s, "ra_distance_threshold", p.distanceThreshold);
+    appendKv(s, "ra_buffer_entries",
+             static_cast<std::uint64_t>(p.bufferEntries));
+    appendKv(s, "ra_chain_cache_entries",
+             static_cast<std::uint64_t>(p.chainCacheEntries));
+    appendKv(s, "ra_max_chain",
+             static_cast<std::uint64_t>(p.chainGen.maxChainLength));
+    appendKv(s, "ra_srsl",
+             static_cast<std::uint64_t>(p.chainGen.srslEntries));
+    appendKv(s, "ra_rc_bytes", p.runaheadCache.sizeBytes);
+    appendKv(s, "ra_degrade_enabled", p.degrade.enabled ? 1 : 0);
+    appendKv(s, "ra_degrade_threshold",
+             static_cast<std::uint64_t>(p.degrade.faultThreshold));
+    appendKv(s, "ra_degrade_probation", p.degrade.probationCycles);
+    appendKv(s, "engine_enabled", p.engine.enabled ? 1 : 0);
+    appendKv(s, "engine_inert", p.engine.instantiateInert ? 1 : 0);
+    appendKv(s, "engine_slots",
+             static_cast<std::uint64_t>(p.engine.slots));
+    appendKv(s, "engine_store_buf",
+             static_cast<std::uint64_t>(p.engine.storeBufEntries));
+    appendKv(s, "engine_uops_per_cycle",
+             static_cast<std::uint64_t>(p.engine.uopsPerCycle));
+    appendKv(s, "engine_idle_limit", p.engine.idleIterationLimit);
+    return s;
+}
+
+std::uint64_t
+hashProgram(const Program &program)
+{
+    SnapshotWriter w;
+    for (std::size_t i = 0; i < program.size(); ++i) {
+        Uop u = program.at(static_cast<Pc>(i));
+        field(w, u);
+    }
+    const std::string bytes = w.take();
+    return fnv1a64(bytes.data(), bytes.size());
+}
+
+/** A fork-grade image must be captured outside any runahead interval,
+ *  with no speculative runahead structure holding live state. The
+ *  canonical warmup policy (baseline, no runahead) guarantees this;
+ *  capture under a runahead config is forkSafe only when the warmup
+ *  happens to end in normal mode with no engine instantiated. */
+bool
+computeForkSafe(Simulation &sim)
+{
+    const RunaheadController &ra = sim.core().runahead();
+    return !ra.policy().anyRunahead() && !ra.inRunahead()
+        && sim.memory().chainEngine() == nullptr;
+}
+
+SnapshotMeta
+buildMeta(Simulation &sim)
+{
+    SnapshotMeta m;
+    m.formatVersion = kSnapshotFormatVersion;
+    m.configDigest = snapshotConfigDigest(sim.config());
+    m.warmupDigest = snapshotWarmupDigest(sim.config());
+    m.forkSafe = computeForkSafe(sim);
+    m.workload = sim.program().name();
+    m.programSize = sim.program().size();
+    m.programHash = hashProgram(sim.program());
+    m.warmupInstructions = sim.config().warmupInstructions;
+    m.cycle = sim.core().cycle();
+    m.retired = sim.core().retired();
+    m.faultPresent = sim.faults() != nullptr;
+    m.enginePresent = sim.memory().chainEngine() != nullptr;
+    return m;
+}
+
+void
+checkPayloadHeader(SnapshotReader &r)
+{
+    char magic[8];
+    r.bytes(magic, sizeof(magic));
+    if (std::memcmp(magic, kPayloadMagic, sizeof(magic)) != 0) {
+        throw SnapshotError(SnapshotErrorKind::kMagic,
+                            "not a snapshot payload");
+    }
+    std::uint32_t version = 0;
+    field(r, version);
+    if (version != kSnapshotFormatVersion) {
+        throw SnapshotError(
+            SnapshotErrorKind::kVersion,
+            strprintf("unsupported snapshot format version %u "
+                      "(this build reads version %u)",
+                      version, kSnapshotFormatVersion));
+    }
+}
+
+} // namespace
+
+/* ------------------------------------------------------------------ */
+/* Public API.                                                         */
+/* ------------------------------------------------------------------ */
+
+const char *
+snapshotErrorKindName(SnapshotErrorKind kind)
+{
+    switch (kind) {
+    case SnapshotErrorKind::kIo:
+        return "io";
+    case SnapshotErrorKind::kMagic:
+        return "magic";
+    case SnapshotErrorKind::kVersion:
+        return "version";
+    case SnapshotErrorKind::kCrc:
+        return "crc";
+    case SnapshotErrorKind::kTruncated:
+        return "truncated";
+    case SnapshotErrorKind::kMismatch:
+        return "mismatch";
+    case SnapshotErrorKind::kFormat:
+        return "format";
+    }
+    return "unknown";
+}
+
+SnapshotError::SnapshotError(SnapshotErrorKind kind,
+                             const std::string &detail)
+    : std::runtime_error(strprintf("snapshot %s error: %s",
+                                   snapshotErrorKindName(kind),
+                                   detail.c_str())),
+      kind_(kind)
+{
+}
+
+std::uint64_t
+snapshotConfigDigest(const SimConfig &config)
+{
+    const std::string s = exactCanonical(config);
+    return fnv1a64(s.data(), s.size());
+}
+
+std::uint64_t
+snapshotWarmupDigest(const SimConfig &config)
+{
+    const std::string s = warmupCanonical(config);
+    return fnv1a64(s.data(), s.size());
+}
+
+std::uint64_t
+snapshotContentHash(const std::string &payload)
+{
+    return fnv1a64(payload.data(), payload.size());
+}
+
+std::string
+snapshotHashHex(std::uint64_t hash)
+{
+    return strprintf("%016llx", (unsigned long long)hash);
+}
+
+std::string
+captureSnapshot(Simulation &sim)
+{
+    SnapshotWriter w;
+    w.bytes(kPayloadMagic, sizeof(kPayloadMagic));
+    std::uint32_t version = kSnapshotFormatVersion;
+    field(w, version);
+
+    SnapshotMeta meta = buildMeta(sim);
+    std::size_t at = beginSection(w, kSecMeta);
+    ioMeta(w, meta);
+    endSection(w, at);
+
+    at = beginSection(w, kSecCore);
+    SnapshotAccess::io(w, sim.core());
+    endSection(w, at);
+
+    at = beginSection(w, kSecVariant);
+    SnapshotAccess::io(w, sim.core().runahead());
+    SnapshotAccess::io(w, sim.core().chainAnalysis());
+    endSection(w, at);
+
+    at = beginSection(w, kSecMem);
+    SnapshotAccess::io(w, sim.memory());
+    endSection(w, at);
+
+    at = beginSection(w, kSecEngine);
+    bool engine_present = meta.enginePresent;
+    field(w, engine_present);
+    if (engine_present)
+        SnapshotAccess::io(w, *sim.memory().chainEngine());
+    endSection(w, at);
+
+    at = beginSection(w, kSecFault);
+    bool fault_present = meta.faultPresent;
+    field(w, fault_present);
+    if (fault_present)
+        SnapshotAccess::io(w, *sim.faults());
+    endSection(w, at);
+
+    return w.take();
+}
+
+SnapshotMeta
+peekSnapshotMeta(const std::string &payload)
+{
+    SnapshotReader r(payload);
+    checkPayloadHeader(r);
+    SnapshotMeta meta;
+    readSection(r, kSecMeta, [&] { ioMeta(r, meta); });
+    return meta;
+}
+
+void
+restoreSnapshot(Simulation &sim, const std::string &payload,
+                SnapshotRestoreMode mode)
+{
+    SnapshotReader r(payload);
+    checkPayloadHeader(r);
+
+    SnapshotMeta meta;
+    readSection(r, kSecMeta, [&] { ioMeta(r, meta); });
+    if (meta.formatVersion != kSnapshotFormatVersion) {
+        throw SnapshotError(SnapshotErrorKind::kVersion,
+                            strprintf("meta format version %u unknown",
+                                      meta.formatVersion));
+    }
+
+    // Identity gates: the restoring simulation must run the same
+    // program, and a config digest appropriate to the restore mode.
+    if (meta.workload != sim.program().name()
+        || meta.programSize != sim.program().size()
+        || meta.programHash != hashProgram(sim.program())) {
+        throw SnapshotError(
+            SnapshotErrorKind::kMismatch,
+            strprintf("snapshot is of workload '%s' (%llu uops), "
+                      "simulation runs '%s' (%llu uops)",
+                      meta.workload.c_str(),
+                      (unsigned long long)meta.programSize,
+                      sim.program().name().c_str(),
+                      (unsigned long long)sim.program().size()));
+    }
+    if (mode == SnapshotRestoreMode::kExact) {
+        if (meta.configDigest != snapshotConfigDigest(sim.config())) {
+            throw SnapshotError(SnapshotErrorKind::kMismatch,
+                                "config digest mismatch (exact restore "
+                                "needs an identical configuration)");
+        }
+    } else {
+        if (meta.warmupDigest != snapshotWarmupDigest(sim.config())) {
+            throw SnapshotError(SnapshotErrorKind::kMismatch,
+                                "warmup digest mismatch (fork restore "
+                                "needs identical warmup-relevant "
+                                "configuration)");
+        }
+        if (!meta.forkSafe) {
+            throw SnapshotError(SnapshotErrorKind::kMismatch,
+                                "image is not fork-safe (captured "
+                                "under a runahead policy or inside a "
+                                "runahead interval)");
+        }
+    }
+
+    readSection(r, kSecCore, [&] { SnapshotAccess::io(r, sim.core()); });
+
+    {
+        std::uint64_t len = 0;
+        readSectionHeader(r, kSecVariant, len);
+        if (mode == SnapshotRestoreMode::kFork) {
+            r.skip(static_cast<std::size_t>(len));
+        } else {
+            const std::size_t start = r.offset();
+            SnapshotAccess::io(r, sim.core().runahead());
+            SnapshotAccess::io(r, sim.core().chainAnalysis());
+            if (r.offset() - start != len) {
+                throw SnapshotError(SnapshotErrorKind::kFormat,
+                                    "variant section size mismatch");
+            }
+        }
+    }
+
+    readSection(r, kSecMem,
+                [&] { SnapshotAccess::io(r, sim.memory()); });
+
+    {
+        std::uint64_t len = 0;
+        readSectionHeader(r, kSecEngine, len);
+        if (mode == SnapshotRestoreMode::kFork) {
+            r.skip(static_cast<std::size_t>(len));
+        } else {
+            const std::size_t start = r.offset();
+            bool engine_present = false;
+            field(r, engine_present);
+            ChainEngine *engine = sim.memory().chainEngine();
+            if (engine_present != (engine != nullptr)) {
+                throw SnapshotError(
+                    SnapshotErrorKind::kMismatch,
+                    "chain-engine presence differs between snapshot "
+                    "and simulation");
+            }
+            if (engine_present)
+                SnapshotAccess::io(r, *engine);
+            if (r.offset() - start != len) {
+                throw SnapshotError(SnapshotErrorKind::kFormat,
+                                    "engine section size mismatch");
+            }
+        }
+    }
+
+    readSection(r, kSecFault, [&] {
+        bool fault_present = false;
+        field(r, fault_present);
+        if (fault_present != (sim.faults() != nullptr)) {
+            throw SnapshotError(SnapshotErrorKind::kMismatch,
+                                "fault-injector presence differs "
+                                "between snapshot and simulation");
+        }
+        if (fault_present)
+            SnapshotAccess::io(r, *sim.faults());
+    });
+
+    if (r.remaining() != 0) {
+        throw SnapshotError(SnapshotErrorKind::kFormat,
+                            "trailing bytes after final section");
+    }
+}
+
+void
+writeSnapshotFile(const std::string &path, const std::string &payload)
+{
+    SnapshotWriter w;
+    w.bytes(kFileMagic, sizeof(kFileMagic));
+    std::uint32_t version = kSnapshotFormatVersion;
+    field(w, version);
+    std::uint32_t crc = crc32(payload.data(), payload.size());
+    field(w, crc);
+    std::uint64_t len = payload.size();
+    field(w, len);
+    std::string framed = w.take();
+    framed += payload;
+
+    const std::string tmp =
+        strprintf("%s.%d.tmp", path.c_str(), (int)::getpid());
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd < 0) {
+        throw SnapshotError(SnapshotErrorKind::kIo,
+                            strprintf("open %s: %s", tmp.c_str(),
+                                      std::strerror(errno)));
+    }
+    std::size_t off = 0;
+    while (off < framed.size()) {
+        const ssize_t n =
+            ::write(fd, framed.data() + off, framed.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const int err = errno;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            throw SnapshotError(SnapshotErrorKind::kIo,
+                                strprintf("write %s: %s", tmp.c_str(),
+                                          std::strerror(err)));
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0 || ::close(fd) != 0) {
+        ::unlink(tmp.c_str());
+        throw SnapshotError(SnapshotErrorKind::kIo,
+                            strprintf("fsync %s: %s", tmp.c_str(),
+                                      std::strerror(errno)));
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int err = errno;
+        ::unlink(tmp.c_str());
+        throw SnapshotError(SnapshotErrorKind::kIo,
+                            strprintf("rename %s -> %s: %s",
+                                      tmp.c_str(), path.c_str(),
+                                      std::strerror(err)));
+    }
+}
+
+std::string
+readSnapshotFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw SnapshotError(SnapshotErrorKind::kIo,
+                            strprintf("cannot open %s", path.c_str()));
+    }
+    std::string framed((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+    if (in.bad()) {
+        throw SnapshotError(SnapshotErrorKind::kIo,
+                            strprintf("read error on %s", path.c_str()));
+    }
+
+    SnapshotReader r(framed);
+    char magic[8];
+    r.bytes(magic, sizeof(magic));
+    if (std::memcmp(magic, kFileMagic, sizeof(magic)) != 0) {
+        throw SnapshotError(SnapshotErrorKind::kMagic,
+                            strprintf("%s is not a snapshot file",
+                                      path.c_str()));
+    }
+    std::uint32_t version = 0;
+    field(r, version);
+    if (version != kSnapshotFormatVersion) {
+        throw SnapshotError(
+            SnapshotErrorKind::kVersion,
+            strprintf("%s: unsupported snapshot version %u",
+                      path.c_str(), version));
+    }
+    std::uint32_t crc = 0;
+    field(r, crc);
+    std::uint64_t len = 0;
+    field(r, len);
+    if (len != r.remaining()) {
+        throw SnapshotError(
+            SnapshotErrorKind::kTruncated,
+            strprintf("%s: framed length %llu, %zu bytes present",
+                      path.c_str(), (unsigned long long)len,
+                      r.remaining()));
+    }
+    std::string payload = framed.substr(framed.size() - r.remaining());
+    const std::uint32_t actual = crc32(payload.data(), payload.size());
+    if (actual != crc) {
+        throw SnapshotError(
+            SnapshotErrorKind::kCrc,
+            strprintf("%s: payload CRC %08x does not match framed %08x",
+                      path.c_str(), actual, crc));
+    }
+    return payload;
+}
+
+} // namespace rab

@@ -25,6 +25,7 @@ namespace rab
 /** A monotonically increasing event counter. */
 class Counter
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     Counter() = default;
 
@@ -41,6 +42,7 @@ class Counter
 /** Bucketed samples with running mean/min/max. */
 class Distribution
 {
+    friend struct SnapshotAccess; ///< src/snapshot serializer.
   public:
     /** Buckets cover [low, high) in steps of bucket_size. */
     Distribution(std::uint64_t low, std::uint64_t high,

@@ -3,15 +3,20 @@
 #include <algorithm>
 #include <chrono>
 #include <deque>
+#include <map>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
+#include <tuple>
 
 #include "checker/invariant_checker.hh"
 #include "common/logging.hh"
 #include "core/multi_sim.hh"
 #include "fault/watchdog.hh"
+#include "snapshot/snapshot.hh"
 #include "sweep/report.hh"
 #include "sweep/store/result_store.hh"
 #include "workloads/suite.hh"
@@ -181,8 +186,141 @@ CampaignResult::simulatedCycles() const
     return cycles;
 }
 
+namespace
+{
+
+/** Workload parameters for @p point (seed 0 = workload default). */
+WorkloadParams
+pointWorkloadParams(const SweepPoint &point)
+{
+    const WorkloadSpec *workload = findWorkload(point.workload);
+    if (!workload) {
+        throw std::runtime_error("unknown workload '" + point.workload
+                                 + "'");
+    }
+    WorkloadParams params = workload->params;
+    if (point.seed != 0)
+        params.seed = point.seed;
+    return params;
+}
+
+/**
+ * Config a warmup image for @p point's group is captured under: the
+ * baseline policy (so the image is fork-safe — warmup never enters a
+ * runahead interval) with the point's prefetch setting and every
+ * spec-level knob that shapes warmup state. Variant-specific policy
+ * is deliberately absent: it is exactly what each fork re-derives.
+ */
+SimConfig
+warmupImageConfig(const CampaignSpec &spec, const SweepPoint &point)
+{
+    SimConfig config =
+        makeConfig(RunaheadConfig::kBaseline, point.prefetch);
+    config.instructions = spec.instructions;
+    config.warmupInstructions = spec.warmup;
+    config.checkLevel = spec.checkLevel;
+    config.checkPolicy = spec.checkPolicy;
+    config.fastForward = spec.fastForward;
+    config.finalize();
+    return config;
+}
+
+} // namespace
+
+std::string
+buildWarmupImage(const CampaignSpec &spec, const SweepPoint &point)
+{
+    Simulation sim(warmupImageConfig(spec, point),
+                   buildWorkload(pointWorkloadParams(point)));
+    sim.runWarmup();
+    return captureSnapshot(sim);
+}
+
+std::string
+warmupSnapshotId(const std::string &payload)
+{
+    return strprintf(
+        "%lu/%s", (unsigned long)kSnapshotFormatVersion,
+        snapshotHashHex(snapshotContentHash(payload)).c_str());
+}
+
+struct WarmupImageCache::Group
+{
+    std::mutex mutex;
+    bool built = false;
+    bool failed = false;
+    std::string payload; ///< captureSnapshot image.
+    std::string id;      ///< warmupSnapshotId(payload).
+};
+
+WarmupImageCache::WarmupImageCache(ResultStore *store,
+                                   std::string git_sha)
+    : store_(store), gitSha_(std::move(git_sha))
+{
+}
+
+WarmupImageCache::~WarmupImageCache() = default;
+
+const std::string *
+WarmupImageCache::get(const CampaignSpec &spec, const SweepPoint &point,
+                      std::string &snapshot_id)
+{
+    if (point.isMix())
+        return nullptr; // Mix points always warm inline.
+
+    Group *g = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto &slot = groups_[std::make_tuple(point.workload, point.seed,
+                                             point.prefetch)];
+        if (!slot)
+            slot = std::make_unique<Group>();
+        g = slot.get();
+    }
+
+    std::lock_guard<std::mutex> lock(g->mutex);
+    if (!g->built) {
+        g->built = true;
+        try {
+            SnapshotStoreKey skey;
+            bool from_store = false;
+            if (store_) {
+                skey.gitSha = gitSha_;
+                skey.warmupDigestHex = hex64(snapshotWarmupDigest(
+                    warmupImageConfig(spec, point)));
+                skey.workload = point.workload;
+                skey.seed = point.seed;
+                skey.warmupInstructions = spec.warmup;
+                skey.formatVersion = kSnapshotFormatVersion;
+                if (auto payload = store_->lookupSnapshot(skey)) {
+                    g->payload = std::move(*payload);
+                    from_store = true;
+                }
+            }
+            if (!from_store) {
+                g->payload = buildWarmupImage(spec, point);
+                if (store_)
+                    store_->putSnapshot(skey, g->payload);
+            }
+            g->id = warmupSnapshotId(g->payload);
+        } catch (const std::exception &e) {
+            g->failed = true;
+            g->payload.clear();
+            warn("sweep: warmup image build failed for '%s' seed "
+                 "%llu (%s): group warms inline",
+                 point.workload.c_str(),
+                 (unsigned long long)point.seed, e.what());
+        }
+    }
+    if (g->failed)
+        return nullptr;
+    snapshot_id = g->id;
+    return &g->payload;
+}
+
 PointResult
-runPoint(const CampaignSpec &spec, const SweepPoint &point)
+runPoint(const CampaignSpec &spec, const SweepPoint &point,
+         const std::string *warmup_image)
 {
     PointResult pr;
     pr.point = point;
@@ -240,20 +378,30 @@ runPoint(const CampaignSpec &spec, const SweepPoint &point)
             }
             pr.stats = multi.stats;
         } else {
-            const WorkloadSpec *workload = findWorkload(point.workload);
-            if (!workload) {
-                throw std::runtime_error("unknown workload '"
-                                         + point.workload + "'");
-            }
-            WorkloadParams params = workload->params;
-            if (point.seed != 0)
-                params.seed = point.seed;
+            const WorkloadParams params = pointWorkloadParams(point);
 
-            Simulation sim(config, buildWorkload(params));
-            pr.result = sim.run();
-            pr.stats = sim.core().stats().collect();
+            std::optional<Simulation> sim;
+            sim.emplace(config, buildWorkload(params));
+            if (warmup_image && !spec.configHook) {
+                try {
+                    restoreSnapshot(*sim, *warmup_image,
+                                    SnapshotRestoreMode::kFork);
+                    pr.snapshotWarmed = true;
+                } catch (const SnapshotError &e) {
+                    // Straight-line fallback: a bad image costs one
+                    // inline warmup, never a failed point. The sim may
+                    // be partially overwritten — rebuild it.
+                    warn("sweep: snapshot restore failed for point "
+                         "%zu (%s): falling back to inline warmup",
+                         point.index, e.what());
+                    sim.emplace(config, buildWorkload(params));
+                }
+            }
+            pr.result =
+                pr.snapshotWarmed ? sim->runMeasured() : sim->run();
+            pr.stats = sim->core().stats().collect();
             for (const auto &[name, value] :
-                 sim.memory().stats().collect())
+                 sim->memory().stats().collect())
                 pr.stats.emplace(name, value);
         }
         pr.ok = true;
@@ -288,9 +436,10 @@ isRetryableFailure(const std::string &error)
 }
 
 PointResult
-runPointWithRecovery(const CampaignSpec &spec, const SweepPoint &point)
+runPointWithRecovery(const CampaignSpec &spec, const SweepPoint &point,
+                     const std::string *warmup_image)
 {
-    PointResult pr = runPoint(spec, point);
+    PointResult pr = runPoint(spec, point, warmup_image);
     int attempt = 0;
     while (!pr.ok && isRetryableFailure(pr.error)
            && attempt < spec.retryLimit) {
@@ -302,7 +451,7 @@ runPointWithRecovery(const CampaignSpec &spec, const SweepPoint &point)
                                     : 0));
         ++attempt;
         const std::string first_error = pr.error;
-        pr = runPoint(spec, point);
+        pr = runPoint(spec, point, warmup_image);
         pr.retries = attempt;
         if (!pr.ok)
             pr.error += strprintf(" (retry %d of %d; first: %s)",
@@ -414,6 +563,26 @@ runCampaign(const CampaignSpec &spec, int threads,
     const std::uint64_t hits0 = store ? store->hits() : 0;
     const std::uint64_t misses0 = store ? store->misses() : 0;
     const std::uint64_t corrupt0 = store ? store->corruptDiscarded() : 0;
+    const std::uint64_t snap_hits0 = store ? store->snapshotHits() : 0;
+    const std::uint64_t snap_misses0 =
+        store ? store->snapshotMisses() : 0;
+
+    // Snapshotted warmup follows the store's configHook rule for the
+    // same reason: the hook's config mutations are invisible to the
+    // warmup image, so a fork from it would resume the wrong machine.
+    const bool snapshot_mode = spec.snapshotWarmup && !spec.configHook;
+    if (spec.snapshotWarmup && !snapshot_mode) {
+        warn("sweep: snapshot warmup bypassed: spec '%s' has a "
+             "configHook the warmup image cannot see",
+             spec.name.c_str());
+    }
+
+    // One shared warmup image per (workload, seed, prefetch) group of
+    // single-core points; built lazily by whichever worker reaches
+    // the group first.
+    std::unique_ptr<WarmupImageCache> warmup_cache;
+    if (snapshot_mode && !options.snapshotNoShare)
+        warmup_cache = std::make_unique<WarmupImageCache>(store, git_sha);
 
     const std::atomic<bool> *stop = options.stop;
     const auto stopped = [stop] { return stop && stop->load(); };
@@ -425,19 +594,49 @@ runCampaign(const CampaignSpec &spec, int threads,
     // point that a client already saw.
     const auto run_index = [&](std::size_t index) {
         const SweepPoint &point = grid[index];
+
+        const std::string *image = nullptr;
+        std::string snapshot_id;
+        std::string local_payload; // snapshotNoShare per-point image.
+        if (snapshot_mode && !point.isMix()) {
+            if (options.snapshotNoShare) {
+                try {
+                    local_payload = buildWarmupImage(spec, point);
+                    snapshot_id = warmupSnapshotId(local_payload);
+                    image = &local_payload;
+                } catch (const std::exception &e) {
+                    warn("sweep: warmup image build failed for point "
+                         "%zu (%s): inline warmup",
+                         index, e.what());
+                }
+            } else {
+                image = warmup_cache->get(spec, point, snapshot_id);
+            }
+        }
+
         PointResult pr;
         if (store) {
-            const StoreKey key = makeStoreKey(spec, point, git_sha);
+            const StoreKey key = makeStoreKey(
+                spec, point, git_sha, image ? snapshot_id : "");
             if (auto cached = store->lookup(key)) {
                 pr = std::move(*cached);
                 pr.point = point; // re-anchor to this grid's index
+                pr.snapshotWarmed = image != nullptr;
             } else {
-                pr = runPointWithRecovery(spec, point);
-                if (pr.ok)
-                    store->put(key, pr);
+                pr = runPointWithRecovery(spec, point, image);
+                if (pr.ok) {
+                    // A point that fell back to inline warmup during
+                    // restore lives in the inline-key universe, not
+                    // the snapshot one it was aimed at.
+                    if (image && !pr.snapshotWarmed)
+                        store->put(makeStoreKey(spec, point, git_sha),
+                                   pr);
+                    else
+                        store->put(key, pr);
+                }
             }
         } else {
-            pr = runPointWithRecovery(spec, point);
+            pr = runPointWithRecovery(spec, point, image);
         }
         if (options.onPoint) {
             std::lock_guard<std::mutex> lock(stream_mutex);
@@ -486,6 +685,9 @@ runCampaign(const CampaignSpec &spec, int threads,
         campaign.storeHits = store->hits() - hits0;
         campaign.storeMisses = store->misses() - misses0;
         campaign.storeCorrupt = store->corruptDiscarded() - corrupt0;
+        campaign.storeSnapshotHits = store->snapshotHits() - snap_hits0;
+        campaign.storeSnapshotMisses =
+            store->snapshotMisses() - snap_misses0;
     }
 
     campaign.wallSeconds = std::chrono::duration<double>(

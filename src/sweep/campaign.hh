@@ -29,7 +29,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "core/sim_config.hh"
@@ -109,6 +112,24 @@ struct CampaignSpec
     bool fastForward = true; ///< Cycle-loop fast-forward engine.
 
     /**
+     * Snapshotted warmup: warm each (workload, seed, prefetch) group
+     * once under the baseline policy, capture a whole-simulator
+     * snapshot at the warmup boundary, and fork every config variant
+     * of the group from that shared image instead of re-running its
+     * own warmup. Amortizes warmup across the variant axis (the bulk
+     * of a sweep's redundant work) and, with a result store attached,
+     * across campaigns and processes via cached snapshot records.
+     *
+     * Snapshot-warmed results are a distinct result universe from
+     * inline-warmed ones (the warmup ran under the baseline policy,
+     * not the variant's own), so the store keys them separately
+     * (config-key v4 warmup_mode/snapshot fields). Multi-core mix
+     * points always warm inline; a configHook disables snapshotting
+     * the same way it disables the store.
+     */
+    bool snapshotWarmup = false;
+
+    /**
      * @{ Bounded-retry recovery for fault-classified point failures
      * (WatchdogTimeout), the same idiom MemorySystem uses for dropped
      * DRAM responses: up to retryLimit re-runs with exponential
@@ -171,6 +192,9 @@ struct PointResult
     double wallSeconds = 0;
     bool ran = false;    ///< False: interrupted before this point ran.
     bool cached = false; ///< Served from the result store.
+    /** Resumed from a warmup snapshot (false: warmed inline, either
+     *  by spec or because snapshot build/restore fell back). */
+    bool snapshotWarmed = false;
     int retries = 0;     ///< Fault-classified re-runs performed.
     /** Failed every retry; isolated so the campaign completes. */
     bool quarantined = false;
@@ -190,6 +214,8 @@ struct CampaignResult
     std::uint64_t storeHits = 0;
     std::uint64_t storeMisses = 0;
     std::uint64_t storeCorrupt = 0;
+    std::uint64_t storeSnapshotHits = 0;
+    std::uint64_t storeSnapshotMisses = 0;
     /** @} */
 
     std::size_t failedCount() const;
@@ -228,6 +254,15 @@ struct CampaignRunOptions
      * order — the daemon's incremental streaming hook.
      */
     std::function<void(const PointResult &point)> onPoint;
+
+    /**
+     * With spec.snapshotWarmup: build a private warmup image per
+     * point instead of sharing one per group. Results are identical
+     * by construction (same fork semantics, same image content) —
+     * this is the benchmark control arm that isolates what sharing
+     * buys, not a mode anyone should run for real.
+     */
+    bool snapshotNoShare = false;
 };
 
 /**
@@ -242,18 +277,81 @@ CampaignResult runCampaign(const CampaignSpec &spec, int threads);
 CampaignResult runCampaign(const CampaignSpec &spec, int threads,
                            const CampaignRunOptions &options);
 
-/** Run one point in isolation (also the serial path's worker). */
-PointResult runPoint(const CampaignSpec &spec, const SweepPoint &point);
+/**
+ * Run one point in isolation (also the serial path's worker). When
+ * @p warmup_image is non-null (a captureSnapshot payload of a warmed
+ * baseline-policy simulation of the point's workload/seed/prefetch
+ * group), the point's simulation fork-restores from it and runs only
+ * the measured region; on any SnapshotError it falls back to inline
+ * warmup on a fresh simulation (snapshotWarmed stays false).
+ */
+PointResult runPoint(const CampaignSpec &spec, const SweepPoint &point,
+                     const std::string *warmup_image = nullptr);
 
 /**
  * runPoint plus the spec's bounded-backoff retry and quarantine
  * policy (the daemon's and the pool's per-point worker).
  */
-PointResult runPointWithRecovery(const CampaignSpec &spec,
-                                 const SweepPoint &point);
+PointResult runPointWithRecovery(
+    const CampaignSpec &spec, const SweepPoint &point,
+    const std::string *warmup_image = nullptr);
 
 /** Is @p error a fault-classified failure worth retrying? */
 bool isRetryableFailure(const std::string &error);
+
+/**
+ * Warm one baseline-policy simulation of @p point's (workload, seed,
+ * prefetch) group under @p spec's budgets and capture it — the image
+ * every variant of the group forks from. Throws on any build, run or
+ * capture failure. Exposed for the snapshotNoShare control arm and
+ * tests; campaigns normally go through WarmupImageCache.
+ */
+std::string buildWarmupImage(const CampaignSpec &spec,
+                             const SweepPoint &point);
+
+/** Store-key id of a warmup image: "<format-version>/<content-hash>",
+ *  the pair that makes a v4 config key self-invalidating. */
+std::string warmupSnapshotId(const std::string &payload);
+
+/**
+ * Thread-safe cache of shared warmup images, one per (workload, seed,
+ * prefetch) group: the engine behind CampaignSpec::snapshotWarmup,
+ * reusable by any scheduler that runs points itself (runCampaign's
+ * pool, the daemon's per-job workers). The first worker to reach a
+ * group builds its image — consulting / feeding the result store's
+ * snapshot records when one is attached — while the group's other
+ * points block on the warmup they are about to reuse.
+ */
+class WarmupImageCache
+{
+  public:
+    /** @p store (may be null) caches images across processes under
+     *  code identity @p git_sha. */
+    WarmupImageCache(ResultStore *store, std::string git_sha);
+    ~WarmupImageCache();
+
+    /**
+     * The shared image for @p point's group under @p spec, building
+     * it on first request. Returns nullptr — the caller warms inline
+     * — for mix points and after a failed build (a group fails once,
+     * not per point); otherwise the payload, with its store id left
+     * in @p snapshot_id. The pointer stays valid for the cache's
+     * lifetime.
+     */
+    const std::string *get(const CampaignSpec &spec,
+                           const SweepPoint &point,
+                           std::string &snapshot_id);
+
+  private:
+    struct Group;
+
+    ResultStore *store_;
+    std::string gitSha_;
+    std::mutex mutex_; ///< Guards the map's shape, not the groups.
+    std::map<std::tuple<std::string, std::uint64_t, bool>,
+             std::unique_ptr<Group>>
+        groups_;
+};
 
 } // namespace rab
 

@@ -182,6 +182,8 @@ campaignManifest(const CampaignResult &campaign, bool canonical)
         env["store_hits"] = campaign.storeHits;
         env["store_misses"] = campaign.storeMisses;
         env["store_corrupt_discarded"] = campaign.storeCorrupt;
+        env["store_snapshot_hits"] = campaign.storeSnapshotHits;
+        env["store_snapshot_misses"] = campaign.storeSnapshotMisses;
         manifest["environment"] = std::move(env);
     }
 
@@ -218,6 +220,10 @@ campaignManifest(const CampaignResult &campaign, bool canonical)
             entry["wall_seconds"] = p.wallSeconds;
             entry["cached"] = p.cached;
             entry["retries"] = p.retries;
+            // Shared-image and per-point-image arms produce the same
+            // canonical document; which points actually forked is
+            // execution provenance, like `cached`.
+            entry["snapshot_warmed"] = p.snapshotWarmed;
         }
         points.push(std::move(entry));
     }

@@ -75,6 +75,8 @@ specFromJson(const Json &json)
         spec.warmup = warmup->asU64();
     if (const Json *ff = json.find("fast_forward"))
         spec.fastForward = ff->asBool();
+    if (const Json *sw = json.find("snapshot_warmup"))
+        spec.snapshotWarmup = sw->asBool();
     if (spec.workloads.empty() || spec.variants.empty())
         throw std::runtime_error("empty grid (need workloads+configs)");
     return spec;
@@ -104,6 +106,8 @@ struct Job
     bool cancelled = false;
     std::uint64_t storeHits = 0;
     CampaignResult result;
+    /** Shared warmup images (spec.snapshotWarmup jobs only). */
+    std::unique_ptr<WarmupImageCache> warmupCache;
 };
 
 struct Client
@@ -231,23 +235,42 @@ struct Daemon::Impl
     {
         const SweepPoint &point = job.grid[index];
         cached = false;
+
+        // Snapshotted warmup: fork from the job's shared group image
+        // (built by the first worker to reach the group). The image's
+        // id is part of the store key — snapshot-warmed results are a
+        // different universe than inline-warmed ones.
+        const std::string *image = nullptr;
+        std::string snapshot_id;
+        if (job.warmupCache)
+            image = job.warmupCache->get(job.spec, point, snapshot_id);
+
         if (resultStore) {
-            const StoreKey key =
-                makeStoreKey(job.spec, point, gitSha);
+            const StoreKey key = makeStoreKey(
+                job.spec, point, gitSha, image ? snapshot_id : "");
             if (auto hit = resultStore->lookup(key)) {
                 PointResult pr = std::move(*hit);
                 pr.point = point;
+                pr.snapshotWarmed = image != nullptr;
                 cached = true;
                 ++stats.pointsCached;
                 return pr;
             }
-            PointResult pr = runPointWithRecovery(job.spec, point);
-            if (pr.ok)
-                resultStore->put(key, pr);
+            PointResult pr =
+                runPointWithRecovery(job.spec, point, image);
+            if (pr.ok) {
+                // A restore-time fallback to inline warmup belongs to
+                // the inline-key universe.
+                if (image && !pr.snapshotWarmed)
+                    resultStore->put(
+                        makeStoreKey(job.spec, point, gitSha), pr);
+                else
+                    resultStore->put(key, pr);
+            }
             ++stats.pointsSimulated;
             return pr;
         }
-        PointResult pr = runPointWithRecovery(job.spec, point);
+        PointResult pr = runPointWithRecovery(job.spec, point, image);
         ++stats.pointsSimulated;
         return pr;
     }
@@ -433,6 +456,10 @@ struct Daemon::Impl
         job->result.spec = job->spec;
         job->result.threads = config.threads;
         job->result.points.resize(job->grid.size());
+        if (job->spec.snapshotWarmup) {
+            job->warmupCache = std::make_unique<WarmupImageCache>(
+                resultStore.get(), gitSha);
+        }
         jobs.push_back(job);
         ++client->activeJobs;
         ++stats.jobsAccepted;

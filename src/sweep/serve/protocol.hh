@@ -12,7 +12,7 @@
  *
  *   client -> server
  *     {"type":"submit","campaign":{name,workloads,configs,seeds,
- *      instructions,warmup,fast_forward?}}
+ *      instructions,warmup,fast_forward?,snapshot_warmup?}}
  *     {"type":"ping"}
  *
  *   server -> client

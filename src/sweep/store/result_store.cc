@@ -46,7 +46,9 @@ namespace
 {
 
 constexpr char kMagic[8] = {'R', 'A', 'B', 'S', 'T', 'O', 'R', 'E'};
+constexpr char kSnapMagic[8] = {'R', 'A', 'B', 'S', 'N', 'A', 'P', 'R'};
 constexpr std::uint32_t kRecordVersion = 1;
+constexpr std::uint32_t kSnapRecordVersion = 1;
 constexpr const char *kRecordSchema = "rab-store-record-v1";
 /** Sanity bound: no record payload is anywhere near this large. */
 constexpr std::uint64_t kMaxPayload = 64u << 20;
@@ -153,7 +155,66 @@ pointFromRecord(const Json &record)
     return pr;
 }
 
+/** Validate the shared 24-byte record frame (magic, version, length,
+ *  CRC) of @p raw; on success @p payload receives the payload bytes. */
+bool
+unframeRecord(const std::string &raw, const char (&magic)[8],
+              std::uint32_t version, std::string &payload)
+{
+    constexpr std::size_t kHeader = 8 + 4 + 4 + 8;
+    if (raw.size() < kHeader)
+        return false;
+    if (std::memcmp(raw.data(), magic, 8) != 0)
+        return false;
+    const auto *p = reinterpret_cast<const unsigned char *>(raw.data());
+    if (getU32(p + 8) != version)
+        return false;
+    const std::uint32_t crc = getU32(p + 12);
+    const std::uint64_t length = getU64(p + 16);
+    if (length > kMaxPayload || raw.size() != kHeader + length)
+        return false;
+    if (crc32(raw.data() + kHeader, length) != crc)
+        return false;
+    payload = raw.substr(kHeader, length);
+    return true;
+}
+
+/** Frame @p payload: magic + version + CRC + length + payload. */
+std::string
+frameRecord(const char (&magic)[8], std::uint32_t version,
+            const std::string &payload)
+{
+    std::string blob;
+    blob.reserve(24 + payload.size());
+    blob.append(magic, 8);
+    putU32(blob, version);
+    putU32(blob, crc32(payload.data(), payload.size()));
+    putU64(blob, payload.size());
+    blob += payload;
+    return blob;
+}
+
 } // namespace
+
+std::string
+SnapshotStoreKey::canonical() const
+{
+    std::string s;
+    s += "git=" + gitSha + "\n";
+    s += "warmup_digest=" + warmupDigestHex + "\n";
+    s += "workload=" + workload + "\n";
+    s += strprintf("seed=%llu\n", (unsigned long long)seed);
+    s += strprintf("warmup_instructions=%llu\n",
+                   (unsigned long long)warmupInstructions);
+    s += strprintf("format=%lu\n", (unsigned long)formatVersion);
+    return s;
+}
+
+std::string
+SnapshotStoreKey::hashHex() const
+{
+    return hex64(fnv1a64(canonical()));
+}
 
 ResultStore::ResultStore(std::string root) : root_(std::move(root))
 {
@@ -174,6 +235,12 @@ ResultStore::recordPath(const StoreKey &key) const
     return root_ + "/" + hash.substr(0, 2) + "/" + hash + ".rec";
 }
 
+std::string
+ResultStore::snapshotPath(const SnapshotStoreKey &key) const
+{
+    return root_ + "/sn/" + key.hashHex() + ".snap";
+}
+
 bool
 ResultStore::readRecord(const std::string &path, const StoreKey &key,
                         PointResult &out) const
@@ -183,26 +250,13 @@ ResultStore::readRecord(const std::string &path, const StoreKey &key,
         return false;
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    const std::string raw = buffer.str();
 
-    constexpr std::size_t kHeader = 8 + 4 + 4 + 8;
-    if (raw.size() < kHeader)
-        return false;
-    if (std::memcmp(raw.data(), kMagic, sizeof(kMagic)) != 0)
-        return false;
-    const auto *p = reinterpret_cast<const unsigned char *>(raw.data());
-    if (getU32(p + 8) != kRecordVersion)
-        return false;
-    const std::uint32_t crc = getU32(p + 12);
-    const std::uint64_t length = getU64(p + 16);
-    if (length > kMaxPayload || raw.size() != kHeader + length)
-        return false;
-    if (crc32(raw.data() + kHeader, length) != crc)
+    std::string payload;
+    if (!unframeRecord(buffer.str(), kMagic, kRecordVersion, payload))
         return false;
 
     try {
-        const Json record =
-            Json::parse(raw.substr(kHeader, length));
+        const Json record = Json::parse(payload);
         if (record.at("schema").asString() != kRecordSchema)
             return false;
         // Records predating the config-key v2 bump lack the echo (or
@@ -258,18 +312,87 @@ ResultStore::put(const StoreKey &key, const PointResult &result)
 {
     if (!ok_ || !result.ok)
         return false;
+    if (!writeBlobAtomic(recordPath(key), key.hashHex(),
+                         frameRecord(kMagic, kRecordVersion,
+                                     recordJson(key, result).dump())))
+        return false;
+    ++stored_;
+    return true;
+}
 
-    const std::string payload = recordJson(key, result).dump();
-    std::string blob;
-    blob.reserve(24 + payload.size());
-    blob.append(kMagic, sizeof(kMagic));
-    putU32(blob, kRecordVersion);
-    putU32(blob,
-           crc32(payload.data(), payload.size()));
-    putU64(blob, payload.size());
-    blob += payload;
+bool
+ResultStore::readSnapshotRecord(const std::string &path,
+                                const SnapshotStoreKey &key,
+                                std::string &out) const
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
 
-    const std::string final_path = recordPath(key);
+    std::string payload;
+    if (!unframeRecord(buffer.str(), kSnapMagic, kSnapRecordVersion,
+                       payload))
+        return false;
+
+    // Payload = key canonical echo + NUL + snapshot bytes. The echo
+    // plays the same role as result records' JSON key echo: a hash
+    // collision or misplaced file reads as a miss, never as a foreign
+    // warmup image.
+    const std::string echo = key.canonical();
+    if (payload.size() < echo.size() + 1)
+        return false;
+    if (payload.compare(0, echo.size(), echo) != 0
+        || payload[echo.size()] != '\0')
+        return false;
+    out = payload.substr(echo.size() + 1);
+    return true;
+}
+
+std::optional<std::string>
+ResultStore::lookupSnapshot(const SnapshotStoreKey &key)
+{
+    if (!ok_) {
+        ++snapshotMisses_;
+        return std::nullopt;
+    }
+    const std::string path = snapshotPath(key);
+    std::error_code ec;
+    if (!fs::exists(path, ec)) {
+        ++snapshotMisses_;
+        return std::nullopt;
+    }
+    std::string payload;
+    if (!readSnapshotRecord(path, key, payload)) {
+        fs::remove(path, ec);
+        ++corruptDiscarded_;
+        ++snapshotMisses_;
+        return std::nullopt;
+    }
+    ++snapshotHits_;
+    return payload;
+}
+
+bool
+ResultStore::putSnapshot(const SnapshotStoreKey &key,
+                         const std::string &payload)
+{
+    if (!ok_)
+        return false;
+    if (!writeBlobAtomic(snapshotPath(key), key.hashHex(),
+                         frameRecord(kSnapMagic, kSnapRecordVersion,
+                                     key.canonical() + '\0' + payload)))
+        return false;
+    ++snapshotStored_;
+    return true;
+}
+
+bool
+ResultStore::writeBlobAtomic(const std::string &final_path,
+                             const std::string &stem,
+                             const std::string &blob)
+{
     std::error_code ec;
     fs::create_directories(fs::path(final_path).parent_path(), ec);
     if (ec)
@@ -277,7 +400,7 @@ ResultStore::put(const StoreKey &key, const PointResult &result)
 
     // Unique temp name: pid + an in-process sequence number, so
     // concurrent writers (threads or processes) never collide.
-    const std::string tmp_path = root_ + "/tmp/" + key.hashHex() + "."
+    const std::string tmp_path = root_ + "/tmp/" + stem + "."
         + std::to_string(
 #ifdef __unix__
             static_cast<unsigned long>(::getpid())
@@ -341,7 +464,6 @@ ResultStore::put(const StoreKey &key, const PointResult &result)
         return false;
     }
 #endif
-    ++stored_;
     return true;
 }
 

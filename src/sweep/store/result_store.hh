@@ -20,6 +20,12 @@
  *   length  u64 payload byte count
  *   payload rab-store-record-v1 JSON (key echo + PointResult)
  *
+ * The store also caches warmup snapshots (`<root>/sn/<hash16>.snap`,
+ * keyed by SnapshotStoreKey) in an analogous frame with magic
+ * "RABSNAPR"; the payload is the snapshot key's canonical echo, a NUL
+ * separator, then the raw snapshot bytes. Same atomicity and
+ * self-healing rules as result records.
+ *
  * Self-healing: lookup() treats any malformed record — short file,
  * bad magic/version, CRC mismatch, unparseable payload, key echo
  * mismatch — as absent, unlinks it, and counts it in
@@ -48,6 +54,29 @@ namespace rab
 
 /** CRC-32 (IEEE 802.3) over @p data. */
 std::uint32_t crc32(const void *data, std::size_t size);
+
+/**
+ * Identity of one cached warmup snapshot. A snapshot is reusable by
+ * any config variant whose warmup-relevant digest matches, so the key
+ * is the warmup digest (not the full config hash) plus everything
+ * else that shapes warmup state: code identity, workload, seed, the
+ * warmup instruction budget, and the payload format version.
+ */
+struct SnapshotStoreKey
+{
+    std::string gitSha;          ///< Code identity (currentGitSha()).
+    std::string warmupDigestHex; ///< hex64(snapshotWarmupDigest()).
+    std::string workload;
+    std::uint64_t seed = 0;
+    std::uint64_t warmupInstructions = 0;
+    std::uint32_t formatVersion = 0; ///< kSnapshotFormatVersion.
+
+    /** Line-oriented canonical form the key hash is computed over. */
+    std::string canonical() const;
+
+    /** hex64(fnv1a64(canonical())): record file stem. */
+    std::string hashHex() const;
+};
 
 class ResultStore
 {
@@ -79,20 +108,46 @@ class ResultStore
      */
     bool put(const StoreKey &key, const PointResult &result);
 
+    /**
+     * Fetch the cached warmup-snapshot payload for @p key, or nullopt
+     * on miss. Malformed snapshot records (bad magic/version/CRC,
+     * truncation, key-echo mismatch) are unlinked and reported as
+     * misses, exactly like result records.
+     */
+    std::optional<std::string> lookupSnapshot(
+        const SnapshotStoreKey &key);
+
+    /** Persist snapshot @p payload under @p key (atomic, fsync'd).
+     *  Returns false on I/O error or a failed store. */
+    bool putSnapshot(const SnapshotStoreKey &key,
+                     const std::string &payload);
+
     /** @{ Monotonic counters since construction. */
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
     std::uint64_t stored() const { return stored_; }
     std::uint64_t corruptDiscarded() const { return corruptDiscarded_; }
+    std::uint64_t snapshotHits() const { return snapshotHits_; }
+    std::uint64_t snapshotMisses() const { return snapshotMisses_; }
+    std::uint64_t snapshotStored() const { return snapshotStored_; }
     /** @} */
 
     /** Record file path for @p key (exposed for tests that corrupt
      *  records on purpose). */
     std::string recordPath(const StoreKey &key) const;
 
+    /** Snapshot record path for @p key (same test-visibility rule). */
+    std::string snapshotPath(const SnapshotStoreKey &key) const;
+
   private:
     bool readRecord(const std::string &path, const StoreKey &key,
                     PointResult &out) const;
+    bool readSnapshotRecord(const std::string &path,
+                            const SnapshotStoreKey &key,
+                            std::string &out) const;
+    bool writeBlobAtomic(const std::string &final_path,
+                         const std::string &stem,
+                         const std::string &blob);
 
     std::string root_;
     bool ok_ = false;
@@ -101,6 +156,9 @@ class ResultStore
     std::atomic<std::uint64_t> misses_{0};
     std::atomic<std::uint64_t> stored_{0};
     std::atomic<std::uint64_t> corruptDiscarded_{0};
+    std::atomic<std::uint64_t> snapshotHits_{0};
+    std::atomic<std::uint64_t> snapshotMisses_{0};
+    std::atomic<std::uint64_t> snapshotStored_{0};
     std::atomic<std::uint64_t> tempSeq_{0};
 };
 

@@ -86,17 +86,14 @@ canonicalConfigStringV2(const CampaignSpec &spec,
 }
 
 std::string
-canonicalConfigString(const CampaignSpec &spec, const SweepPoint &point)
+canonicalConfigStringV3(const CampaignSpec &spec,
+                        const SweepPoint &point)
 {
-    // Field order is part of the format: append-only, never reorder.
-    // Bumping the schema line deliberately invalidates every cached
-    // result — that is the intended way to retire a format. v3 is the
-    // v2 body with a bumped schema line plus the Continuous Runahead
-    // engine bit (CRE runs change the replayed stat payload).
+    // Retired v3 format (engine field, no warmup-mode fields), kept
+    // verbatim for the golden-hash pin, and as the base v4 extends.
     std::string s = canonicalConfigStringV2(spec, point);
     const std::string v2_line = "schema=rab-config-key-v2\n";
-    s.replace(0, v2_line.size(),
-              std::string("schema=") + kConfigKeySchema + "\n");
+    s.replace(0, v2_line.size(), "schema=rab-config-key-v3\n");
     const auto uses_engine = [](RunaheadConfig rc) {
         return rc == RunaheadConfig::kCRE
             || rc == RunaheadConfig::kCREHybrid;
@@ -109,9 +106,33 @@ canonicalConfigString(const CampaignSpec &spec, const SweepPoint &point)
 }
 
 std::string
-configHashHex(const CampaignSpec &spec, const SweepPoint &point)
+canonicalConfigString(const CampaignSpec &spec, const SweepPoint &point,
+                      const std::string &snapshot_id)
 {
-    return hex64(fnv1a64(canonicalConfigString(spec, point)));
+    // Field order is part of the format: append-only, never reorder.
+    // Bumping the schema line deliberately invalidates every cached
+    // result — that is the intended way to retire a format. v4 is the
+    // v3 body with a bumped schema line plus the warmup mode: a point
+    // forked from a shared warmup snapshot is keyed to that exact
+    // image (format version + content hash), so a snapshot-format bump
+    // or a different warmup image can never serve a stale result.
+    std::string s = canonicalConfigStringV3(spec, point);
+    const std::string v3_line = "schema=rab-config-key-v3\n";
+    s.replace(0, v3_line.size(),
+              std::string("schema=") + kConfigKeySchema + "\n");
+    s += strprintf("warmup_mode=%s\n",
+                   snapshot_id.empty() ? "inline" : "snapshot");
+    s += "snapshot="
+        + (snapshot_id.empty() ? std::string("-") : snapshot_id) + "\n";
+    return s;
+}
+
+std::string
+configHashHex(const CampaignSpec &spec, const SweepPoint &point,
+              const std::string &snapshot_id)
+{
+    return hex64(fnv1a64(canonicalConfigString(spec, point,
+                                               snapshot_id)));
 }
 
 std::string
@@ -135,11 +156,12 @@ StoreKey::hashHex() const
 
 StoreKey
 makeStoreKey(const CampaignSpec &spec, const SweepPoint &point,
-             const std::string &git_sha)
+             const std::string &git_sha,
+             const std::string &snapshot_id)
 {
     StoreKey key;
     key.gitSha = git_sha;
-    key.configHash = configHashHex(spec, point);
+    key.configHash = configHashHex(spec, point, snapshot_id);
     key.workload = point.workload;
     key.seed = point.seed;
     key.instructions = spec.instructions;

@@ -35,36 +35,48 @@ std::uint64_t fnv1a64(const std::string &text);
 std::string hex64(std::uint64_t value);
 
 /** Current canonical config-key schema. Bumped v1 -> v2 when the
- *  multi-core fields (cores, per-core workload/policy) were added, and
+ *  multi-core fields (cores, per-core workload/policy) were added,
  *  v2 -> v3 with the Continuous Runahead engine: CRE runs register new
  *  stats (engine.*, owner clamps, namespacing masks) that change the
  *  replayed stat payload, so pre-engine records must never be served
- *  to v3-aware code. */
-inline constexpr const char *kConfigKeySchema = "rab-config-key-v3";
+ *  to v3-aware code, and v3 -> v4 with snapshotted warmup: a point
+ *  whose warmup was forked from a shared baseline-policy snapshot is a
+ *  different result universe than one warmed inline under its own
+ *  config, so the warmup mode (and the identity of the snapshot it
+ *  forked from) is part of the key. */
+inline constexpr const char *kConfigKeySchema = "rab-config-key-v4";
 
 /**
  * Canonical serialisation of every per-point configuration field that
  * affects simulated output (variant, runahead config, prefetch,
- * warmup, fast-forward, check level/policy, core count and per-core
- * workload/policy assignment). Line-oriented `name=value` text in an
- * order fixed here; versioned so a future field addition is an
- * explicit, visible invalidation.
+ * warmup, fast-forward, check level/policy, core count, per-core
+ * workload/policy assignment, and the warmup mode). Line-oriented
+ * `name=value` text in an order fixed here; versioned so a future
+ * field addition is an explicit, visible invalidation.
+ *
+ * @p snapshot_id identifies the warmup snapshot this point forked
+ * from ("<format-version>/<content-hash-hex>", built by the sweep
+ * engine); empty means inline warmup.
  */
 std::string canonicalConfigString(const CampaignSpec &spec,
-                                  const SweepPoint &point);
+                                  const SweepPoint &point,
+                                  const std::string &snapshot_id = "");
 
 /** @{ Retired serialisations (v1: no multi-core fields; v2: no engine
- *  field), kept only so tests can pin every golden hash and prove each
- *  schema bump actually diverged. */
+ *  field; v3: no warmup-mode fields), kept only so tests can pin every
+ *  golden hash and prove each schema bump actually diverged. */
 std::string canonicalConfigStringV1(const CampaignSpec &spec,
                                     const SweepPoint &point);
 std::string canonicalConfigStringV2(const CampaignSpec &spec,
+                                    const SweepPoint &point);
+std::string canonicalConfigStringV3(const CampaignSpec &spec,
                                     const SweepPoint &point);
 /** @} */
 
 /** fnv1a64 of canonicalConfigString, as hex64. */
 std::string configHashHex(const CampaignSpec &spec,
-                          const SweepPoint &point);
+                          const SweepPoint &point,
+                          const std::string &snapshot_id = "");
 
 /** The full identity of one cached result. */
 struct StoreKey
@@ -83,9 +95,10 @@ struct StoreKey
 };
 
 /** Build the key for @p point of @p spec under code identity
- *  @p git_sha. */
+ *  @p git_sha. @p snapshot_id as for canonicalConfigString(). */
 StoreKey makeStoreKey(const CampaignSpec &spec, const SweepPoint &point,
-                      const std::string &git_sha);
+                      const std::string &git_sha,
+                      const std::string &snapshot_id = "");
 
 } // namespace rab
 

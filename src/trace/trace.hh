@@ -82,6 +82,7 @@ class TraceReader
     TraceReader &operator=(const TraceReader &) = delete;
 
     std::uint64_t recordCount() const { return header_.records; }
+    std::uint32_t version() const { return header_.version; }
 
     /** Read the next record; false at end of file. */
     bool next(TraceRecord &record);

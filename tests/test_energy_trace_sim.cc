@@ -134,6 +134,38 @@ TEST(Trace, CaptureFromCoreAndSummarize)
     std::remove(path.c_str());
 }
 
+TEST(Trace, SimulationEnableTraceCoversMeasuredRegionExactly)
+{
+    // The Simulation-integrated capture path (enableTrace / rabsim
+    // --trace-out): the commit hook is installed at the warmup
+    // boundary and cleared at the end of the measured region, so the
+    // trace must agree record-for-record with the live run's measured
+    // counters — same uop count, same LLC-miss-derived MPKI.
+    const std::string path = ::testing::TempDir() + "/t4.rabt";
+    SimConfig config = makeConfig(RunaheadConfig::kBaseline, false);
+    config.warmupInstructions = 2'000;
+    config.instructions = 5'000;
+    Simulation sim(config, buildSuiteWorkload("mcf"));
+    sim.enableTrace(path);
+    const SimResult result = sim.run();
+
+    TraceReader reader(path);
+    EXPECT_EQ(reader.version(), 1u);
+    // One record per measured-region committed uop; warmup commits
+    // are excluded.
+    EXPECT_EQ(reader.recordCount(), result.instructions);
+
+    const TraceSummary summary = summarizeTrace(path);
+    EXPECT_EQ(summary.totalUops, result.instructions);
+    // The per-uop LLC-miss flag marks every uop whose line came from
+    // DRAM, so loads that merge into an in-flight MSHR all carry the
+    // flag while the live demand-miss counter ticks once per line.
+    // Trace MPKI therefore sits at or slightly above the live figure.
+    EXPECT_GE(summary.mpki, result.mpki - 1e-9);
+    EXPECT_NEAR(summary.mpki, result.mpki, result.mpki * 0.02);
+    std::remove(path.c_str());
+}
+
 TEST(Trace, RejectsGarbageFile)
 {
     const std::string path = ::testing::TempDir() + "/t3.rabt";

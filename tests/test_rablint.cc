@@ -101,7 +101,8 @@ INSTANTIATE_TEST_SUITE_P(
         std::make_pair("rab-banned-nondeterminism",
                        "nondeterminism_scoped"),
         std::make_pair("rab-cycle-arithmetic", "cycle_arithmetic"),
-        std::make_pair("rab-stat-registration", "stat_registration")),
+        std::make_pair("rab-stat-registration", "stat_registration"),
+        std::make_pair("rab-raw-serialization", "raw_serialization")),
     [](const auto &info) {
         std::string name = info.param.second;
         for (char &c : name) {
@@ -157,6 +158,18 @@ TEST(Rablint, ScopedAllowlistExemptsOnlyItsCategory)
     for (const Finding &f : rab::lint::analyzeFile(path, options))
         nondet += f.check == "rab-banned-nondeterminism" ? 1 : 0;
     EXPECT_EQ(nondet, 5u);
+}
+
+TEST(Rablint, RawSerializationAllowlistExemptsFormatModules)
+{
+    // The snapshot archive and trace writer are the sanctioned
+    // byte-format modules; an allowlisted path produces no
+    // raw-serialization findings even at hazardous call sites.
+    Options options;
+    options.rawSerializationAllowlist = {"fixtures/raw_serialization_pos"};
+    const std::string path = fixturePath("raw_serialization_pos.cc");
+    for (const Finding &f : rab::lint::analyzeFile(path, options))
+        EXPECT_NE(f.check, "rab-raw-serialization") << f.message;
 }
 
 TEST(Rablint, CrossFileAliasSeedsUnorderedIteration)

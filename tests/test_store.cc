@@ -97,11 +97,42 @@ TEST(StoreKey, GoldenConfigSerialisation)
     // here — field order, spelling, a new field — invalidates every
     // record in every store on disk. That can be the right call, but
     // it must be a *decision*: update this golden text and bump
-    // rab-config-key-v3 deliberately.
+    // rab-config-key-v4 deliberately.
     CampaignSpec spec = storeSpec();
     const std::vector<SweepPoint> grid = expandGrid(spec);
     const SweepPoint &hybrid = grid[1]; // mcf x Hybrid
     EXPECT_EQ(canonicalConfigString(spec, hybrid),
+              "schema=rab-config-key-v4\n"
+              "variant=Hybrid\n"
+              "runahead=Hybrid\n"
+              "prefetch=0\n"
+              "warmup=500\n"
+              "fast_forward=1\n"
+              "check_level=0\n"
+              "check_policy=0\n"
+              "cores=1\n"
+              "engine=0\n"
+              "warmup_mode=inline\n"
+              "snapshot=-\n");
+    // A snapshot-warmed point keys to the exact image it forked from.
+    EXPECT_EQ(canonicalConfigString(spec, hybrid,
+                                    "1/00c0ffee00c0ffee"),
+              "schema=rab-config-key-v4\n"
+              "variant=Hybrid\n"
+              "runahead=Hybrid\n"
+              "prefetch=0\n"
+              "warmup=500\n"
+              "fast_forward=1\n"
+              "check_level=0\n"
+              "check_policy=0\n"
+              "cores=1\n"
+              "engine=0\n"
+              "warmup_mode=snapshot\n"
+              "snapshot=1/00c0ffee00c0ffee\n");
+    // The retired formats must stay byte-stable too: they document
+    // exactly what pre-v4 records were keyed under, and the
+    // divergences below are what reject them.
+    EXPECT_EQ(canonicalConfigStringV3(spec, hybrid),
               "schema=rab-config-key-v3\n"
               "variant=Hybrid\n"
               "runahead=Hybrid\n"
@@ -112,9 +143,6 @@ TEST(StoreKey, GoldenConfigSerialisation)
               "check_policy=0\n"
               "cores=1\n"
               "engine=0\n");
-    // The retired formats must stay byte-stable too: they document
-    // exactly what pre-v3 records were keyed under, and the
-    // divergences below are what reject them.
     EXPECT_EQ(canonicalConfigStringV2(spec, hybrid),
               "schema=rab-config-key-v2\n"
               "variant=Hybrid\n"
@@ -173,11 +201,17 @@ TEST(StoreKey, GoldenConfigHash)
     const std::vector<SweepPoint> grid = expandGrid(spec);
     EXPECT_EQ(configHashHex(spec, grid[1]),
               hex64(fnv1a64(canonicalConfigString(spec, grid[1]))));
-    EXPECT_EQ(configHashHex(spec, grid[1]), "315f5b6d103e06f3");
+    EXPECT_EQ(configHashHex(spec, grid[1]), "38b4ce0b1c397aca");
+    EXPECT_EQ(hex64(fnv1a64(canonicalConfigStringV3(spec, grid[1]))),
+              "315f5b6d103e06f3");
     EXPECT_EQ(hex64(fnv1a64(canonicalConfigStringV2(spec, grid[1]))),
               "5a868bdeb562fd6f");
     EXPECT_EQ(hex64(fnv1a64(canonicalConfigStringV1(spec, grid[1]))),
               "bd2a9d1ecb27994a");
+    // A non-empty snapshot id changes the key (and only the key —
+    // the id is never parsed back out of it).
+    EXPECT_NE(configHashHex(spec, grid[1], "1/00c0ffee00c0ffee"),
+              configHashHex(spec, grid[1]));
 }
 
 TEST(StoreKey, MixPointsKeyOnPerCoreAssignment)
@@ -393,12 +427,12 @@ TEST(ResultStore, KeyEchoRejectsMisfiledRecord)
 
 TEST(ResultStore, RejectsStaleConfigSchemaRecords)
 {
-    // A record written before the rab-config-key-v3 bump carries a
+    // A record written before the rab-config-key-v4 bump carries a
     // stale (or missing) config_schema echo. Even when the file is
     // otherwise intact — magic, version, CRC and key echo all valid —
-    // it predates the engine key field and must read as a miss,
-    // never as a hit.
-    ResultStore store(storeRoot("prev3"));
+    // it predates the warmup-mode key fields and must read as a miss
+    // (self-healed away), never as a hit.
+    ResultStore store(storeRoot("prev4"));
     ASSERT_TRUE(store.ok()) << store.error();
     const CampaignSpec spec = storeSpec();
     const PointResult pr = syntheticResult();
@@ -406,7 +440,7 @@ TEST(ResultStore, RejectsStaleConfigSchemaRecords)
     ASSERT_TRUE(store.put(key, pr));
 
     // Rewrite the record in place with the schema echo downgraded to
-    // v2, recomputing the CRC so only the schema gate can reject it.
+    // v3, recomputing the CRC so only the schema gate can reject it.
     const std::string path = store.recordPath(key);
     std::string raw;
     {
@@ -417,9 +451,9 @@ TEST(ResultStore, RejectsStaleConfigSchemaRecords)
     }
     constexpr std::size_t kHeader = 8 + 4 + 4 + 8;
     std::string payload = raw.substr(kHeader);
-    const std::size_t at = payload.find("rab-config-key-v3");
+    const std::size_t at = payload.find("rab-config-key-v4");
     ASSERT_NE(at, std::string::npos);
-    payload.replace(at, 17, "rab-config-key-v2");
+    payload.replace(at, 17, "rab-config-key-v3");
     const std::uint32_t crc = crc32(payload.data(), payload.size());
     for (int i = 0; i < 4; ++i)
         raw[12 + i] = static_cast<char>((crc >> (8 * i)) & 0xFFu);
@@ -443,6 +477,101 @@ TEST(ResultStore, BadRootFailsClosed)
     const StoreKey key = keyFor(storeSpec(), syntheticResult());
     EXPECT_FALSE(store.put(key, syntheticResult()));
     EXPECT_EQ(store.lookup(key), std::nullopt);
+}
+
+// ---------------------------------------------------------------------
+// Warmup-snapshot records
+// ---------------------------------------------------------------------
+
+SnapshotStoreKey
+snapshotKey()
+{
+    SnapshotStoreKey key;
+    key.gitSha = "deadbeef";
+    key.warmupDigestHex = "00c0ffee00c0ffee";
+    key.workload = "mcf";
+    key.seed = 42;
+    key.warmupInstructions = 500;
+    key.formatVersion = 1;
+    return key;
+}
+
+TEST(ResultStore, SnapshotRecordsRoundTrip)
+{
+    ResultStore store(storeRoot("snap"));
+    ASSERT_TRUE(store.ok()) << store.error();
+    const SnapshotStoreKey key = snapshotKey();
+
+    EXPECT_EQ(store.lookupSnapshot(key), std::nullopt);
+    EXPECT_EQ(store.snapshotMisses(), 1u);
+
+    // Snapshot payloads are opaque binary including NULs — the store
+    // must not treat them as text.
+    const std::string payload("RABSNAP1\0\x01\xff warm state", 20);
+    ASSERT_TRUE(store.putSnapshot(key, payload));
+    EXPECT_EQ(store.snapshotStored(), 1u);
+
+    const auto back = store.lookupSnapshot(key);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, payload);
+    EXPECT_EQ(store.snapshotHits(), 1u);
+
+    // Result records and snapshot records share a root without
+    // colliding (different subdirectories, different magic).
+    const CampaignSpec spec = storeSpec();
+    const PointResult pr = syntheticResult();
+    ASSERT_TRUE(store.put(keyFor(spec, pr), pr));
+    EXPECT_TRUE(store.lookup(keyFor(spec, pr)).has_value());
+    EXPECT_TRUE(store.lookupSnapshot(key).has_value());
+}
+
+TEST(ResultStore, SnapshotRecordsSelfHeal)
+{
+    ResultStore store(storeRoot("snapheal"));
+    ASSERT_TRUE(store.ok()) << store.error();
+    const SnapshotStoreKey key = snapshotKey();
+    const std::string payload(4096, '\x5a');
+    ASSERT_TRUE(store.putSnapshot(key, payload));
+    const std::string path = store.snapshotPath(key);
+
+    const auto readRaw = [&] {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        return buffer.str();
+    };
+    const auto writeRaw = [&](const std::string &raw) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(raw.data(), static_cast<std::streamsize>(raw.size()));
+    };
+    const std::string good = readRaw();
+
+    // Truncation: miss, discard, and a re-put works.
+    writeRaw(good.substr(0, good.size() / 2));
+    EXPECT_EQ(store.lookupSnapshot(key), std::nullopt);
+    EXPECT_EQ(store.corruptDiscarded(), 1u);
+    EXPECT_FALSE(fs::exists(path));
+
+    // Bit flip in the snapshot bytes: CRC catches it.
+    std::string flipped = good;
+    flipped[flipped.size() - 7] ^= 0x10;
+    writeRaw(flipped);
+    EXPECT_EQ(store.lookupSnapshot(key), std::nullopt);
+    EXPECT_EQ(store.corruptDiscarded(), 2u);
+
+    // Key-echo mismatch (a misfiled image): CRC-valid, still a miss —
+    // a foreign warmup image must never be forked from.
+    writeRaw(good);
+    SnapshotStoreKey other = key;
+    other.warmupDigestHex = "ffffffffffffffff";
+    std::error_code ec;
+    fs::copy_file(path, store.snapshotPath(other),
+                  fs::copy_options::overwrite_existing, ec);
+    ASSERT_FALSE(ec);
+    EXPECT_EQ(store.lookupSnapshot(other), std::nullopt);
+    EXPECT_EQ(store.corruptDiscarded(), 3u);
+    // The correctly-filed record still reads back.
+    EXPECT_TRUE(store.lookupSnapshot(key).has_value());
 }
 
 // ---------------------------------------------------------------------

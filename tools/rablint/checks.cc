@@ -1,6 +1,6 @@
 /**
  * @file
- * The four rablint checks (see rablint.hh for the contract each one
+ * The five rablint checks (see rablint.hh for the contract each one
  * enforces and DESIGN.md §12 for scope notes and the annotation
  * grammar).
  *
@@ -31,6 +31,7 @@ const std::vector<std::string> kCheckNames = {
     "rab-banned-nondeterminism",
     "rab-cycle-arithmetic",
     "rab-stat-registration",
+    "rab-raw-serialization",
 };
 
 /** Annotation keyword that silences each check at a site. */
@@ -43,6 +44,8 @@ suppressKeyword(const std::string &check)
         return "nondeterminism-ok";
     if (check == "rab-cycle-arithmetic")
         return "cycle-ok";
+    if (check == "rab-raw-serialization")
+        return "raw-serialization-ok";
     return "stat-ok";
 }
 
@@ -733,6 +736,148 @@ checkStatRegistration(const std::string &path, const LexedFile &lexed,
     }
 }
 
+// ---------------------------------------------------------------------
+// rab-raw-serialization
+// ---------------------------------------------------------------------
+
+/**
+ * std types that own heap memory or otherwise have no stable byte
+ * layout — fwrite/fread of these (or of aggregates containing them)
+ * persists pointers and capacity fields, not data.
+ */
+bool
+isNonTrivialStd(const std::string &t)
+{
+    return t == "string" || t == "basic_string" || t == "vector"
+        || t == "deque" || t == "list" || t == "forward_list"
+        || t == "map" || t == "set" || t == "multimap"
+        || t == "multiset" || isUnorderedType(t) || t == "unique_ptr"
+        || t == "shared_ptr" || t == "weak_ptr" || t == "function"
+        || t == "optional" || t == "variant" || t == "any";
+}
+
+void
+checkRawSerialization(const std::string &path, const LexedFile &lexed,
+                      const Options &options, FindingSink &out)
+{
+    static const std::string kCheck = "rab-raw-serialization";
+    for (const std::string &allowed : options.rawSerializationAllowlist) {
+        if (path.find(allowed) != std::string::npos)
+            return; // A sanctioned byte-format module.
+    }
+
+    const std::vector<Token> &toks = lexed.tokens;
+
+    // Pass 1a: struct/class definitions whose body carries a pointer
+    // member, a vtable (`virtual`), or a non-trivially-copyable std
+    // member. Conservative by design: any `*` in the body taints the
+    // type — a pointer-returning method is strong evidence the type
+    // manages indirection.
+    std::set<std::string> hazard_types;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (toks[i].text != "struct" && toks[i].text != "class")
+            continue;
+        if (toks[i + 1].kind != TokKind::kIdentifier)
+            continue;
+        std::size_t open = i + 2;
+        while (open < toks.size() && toks[open].text != "{"
+               && toks[open].text != ";")
+            ++open;
+        if (open >= toks.size() || toks[open].text == ";")
+            continue; // Forward declaration.
+        int depth = 0;
+        bool hazardous = false;
+        for (std::size_t j = open; j < toks.size(); ++j) {
+            const std::string &tj = toks[j].text;
+            if (tj == "{") {
+                ++depth;
+            } else if (tj == "}") {
+                if (--depth == 0)
+                    break;
+            } else if (tj == "*" || tj == "virtual"
+                       || isNonTrivialStd(tj)
+                       || hazard_types.count(tj) != 0) {
+                hazardous = true;
+            }
+        }
+        if (hazardous)
+            hazard_types.insert(toks[i + 1].text);
+    }
+
+    // Pass 1b: variables/members/parameters declared with a hazardous
+    // type (mirrors collectUnorderedNames' declaration shape).
+    std::set<std::string> hazard_vars;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (!isNonTrivialStd(toks[i].text)
+            && !hazard_types.count(toks[i].text))
+            continue;
+        std::size_t k = i + 1;
+        if (k < toks.size() && toks[k].text == "<")
+            k = skipTemplateArgs(toks, k);
+        while (k < toks.size()
+               && (toks[k].text == "&" || toks[k].text == "*"
+                   || toks[k].text == "const"))
+            ++k;
+        if (k + 1 >= toks.size() || toks[k].kind != TokKind::kIdentifier
+            || isKeyword(toks[k].text))
+            continue;
+        const std::string &next = toks[k + 1].text;
+        if (next == ";" || next == "=" || next == "{" || next == ","
+            || next == ")" || next == ":" || next == "[")
+            hazard_vars.insert(toks[k].text);
+    }
+
+    // Pass 2: fwrite/fread call sites whose argument list names a
+    // hazardous type or variable.
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.text != "fwrite" && t.text != "fread")
+            continue;
+        if (toks[i + 1].text != "(" || i == 0)
+            continue;
+        const Token &prev = toks[i - 1];
+        if (prev.text == "." || prev.text == "->" || prev.text == ">"
+            || prev.text == "&" || prev.text == "*"
+            || (prev.kind == TokKind::kIdentifier
+                && !isKeyword(prev.text)))
+            continue; // Member call or declaration, not libc.
+        if (prev.text == "::" && !(i >= 2 && toks[i - 2].text == "std"))
+            continue;
+
+        int depth = 0;
+        for (std::size_t j = i + 1; j < toks.size(); ++j) {
+            const std::string &tj = toks[j].text;
+            if (tj == "(") {
+                ++depth;
+                continue;
+            }
+            if (tj == ")") {
+                if (--depth == 0)
+                    break;
+                continue;
+            }
+            if (toks[j].kind != TokKind::kIdentifier)
+                continue;
+            if (isNonTrivialStd(tj) || hazard_types.count(tj)
+                || hazard_vars.count(tj)) {
+                report(out, lexed, path, kCheck, t.line,
+                       "raw " + t.text
+                           + "() of pointer-bearing or "
+                             "non-trivially-copyable '"
+                           + tj
+                           + "' — byte images of such types persist "
+                             "addresses and heap capacity, not data; "
+                             "route persistent state through the "
+                             "versioned snapshot archive "
+                             "(src/snapshot) or the trace writer, or "
+                             "annotate `// rablint: "
+                             "raw-serialization-ok (<why>)`");
+                break;
+            }
+        }
+    }
+}
+
 } // namespace
 
 const std::vector<std::string> &
@@ -822,6 +967,8 @@ analyze(const std::string &path, const LexedFile &lexed,
         checkCycleArithmetic(path, lexed, out);
     if (enabled("rab-stat-registration"))
         checkStatRegistration(path, lexed, out);
+    if (enabled("rab-raw-serialization"))
+        checkRawSerialization(path, lexed, options, out);
 
     std::stable_sort(out.begin(), out.end(),
                      [](const Finding &a, const Finding &b) {

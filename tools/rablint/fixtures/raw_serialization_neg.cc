@@ -1,0 +1,45 @@
+// rablint fixture: nothing in this file may be flagged.
+#include <cstdio>
+#include <string>
+#include <type_traits>
+
+struct Frame
+{
+    unsigned long magic;
+    unsigned long crc;
+    unsigned long length;
+};
+
+static_assert(std::is_trivially_copyable<Frame>::value,
+              "raw frame I/O requires a trivially copyable layout");
+
+struct Codec
+{
+    unsigned long fread(void *buffer, unsigned long size);
+    unsigned long fwrite(const void *buffer, unsigned long size);
+};
+
+void
+roundTrip(std::FILE *f, Codec &codec, Frame &frame, char *scratch)
+{
+    // Trivially copyable aggregates may be framed raw.
+    std::fwrite(&frame, sizeof(frame), 1, f);
+    std::fread(&frame, sizeof(frame), 1, f);
+
+    // Member functions that happen to be named like libc I/O are not
+    // the libc calls.
+    codec.fread(scratch, sizeof(Frame));
+    codec.fwrite(scratch, sizeof(Frame));
+}
+
+struct Header
+{
+    std::string tool; // Heap-owning, but the site below is reviewed.
+};
+
+void
+legacyDump(std::FILE *f, const Header &header)
+{
+    // rablint: raw-serialization-ok (fixture: reviewed legacy dump)
+    std::fwrite(&header, sizeof(header), 1, f);
+}

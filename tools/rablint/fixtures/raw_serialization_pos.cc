@@ -1,0 +1,41 @@
+// rablint fixture: every line marked EXPECT must be flagged by the
+// named check.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+struct Node
+{
+    Node *next; // Pointer member: a raw byte image dumps an address.
+    int value;
+};
+
+struct Manifest
+{
+    std::string name; // Heap-owning members: capacity fields, not data.
+    std::vector<int> rows;
+};
+
+struct PlainRecord
+{
+    unsigned long pc;
+    unsigned long addr;
+};
+
+void
+save(std::FILE *f, const Node &node, const Manifest &manifest,
+     std::string &text, const PlainRecord &record)
+{
+    std::fwrite(&node, sizeof(node), 1, f);         // EXPECT: rab-raw-serialization
+    std::fwrite(&manifest, sizeof(manifest), 1, f); // EXPECT: rab-raw-serialization
+    std::fwrite(&text, sizeof(text), 1, f);         // EXPECT: rab-raw-serialization
+    // Trivially copyable aggregates are not this check's business.
+    std::fwrite(&record, sizeof(record), 1, f);
+}
+
+void
+load(std::FILE *f, Node &node, std::vector<Manifest> &table)
+{
+    std::fread(&node, sizeof(node), 1, f); // EXPECT: rab-raw-serialization
+    std::fread(table.data(), sizeof(Manifest), table.size(), f); // EXPECT: rab-raw-serialization
+}

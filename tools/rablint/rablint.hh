@@ -34,6 +34,16 @@
  *                             unique per group, so manifest schemas
  *                             stay diffable. Escape: `// rablint:
  *                             stat-ok (<why>)`.
+ *   rab-raw-serialization     fwrite/fread of pointer-bearing or
+ *                             non-trivially-copyable types persists
+ *                             addresses and heap capacity fields, not
+ *                             data. The snapshot archive
+ *                             (src/snapshot/, versioned + CRC-framed)
+ *                             and the trace writer (src/trace/,
+ *                             fixed 32-byte static_assert'd records)
+ *                             are the sanctioned byte-format modules;
+ *                             other sites need `// rablint:
+ *                             raw-serialization-ok (<why>)`.
  *
  * Implementation note: the pass is a token-level analysis over a real
  * C++ lexer (comments, raw strings, preprocessor lines handled), not a
@@ -118,6 +128,18 @@ struct Options
     std::vector<std::string> nondeterminismAllowlist{
         "src/common/rng.",
         "src/common/profiler.",
+    };
+    /**
+     * Path substrings exempt from rab-raw-serialization: the modules
+     * whose whole purpose is a byte-level file format. The snapshot
+     * archive frames every record with a version and CRC; the trace
+     * writer static_asserts its 32-byte record layout. Everything
+     * else must route through them or annotate
+     * `// rablint: raw-serialization-ok (<why>)` per site.
+     */
+    std::vector<std::string> rawSerializationAllowlist{
+        "src/snapshot/",
+        "src/trace/",
     };
 };
 
